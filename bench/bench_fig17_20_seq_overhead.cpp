@@ -1,0 +1,61 @@
+// Figures 17-20 of the paper: relative execution time of sequential
+// (SPEC int 95) workloads under the StackThreads/MP build variants.
+// The paper shows, per CPU (SPARC / Pentium PRO / MIPS / Alpha), bars for
+// default / (flat|FP) / +thread / st_inline / st, normalized to default.
+// This harness reproduces the structure on one host ISA with the eight
+// surrogate kernels (DESIGN.md §2), printing one row per kernel and the
+// average -- the quantity the paper quotes ("total overheads are 15%
+// (SPARC), 9.5% (Pentium PRO), 18% (Mips), 15% (Alpha)").
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "specsur/variants.hpp"
+
+int main() {
+  using specsur::Variant;
+  bench::print_header("Sequential overhead on SPEC int 95 surrogates",
+                      "Figures 17-20 (Section 8.1)");
+
+  const double s = bench::scale();
+  stu::Table table({"SPEC", "surrogate", "default", "default+thread", "st_inline", "st"});
+  double geo[4] = {0, 0, 0, 0};
+  int cells = 0;
+  for (const auto& k : specsur::kernels()) {
+    const long iters = std::max<long>(1, static_cast<long>(k.default_iters * s));
+    double secs[4];
+    std::uint64_t sums[4];
+    for (int v = 0; v < 4; ++v) {
+      sums[v] = 0;
+      secs[v] = bench::time_best([&] { sums[v] ^= k.run[v](iters); });
+    }
+    for (int v = 1; v < 4; ++v) {
+      if (sums[v] != sums[0]) {
+        std::fprintf(stderr, "checksum mismatch in %s variant %d\n", k.surrogate.c_str(), v);
+        return 1;
+      }
+    }
+    std::vector<std::string> row{k.name, k.surrogate};
+    for (int v = 0; v < 4; ++v) {
+      const double rel = secs[v] / secs[0];
+      row.push_back(stu::Table::num(rel, 3));
+      geo[v] += rel;
+    }
+    ++cells;
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> avg{"avg", ""};
+  for (int v = 0; v < 4; ++v) {
+    avg.push_back(stu::Table::num(geo[v] / cells, 3));
+  }
+  table.add_row(std::move(avg));
+  table.print();
+
+  std::printf("\nPaper's shape to check: st_inline a small constant factor over\n"
+              "default (the paper reports 1%%-13%% postprocessing overhead per\n"
+              "CPU); the thread-library column visibly above default only for\n"
+              "allocation-heavy workloads (paper: perl/gcc on IRIX/OSF).  The\n"
+              "st column (-fno-inline) is small for C in the paper (<2.1%%) but\n"
+              "its footnote 12 predicts exactly what this column shows: \"the\n"
+              "penalty is likely to be large on C++ applications\".\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 21 of the paper: uniprocessor execution time of the parallel
+// applications relative to sequential C, for StackThreads/MP and Cilk.
+// The paper's claim: "Except for fib, in which threads are extremely
+// fine-grained, both achieve performance comparable to C."
+//
+// One row per application: seq seconds, then st (stmp runtime, 1 worker)
+// and ck (cilkstyle baseline, 1 worker) relative to seq.
+#include <cstdio>
+
+#include "apps/registry.hpp"
+#include "bench/harness.hpp"
+#include "cilk/cilkstyle.hpp"
+#include "runtime/runtime.hpp"
+
+int main() {
+  bench::print_header("Uniprocessor overhead of parallel applications",
+                      "Figure 21 (Section 8.2)");
+  const double s = bench::scale();
+
+  stu::Table table({"app", "seq", "StackThreads/MP", "cilkstyle"});
+  double sum_st = 0, sum_ck = 0;
+  int rows = 0;
+  for (const auto& app : apps::all_apps()) {
+    std::uint64_t seq_sum = 0, st_sum = 0, ck_sum = 0;
+    const double seq_secs = bench::time_best([&] { seq_sum = app.seq(s); });
+
+    st::Runtime srt(1);
+    const double st_secs = bench::time_best([&] { srt.run([&] { st_sum = app.st(s); }); });
+
+    ck::Runtime crt(1);
+    const double ck_secs = bench::time_best([&] { crt.run([&] { ck_sum = app.ck(s); }); });
+
+    if (st_sum != seq_sum || ck_sum != seq_sum) {
+      std::fprintf(stderr, "checksum mismatch in %s\n", app.name.c_str());
+      return 1;
+    }
+    table.add_row({app.name, stu::format_seconds(seq_secs),
+                   stu::Table::num(st_secs / seq_secs, 2),
+                   stu::Table::num(ck_secs / seq_secs, 2)});
+    sum_st += st_secs / seq_secs;
+    sum_ck += ck_secs / seq_secs;
+    ++rows;
+  }
+  table.add_row({"avg", "", stu::Table::num(sum_st / rows, 2), stu::Table::num(sum_ck / rows, 2)});
+  table.print();
+  std::printf("\nPaper's shape to check: most apps near 1.0 for both systems;\n"
+              "fib is the outlier (threads are extremely fine-grained) with a\n"
+              "visible multiple over sequential C for BOTH systems.\n");
+  return 0;
+}

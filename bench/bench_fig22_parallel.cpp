@@ -1,0 +1,67 @@
+// Figure 22 of the paper: execution time of StackThreads/MP relative to
+// Cilk on 1, 8, 32 and 50 processors.  The paper's claim: "Overall
+// performance is similar... Neither was consistently better than the
+// other."
+//
+// This host has few cores, so the sweep covers {1, 2, 4} workers (capped
+// by STMP_MAX_WORKERS); the reported quantity is exactly the figure's:
+// time(stmp)/time(cilkstyle) per application per worker count.  Steal
+// statistics are printed so migration activity is visible even without
+// physical parallelism.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "bench/harness.hpp"
+#include "cilk/cilkstyle.hpp"
+#include "runtime/runtime.hpp"
+#include "util/env.hpp"
+
+int main() {
+  bench::print_header("StackThreads/MP relative to the Cilk-style baseline",
+                      "Figure 22 (Section 8.2)");
+  const double s = bench::scale();
+  const long max_workers = stu::env_long(
+      "STMP_MAX_WORKERS", static_cast<long>(std::max<std::size_t>(4, stu::hardware_workers())));
+  std::vector<unsigned> sweep;
+  for (unsigned w = 1; static_cast<long>(w) <= max_workers; w *= 2) sweep.push_back(w);
+
+  std::vector<std::string> headers{"app"};
+  for (unsigned w : sweep) headers.push_back("P=" + std::to_string(w));
+  stu::Table table(std::move(headers));
+
+  std::uint64_t total_steals_st = 0, total_steals_ck = 0;
+  for (const auto& app : apps::all_apps()) {
+    std::vector<std::string> row{app.name};
+    for (unsigned w : sweep) {
+      std::uint64_t st_sum = 0, ck_sum = 0;
+      double st_secs, ck_secs;
+      {
+        st::Runtime rt(w);
+        st_secs = bench::time_best([&] { rt.run([&] { st_sum = app.st(s); }); });
+        total_steals_st += rt.stats().steals_received;
+      }
+      {
+        ck::Runtime rt(w);
+        ck_secs = bench::time_best([&] { rt.run([&] { ck_sum = app.ck(s); }); });
+        total_steals_ck += rt.total_steals();
+      }
+      if (st_sum != ck_sum) {
+        std::fprintf(stderr, "checksum mismatch in %s at P=%u\n", app.name.c_str(), w);
+        return 1;
+      }
+      row.push_back(stu::Table::num(st_secs / ck_secs, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\nmigrations observed: stmp steals=%llu, cilkstyle steals=%llu\n",
+              static_cast<unsigned long long>(total_steals_st),
+              static_cast<unsigned long long>(total_steals_ck));
+  std::printf("\nPaper's shape to check: ratios scattered around 1.0 with no\n"
+              "consistent winner across applications or worker counts.\n"
+              "(On this host all workers share the physical cores, so the\n"
+              "ratio -- not absolute speedup -- is the reproducible quantity.)\n");
+  return 0;
+}

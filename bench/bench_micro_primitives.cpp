@@ -1,0 +1,162 @@
+// Microbenchmarks of the runtime primitives (google-benchmark).
+//
+// The paper's core performance claim is that an asynchronous call costs
+// about as much as an ordinary procedure call, with suspension/migration
+// paying more.  These benches price every primitive of the native
+// runtime and the baseline so the claim's reproduction-level analogue is
+// measurable: fork/join vs plain call, suspend/resume, context switch,
+// the exported-set heap, the readyq deque, and stacklet allocation.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "cilk/cilkstyle.hpp"
+#include "runtime/context.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/stacklet.hpp"
+#include "sync/join_counter.hpp"
+#include "util/max_heap.hpp"
+#include "util/owner_deque.hpp"
+
+namespace {
+
+// -- reference: a plain (non-inlined) call --------------------------------
+__attribute__((noinline)) long plain_callee(long x) {
+  benchmark::DoNotOptimize(x);
+  return x + 1;
+}
+
+void BM_PlainCall(benchmark::State& state) {
+  long v = 0;
+  for (auto _ : state) v = plain_callee(v);
+  benchmark::DoNotOptimize(v);
+}
+BENCHMARK(BM_PlainCall);
+
+// -- raw context switch (one round trip = 2 st_ctx_swap) ------------------
+struct PingPongCtx {
+  st::MachineContext main_ctx, coro_ctx;
+  bool stop = false;
+};
+
+void pingpong_coro(void* msg, void* arg) {
+  st::run_switch_msg(static_cast<st::SwitchMsg*>(msg));
+  auto* pp = static_cast<PingPongCtx*>(arg);
+  for (;;) st::ctx_swap(pp->coro_ctx, pp->main_ctx.sp, nullptr);
+}
+
+void BM_ContextSwitchRoundTrip(benchmark::State& state) {
+  PingPongCtx pp;
+  auto stack = std::make_unique<char[]>(64 * 1024);
+  void* sp = st::st_ctx_prepare(stack.get(), 64 * 1024, &pingpong_coro, &pp);
+  st::ctx_swap(pp.main_ctx, sp, nullptr);  // enter the coroutine once
+  for (auto _ : state) {
+    st::ctx_swap(pp.main_ctx, pp.coro_ctx.sp, nullptr);
+  }
+}
+BENCHMARK(BM_ContextSwitchRoundTrip);
+
+// -- fork fast path (empty child, never stolen) ---------------------------
+void BM_ForkFastPath(benchmark::State& state) {
+  st::Runtime rt(1);
+  rt.run([&] {
+    for (auto _ : state) {
+      st::fork([] {});
+    }
+  });
+}
+BENCHMARK(BM_ForkFastPath);
+
+// -- fork + join-counter round trip ---------------------------------------
+void BM_ForkJoinCounter(benchmark::State& state) {
+  st::Runtime rt(1);
+  rt.run([&] {
+    for (auto _ : state) {
+      st::JoinCounter jc(1);
+      st::fork([&jc] { jc.finish(); });
+      jc.join();
+    }
+  });
+}
+BENCHMARK(BM_ForkJoinCounter);
+
+// -- suspend + deferred resume round trip ----------------------------------
+void BM_SuspendResume(benchmark::State& state) {
+  st::Runtime rt(1);
+  rt.run([&] {
+    for (auto _ : state) {
+      st::Continuation c;
+      st::JoinCounter done(1);
+      st::fork([&] {
+        st::suspend(&c);
+        done.finish();
+      });
+      st::resume(&c);
+      done.join();
+    }
+  });
+}
+BENCHMARK(BM_SuspendResume);
+
+// -- the baseline's spawn/sync ---------------------------------------------
+void BM_CilkstyleSpawnSync(benchmark::State& state) {
+  ck::Runtime rt(1);
+  rt.run([&] {
+    for (auto _ : state) {
+      ck::SpawnGroup g;
+      g.spawn([] {});
+      g.sync();
+    }
+  });
+}
+BENCHMARK(BM_CilkstyleSpawnSync);
+
+// -- stacklet allocation (the per-fork storage cost) -----------------------
+void BM_StackletAllocRelease(benchmark::State& state) {
+  st::StackRegion region(64 * 1024, 256);
+  for (auto _ : state) {
+    st::Stacklet* s = region.allocate();
+    st::StackRegion::release(s);
+  }
+}
+BENCHMARK(BM_StackletAllocRelease);
+
+// -- exported-set heap (insert + pop-max, the shrink path) ----------------
+void BM_ExportedSetHeap(benchmark::State& state) {
+  stu::MaxHeap<long> heap;
+  long i = 0;
+  for (auto _ : state) {
+    heap.push(i++);
+    heap.push(i++);
+    benchmark::DoNotOptimize(heap.max());
+    heap.pop_max();
+    heap.pop_max();
+  }
+}
+BENCHMARK(BM_ExportedSetHeap);
+
+// -- readyq deque ops -------------------------------------------------------
+void BM_ReadyqPushPop(benchmark::State& state) {
+  stu::OwnerDeque<void*> dq;
+  int payload = 0;
+  for (auto _ : state) {
+    dq.push_head(&payload);
+    dq.push_tail(&payload);
+    benchmark::DoNotOptimize(dq.pop_tail());
+    benchmark::DoNotOptimize(dq.pop_head());
+  }
+}
+BENCHMARK(BM_ReadyqPushPop);
+
+// -- steal-request port handshake (uncontended poll) ------------------------
+void BM_PollNoRequest(benchmark::State& state) {
+  st::Runtime rt(1);
+  rt.run([&] {
+    for (auto _ : state) st::poll();
+  });
+}
+BENCHMARK(BM_PollNoRequest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Section 8.1 mechanism-level reproduction on the STVM: what the
+// postprocessor does to a program (augmentation counts under the
+// leaf/transitive criterion) and what the augmented epilogues cost in
+// executed instructions -- the ISA-independent analogue of the
+// Figure 17-20 "postprocessing" bars.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "stvm/asm.hpp"
+#include "stvm/programs.hpp"
+#include "stvm/vm.hpp"
+
+namespace {
+
+struct Cell {
+  const char* name;
+  const std::string& source;
+  bool with_stdlib;
+  const char* entry;
+  std::vector<stvm::Word> args;
+};
+
+}  // namespace
+
+int main() {
+  using namespace stvm;
+  bench::print_header("STVM postprocessor statistics and epilogue overhead",
+                      "Section 8.1 (augmentation criterion), Figures 17-20 analogue");
+
+  const Cell cells[] = {
+      {"fib(seq)", programs::fib(), false, "main", {20}},
+      {"pfib", programs::pfib(), true, "pmain", {18}},
+      {"figure15", programs::figure15(), false, "scenario_main", {}},
+  };
+
+  stu::Table stats_table({"program", "procs", "augmented (criterion)", "augmented (forced)",
+                          "fork points", "instrs added"});
+  stu::Table cost_table({"program", "cycles (criterion)", "cycles (force-augment-all)",
+                         "epilogue overhead"});
+
+  for (const auto& cell : cells) {
+    std::string src = cell.source;
+    if (cell.with_stdlib) src += "\n" + programs::stdlib();
+    const Module m = assemble(src);
+    const PostprocResult natural = postprocess(m, /*force_augment_all=*/false);
+    const PostprocResult forced = postprocess(m, /*force_augment_all=*/true);
+
+    stats_table.add_row({cell.name, std::to_string(natural.procs_total),
+                         std::to_string(natural.procs_augmented),
+                         std::to_string(forced.procs_augmented),
+                         std::to_string(natural.fork_points),
+                         std::to_string(natural.instructions_added)});
+
+    auto cycles = [&](const PostprocResult& prog) {
+      Vm vm(prog);
+      vm.run(cell.entry, cell.args);
+      return vm.stats().instructions;
+    };
+    const auto natural_cycles = cycles(natural);
+    const auto forced_cycles = cycles(forced);
+    cost_table.add_row({cell.name, std::to_string(natural_cycles),
+                        std::to_string(forced_cycles),
+                        stu::Table::num(static_cast<double>(forced_cycles) /
+                                            static_cast<double>(natural_cycles),
+                                        3)});
+  }
+
+  std::printf("\nPostprocessor statistics (the Section 8.1 criterion: leaves and\n"
+              "procedures whose whole call graph is known-sequential stay clean):\n\n");
+  stats_table.print();
+  std::printf("\nExecuted-instruction cost of epilogue augmentation:\n\n");
+  cost_table.print();
+  std::printf("\nPaper's shape to check: the criterion exempts a meaningful share\n"
+              "of procedures; forcing augmentation everywhere costs a few %% of\n"
+              "executed instructions (the paper: 4-7 instructions per augmented\n"
+              "return; quoted totals 1%%-13%% depending on CPU).\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Table 1 of the paper: comparison of fine-grain multithreading systems
+// by multiprocessor support and compilation strategy, extended with the
+// two artifacts this repository implements.
+#include <cstdio>
+
+#include "util/table.hpp"
+
+int main() {
+  std::printf("Table 1: fine-grain multithreading systems "
+              "(paper's survey + this reproduction)\n\n");
+  stu::Table t({"Name", "MP", "compilation strategy"});
+  t.add_row({"LTC [17]", "yes", "compile to native"});
+  t.add_row({"MP-LTC [7]", "yes", "compile to native"});
+  t.add_row({"Schematic [19]", "yes", "compile to C"});
+  t.add_row({"Cilk [10]", "yes", "compile to C"});
+  t.add_row({"Concert [20]", "yes", "compile to C"});
+  t.add_row({"Lazy Threads [11]", "no", "compile to native"});
+  t.add_row({"Olden [21]", "no", "compile to native"});
+  t.add_row({"Old StackThreads [27]", "no", "use standard C compiler"});
+  t.add_row({"StackThreads/MP (paper)", "yes", "use standard C compiler"});
+  t.add_row({"this repo: stmp runtime", "yes", "standard C++ compiler + stacklets"});
+  t.add_row({"this repo: STVM substrate", "yes", "standard toy compiler + postprocessor"});
+  t.add_row({"this repo: cilkstyle baseline", "yes", "compile to C (heap frames)"});
+  t.print();
+  return 0;
+}

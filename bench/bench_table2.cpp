@@ -1,0 +1,54 @@
+// Table 2 of the paper: machine settings for the parallel benchmarks.
+// The paper used a Sun Ultra Enterprise 10000 (64 x 250 MHz, 8 GB); we
+// report the reproduction host detected at runtime.
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "util/table.hpp"
+
+namespace {
+
+std::string cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) return line.substr(colon + 2);
+    }
+  }
+  return "unknown";
+}
+
+long mem_total_mb() {
+  std::ifstream in("/proc/meminfo");
+  std::string key;
+  long kb = 0;
+  while (in >> key >> kb) {
+    if (key == "MemTotal:") return kb / 1024;
+    in.ignore(256, '\n');
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 2: settings for parallel application benchmarks\n\n");
+  stu::Table t({"Setting", "Paper (1999)", "This host"});
+  t.add_row({"Machine", "Ultra Enterprise 10000 (Starfire)", "Linux container"});
+  t.add_row({"CPU", "250MHz UltraSPARC, 1MB L2", cpu_model()});
+  t.add_row({"Number of CPUs", "64",
+             std::to_string(std::thread::hardware_concurrency())});
+  t.add_row({"Memory", "8GB", std::to_string(mem_total_mb()) + "MB"});
+  t.add_row({"Worker sweep", "1, 8, 32, 50", "see bench_fig22 (STMP_MAX_WORKERS)"});
+  t.print();
+  std::printf("\nNote: with fewer physical CPUs than the paper's 64, absolute\n"
+              "speedups are not reproducible; Figure 22's *ratios* between the\n"
+              "two runtimes are (see EXPERIMENTS.md).\n");
+  return 0;
+}

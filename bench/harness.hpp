@@ -1,0 +1,44 @@
+// Shared timing harness for the table/figure reproduction binaries.
+//
+// Environment knobs:
+//   STMP_SCALE       workload multiplier (default 0.25 here: CI-sized;
+//                    use 1.0+ to approach paper-sized problems)
+//   STMP_BENCH_REPS  timed repetitions per cell (default 2; best is kept)
+//   STMP_MAX_WORKERS cap for the Figure 22 worker sweep
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/env.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace bench {
+
+inline double scale() { return stu::env_double("STMP_SCALE", 0.25); }
+inline long reps() { return stu::env_long("STMP_BENCH_REPS", 2); }
+
+/// Runs fn() reps times; returns the best wall-clock seconds.
+inline double time_best(const std::function<void()>& fn) {
+  stu::Samples samples;
+  for (long r = 0; r < reps(); ++r) {
+    stu::WallTimer t;
+    fn();
+    samples.add(t.seconds());
+  }
+  return samples.best();
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("scale=%.3g reps=%ld\n", scale(), reps());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench

@@ -1,0 +1,90 @@
+#include "apps/cilksort.hpp"
+
+#include <algorithm>
+
+#include "apps/common.hpp"
+#include "cilk/cilkstyle.hpp"
+#include "runtime/runtime.hpp"
+#include "sync/join_counter.hpp"
+
+namespace apps::cilksort {
+
+namespace {
+
+void merge_halves(long* lo, long* mid, long* hi, long* tmp) {
+  long* a = lo;
+  long* b = mid;
+  long* out = tmp;
+  while (a != mid && b != hi) *out++ = (*b < *a) ? *b++ : *a++;
+  while (a != mid) *out++ = *a++;
+  while (b != hi) *out++ = *b++;
+  std::copy(tmp, out, lo);
+}
+
+void sort_seq(long* lo, long* hi, long* tmp) {
+  const std::size_t n = static_cast<std::size_t>(hi - lo);
+  if (n <= kCutoff) {
+    std::sort(lo, hi);
+    return;
+  }
+  long* mid = lo + n / 2;
+  sort_seq(lo, mid, tmp);
+  sort_seq(mid, hi, tmp + (mid - lo));
+  merge_halves(lo, mid, hi, tmp);
+}
+
+void sort_st(long* lo, long* hi, long* tmp) {
+  const std::size_t n = static_cast<std::size_t>(hi - lo);
+  if (n <= kCutoff) {
+    std::sort(lo, hi);
+    return;
+  }
+  long* mid = lo + n / 2;
+  st::JoinCounter jc(1);
+  st::fork([lo, mid, tmp, &jc] {
+    sort_st(lo, mid, tmp);
+    jc.finish();
+  });
+  sort_st(mid, hi, tmp + (mid - lo));
+  jc.join();
+  merge_halves(lo, mid, hi, tmp);
+}
+
+void sort_ck(long* lo, long* hi, long* tmp) {
+  const std::size_t n = static_cast<std::size_t>(hi - lo);
+  if (n <= kCutoff) {
+    std::sort(lo, hi);
+    return;
+  }
+  long* mid = lo + n / 2;
+  ck::SpawnGroup g;
+  g.spawn([lo, mid, tmp] { sort_ck(lo, mid, tmp); });
+  sort_ck(mid, hi, tmp + (mid - lo));
+  g.sync();
+  merge_halves(lo, mid, hi, tmp);
+}
+
+}  // namespace
+
+void seq(std::vector<long>& data) {
+  std::vector<long> tmp(data.size());
+  sort_seq(data.data(), data.data() + data.size(), tmp.data());
+}
+
+void run_st(std::vector<long>& data) {
+  std::vector<long> tmp(data.size());
+  sort_st(data.data(), data.data() + data.size(), tmp.data());
+}
+
+void run_ck(std::vector<long>& data) {
+  std::vector<long> tmp(data.size());
+  sort_ck(data.data(), data.data() + data.size(), tmp.data());
+}
+
+std::vector<long> make_input(std::size_t n, std::uint64_t seed) {
+  return random_longs(n, seed, -1000000, 1000000);
+}
+
+std::uint64_t checksum(const std::vector<long>& sorted) { return hash_vector(sorted); }
+
+}  // namespace apps::cilksort

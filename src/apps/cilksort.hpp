@@ -1,0 +1,21 @@
+// cilksort: parallel merge sort (divide until a sequential cutoff, merge
+// after joining both halves), as shipped with the Cilk 5.1 distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace apps::cilksort {
+
+/// Sequential cutoff below which a std::sort is used.
+inline constexpr std::size_t kCutoff = 2048;
+
+void seq(std::vector<long>& data);
+void run_st(std::vector<long>& data);  ///< inside st::Runtime::run
+void run_ck(std::vector<long>& data);  ///< inside ck::Runtime::run
+
+/// Deterministic workload + checksum wrappers used by the harnesses.
+std::vector<long> make_input(std::size_t n, std::uint64_t seed = 0x50f7ULL);
+std::uint64_t checksum(const std::vector<long>& sorted);
+
+}  // namespace apps::cilksort

@@ -1,0 +1,58 @@
+// Shared helpers for the benchmark applications: deterministic input
+// generation and bit-exact checksums.
+//
+// Every app is implemented three times -- sequential C++, StackThreads/MP
+// (st::), and cilkstyle (ck::) -- with *identical* floating-point
+// reduction orders, so a single checksum validates all variants against
+// each other regardless of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace apps {
+
+/// FNV-1a over raw bytes: the checksum all app variants must agree on.
+inline std::uint64_t hash_bytes(const void* data, std::size_t n,
+                                std::uint64_t h = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t hash_vector(const std::vector<T>& v, std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  return hash_bytes(v.data(), v.size() * sizeof(T), seed);
+}
+
+inline std::uint64_t hash_u64(std::uint64_t v) { return hash_bytes(&v, sizeof v); }
+
+/// Deterministic dense matrix with entries in [-1, 1).
+inline std::vector<double> random_matrix(std::size_t n, std::uint64_t seed) {
+  stu::Xoshiro256 rng(seed);
+  std::vector<double> m(n * n);
+  for (auto& x : m) x = 2.0 * rng.unit() - 1.0;
+  return m;
+}
+
+/// Diagonally dominant matrix (safe for pivotless LU).
+inline std::vector<double> dominant_matrix(std::size_t n, std::uint64_t seed) {
+  std::vector<double> m = random_matrix(n, seed);
+  for (std::size_t i = 0; i < n; ++i) m[i * n + i] += static_cast<double>(2 * n);
+  return m;
+}
+
+inline std::vector<long> random_longs(std::size_t n, std::uint64_t seed, long lo, long hi) {
+  stu::Xoshiro256 rng(seed);
+  std::vector<long> v(n);
+  for (auto& x : v) x = rng.range(lo, hi);
+  return v;
+}
+
+}  // namespace apps

@@ -1,0 +1,83 @@
+#include "apps/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "apps/common.hpp"
+#include "apps/exec_policy.hpp"
+
+namespace apps::fft {
+
+namespace {
+
+using Cx = std::complex<double>;
+
+/// Out-of-place recursion: input strided view -> contiguous output.
+template <typename Exec>
+void fft_rec(const Cx* in, std::size_t stride, Cx* out, Cx* scratch, std::size_t n,
+             double sign) {
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  const std::size_t h = n / 2;
+  auto even = [&] { fft_rec<Exec>(in, stride * 2, scratch, out, h, sign); };
+  auto odd = [&] {
+    fft_rec<Exec>(in + stride, stride * 2, scratch + h, out + h, h, sign);
+  };
+  if (n > kCutoff) {
+    Exec::par(even, odd);
+  } else {
+    even();
+    odd();
+  }
+  for (std::size_t k = 0; k < h; ++k) {
+    const double angle = sign * 2.0 * std::numbers::pi * static_cast<double>(k) /
+                         static_cast<double>(n);
+    const Cx w(std::cos(angle), std::sin(angle));
+    const Cx t = w * scratch[h + k];
+    out[k] = scratch[k] + t;
+    out[k + h] = scratch[k] - t;
+  }
+}
+
+template <typename Exec>
+void run(Signal& s, double sign) {
+  assert((s.size() & (s.size() - 1)) == 0 && "FFT size must be a power of two");
+  Signal out(s.size());
+  Signal scratch(s.size());
+  fft_rec<Exec>(s.data(), 1, out.data(), scratch.data(), s.size(), sign);
+  s.swap(out);
+}
+
+}  // namespace
+
+Signal make_input(std::size_t n, std::uint64_t seed) {
+  stu::Xoshiro256 rng(seed);
+  Signal s(n);
+  for (auto& x : s) x = Cx(2.0 * rng.unit() - 1.0, 2.0 * rng.unit() - 1.0);
+  return s;
+}
+
+void transform_seq(Signal& s) { run<SeqExec>(s, -1.0); }
+void transform_st(Signal& s) { run<StExec>(s, -1.0); }
+void transform_ck(Signal& s) { run<CkExec>(s, -1.0); }
+
+double roundtrip_error(const Signal& original) {
+  Signal s = original;
+  run<SeqExec>(s, -1.0);
+  run<SeqExec>(s, 1.0);
+  double worst = 0.0;
+  const double inv = 1.0 / static_cast<double>(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    worst = std::max(worst, std::abs(s[i] * inv - original[i]));
+  }
+  return worst;
+}
+
+std::uint64_t checksum(const Signal& s) {
+  return hash_bytes(s.data(), s.size() * sizeof(Cx));
+}
+
+}  // namespace apps::fft

@@ -1,0 +1,29 @@
+// fft: recursive radix-2 Cooley-Tukey complex FFT (the Cilk
+// distribution's `fft`, simplified to radix 2).  The two half-transforms
+// recurse in parallel above a sequential cutoff; the butterfly combine is
+// deterministic, so all variants agree bitwise.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace apps::fft {
+
+using Signal = std::vector<std::complex<double>>;
+
+/// Parallel recursion cutoff (transforms at or below run sequentially).
+inline constexpr std::size_t kCutoff = 1024;
+
+Signal make_input(std::size_t n, std::uint64_t seed = 0xff7ULL);  // n: power of 2
+
+void transform_seq(Signal& s);
+void transform_st(Signal& s);  ///< inside st::Runtime::run
+void transform_ck(Signal& s);  ///< inside ck::Runtime::run
+
+/// Round-trip check: max |ifft(fft(x)) - x|.
+double roundtrip_error(const Signal& original);
+
+std::uint64_t checksum(const Signal& s);
+
+}  // namespace apps::fft

@@ -1,0 +1,16 @@
+// fib: the paper's extreme fine-grain stress test ("threads are extremely
+// fine-grained" -- Figure 21 calls it out as the one benchmark where both
+// StackThreads/MP and Cilk pay visible overhead over sequential C).
+#pragma once
+
+namespace apps::fib {
+
+long seq(int n);
+
+/// StackThreads/MP variant; call inside st::Runtime::run.
+long run_st(int n);
+
+/// cilkstyle variant; call inside ck::Runtime::run.
+long run_ck(int n);
+
+}  // namespace apps::fib

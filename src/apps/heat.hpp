@@ -1,0 +1,26 @@
+// heat: Jacobi iteration for the 2D heat equation on a rectangular grid
+// (the Cilk distribution's `heat`).  Each timestep updates all interior
+// points from the previous buffer; the update is parallelized over row
+// bands with a join per step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace apps::heat {
+
+struct Grid {
+  std::size_t nx = 0, ny = 0;
+  std::vector<double> cells;  // row-major nx * ny
+};
+
+/// Deterministic initial condition: a hot square in a cold plate.
+Grid make_grid(std::size_t nx, std::size_t ny);
+
+void step_seq(Grid& g, int steps);
+void step_st(Grid& g, int steps);  ///< inside st::Runtime::run
+void step_ck(Grid& g, int steps);  ///< inside ck::Runtime::run
+
+std::uint64_t checksum(const Grid& g);
+
+}  // namespace apps::heat

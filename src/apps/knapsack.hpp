@@ -1,0 +1,30 @@
+// knapsack: 0/1 knapsack solved by parallel branch-and-bound with a shared
+// best-so-far bound, as in the Cilk 5.1 distribution.  Speculative
+// parallelism: the amount of work depends on how fast the bound tightens,
+// which is why the paper sees scheduler-order effects on this benchmark.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace apps::knapsack {
+
+struct Item {
+  long value;
+  long weight;
+};
+
+/// Deterministic instance; items are pre-sorted by value density (the
+/// canonical branch-and-bound order).
+struct Instance {
+  std::vector<Item> items;
+  long capacity;
+};
+
+Instance make_instance(int n_items, std::uint64_t seed = 0x6a7cULL);
+
+long seq(const Instance& inst);
+long run_st(const Instance& inst);  ///< inside st::Runtime::run
+long run_ck(const Instance& inst);  ///< inside ck::Runtime::run
+
+}  // namespace apps::knapsack

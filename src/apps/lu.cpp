@@ -1,0 +1,107 @@
+#include "apps/lu.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "apps/common.hpp"
+#include "apps/exec_policy.hpp"
+
+namespace apps::lu {
+
+namespace {
+
+/// Unblocked LU on the diagonal block [k0, k1).
+void factor_diag(Matrix& a, std::size_t n, std::size_t k0, std::size_t k1) {
+  for (std::size_t k = k0; k < k1; ++k) {
+    const double pivot = a[k * n + k];
+    for (std::size_t i = k + 1; i < k1; ++i) {
+      a[i * n + k] /= pivot;
+      const double lik = a[i * n + k];
+      for (std::size_t j = k + 1; j < k1; ++j) a[i * n + j] -= lik * a[k * n + j];
+    }
+  }
+}
+
+/// Row panel: U[k-block, j-block] <- L(diag)^-1 * A using the factored
+/// diagonal block (forward substitution).
+void solve_row_panel(Matrix& a, std::size_t n, std::size_t k0, std::size_t k1, std::size_t j0,
+                     std::size_t j1) {
+  for (std::size_t k = k0; k < k1; ++k) {
+    for (std::size_t i = k + 1; i < k1; ++i) {
+      const double lik = a[i * n + k];
+      for (std::size_t j = j0; j < j1; ++j) a[i * n + j] -= lik * a[k * n + j];
+    }
+  }
+}
+
+/// Column panel: L[i-block, k-block] <- A * U(diag)^-1 (back substitution
+/// against the upper triangle of the diagonal block).
+void solve_col_panel(Matrix& a, std::size_t n, std::size_t k0, std::size_t k1, std::size_t i0,
+                     std::size_t i1) {
+  for (std::size_t k = k0; k < k1; ++k) {
+    const double pivot = a[k * n + k];
+    for (std::size_t i = i0; i < i1; ++i) {
+      a[i * n + k] /= pivot;
+      const double lik = a[i * n + k];
+      for (std::size_t j = k + 1; j < k1; ++j) a[i * n + j] -= lik * a[k * n + j];
+    }
+  }
+}
+
+/// Trailing update: A[i-block, j-block] -= L[i-block, k] * U[k, j-block].
+void update_block(Matrix& a, std::size_t n, std::size_t k0, std::size_t k1, std::size_t i0,
+                  std::size_t i1, std::size_t j0, std::size_t j1) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    for (std::size_t k = k0; k < k1; ++k) {
+      const double lik = a[i * n + k];
+      for (std::size_t j = j0; j < j1; ++j) a[i * n + j] -= lik * a[k * n + j];
+    }
+  }
+}
+
+template <typename Exec>
+void factor(Matrix& a, std::size_t n) {
+  assert(n % kBlock == 0);
+  for (std::size_t k0 = 0; k0 < n; k0 += kBlock) {
+    const std::size_t k1 = k0 + kBlock;
+    factor_diag(a, n, k0, k1);
+    // Panels: each row band of the column panel and column band of the
+    // row panel is independent.
+    Exec::par_for(k1, n, kBlock, [&](std::size_t lo, std::size_t hi) {
+      solve_row_panel(a, n, k0, k1, lo, hi);
+      solve_col_panel(a, n, k0, k1, lo, hi);
+    });
+    // Trailing submatrix: independent blocks.
+    Exec::par_for(k1, n, kBlock, [&](std::size_t ilo, std::size_t ihi) {
+      for (std::size_t j0 = k1; j0 < n; j0 += kBlock) {
+        update_block(a, n, k0, k1, ilo, ihi, j0, j0 + kBlock);
+      }
+    });
+  }
+}
+
+}  // namespace
+
+void factor_seq(Matrix& a, std::size_t n) { factor<SeqExec>(a, n); }
+void factor_st(Matrix& a, std::size_t n) { factor<StExec>(a, n); }
+void factor_ck(Matrix& a, std::size_t n) { factor<CkExec>(a, n); }
+
+double residual(const Matrix& lu, const Matrix& original, std::size_t n) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      const std::size_t kmax = std::min(i, j);
+      for (std::size_t k = 0; k <= kmax; ++k) {
+        const double lik = (k == i) ? 1.0 : lu[i * n + k];
+        sum += lik * lu[k * n + j];
+      }
+      worst = std::max(worst, std::fabs(sum - original[i * n + j]));
+    }
+  }
+  return worst;
+}
+
+std::uint64_t checksum(const Matrix& m) { return hash_vector(m); }
+
+}  // namespace apps::lu

@@ -1,0 +1,27 @@
+// lu: blocked right-looking LU decomposition without pivoting (the Cilk
+// distribution's `lu`; pivotless is safe because the generated input is
+// diagonally dominant).  Per k-step: factor the diagonal block, solve the
+// row and column panels in parallel, then update the trailing submatrix
+// in parallel over blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace apps::lu {
+
+using Matrix = std::vector<double>;  // row-major n*n
+
+/// Block edge used by all variants.
+inline constexpr std::size_t kBlock = 16;
+
+void factor_seq(Matrix& a, std::size_t n);
+void factor_st(Matrix& a, std::size_t n);  ///< inside st::Runtime::run
+void factor_ck(Matrix& a, std::size_t n);  ///< inside ck::Runtime::run
+
+/// max |(L*U - A0)| over all elements; tests check it is tiny.
+double residual(const Matrix& lu, const Matrix& original, std::size_t n);
+
+std::uint64_t checksum(const Matrix& m);
+
+}  // namespace apps::lu

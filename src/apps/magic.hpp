@@ -1,0 +1,17 @@
+// magic: exhaustive counting of 4x4 magic squares (numbers 1..16, all row
+// /column/diagonal sums equal 34) by pruned backtracking -- the Cilk
+// distribution's `magic`.  Parallelism comes from forking the subtrees of
+// the first row's prefixes.  `first_cell_limit` bounds the values tried
+// in the top-left cell so the workload scales (the full count with
+// first_cell_limit = 16 is 7040).
+#pragma once
+
+#include <cstdint>
+
+namespace apps::magic {
+
+long seq(int first_cell_limit);
+long run_st(int first_cell_limit);  ///< inside st::Runtime::run
+long run_ck(int first_cell_limit);  ///< inside ck::Runtime::run
+
+}  // namespace apps::magic

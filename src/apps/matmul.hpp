@@ -1,0 +1,39 @@
+// The three matrix-multiplication benchmarks of the Cilk distribution:
+//
+//   notempmul  -- divide-and-conquer C += A*B with no temporaries: the
+//                 eight quadrant products run as two parallel phases of
+//                 four (the second phase accumulates onto the first).
+//   spacemul   -- divide-and-conquer with a temporary: all eight products
+//                 run in one parallel phase (four into C, four into a
+//                 scratch T) followed by a parallel addition C += T.
+//                 Trades memory for parallel slack.
+//   blockedmul -- iterative loop-blocked multiplication parallelized over
+//                 output blocks.
+//
+// All variants (and their sequential instantiations) accumulate every
+// output element in ascending-k order, so results are bit-identical to
+// the naive triple loop -- a single checksum validates everything.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace apps::matmul {
+
+using Matrix = std::vector<double>;  // row-major n*n
+
+enum class Variant { kNoTemp, kSpace, kBlocked };
+
+/// C += A * B for n x n matrices (n must be a power of two >= 32 for the
+/// recursive variants).  Exec selects the execution policy.
+void multiply_seq(Variant v, Matrix& c, const Matrix& a, const Matrix& b, std::size_t n);
+void multiply_st(Variant v, Matrix& c, const Matrix& a, const Matrix& b, std::size_t n);
+void multiply_ck(Variant v, Matrix& c, const Matrix& a, const Matrix& b, std::size_t n);
+
+/// Reference naive triple loop (tests compare everything against this).
+void multiply_naive(Matrix& c, const Matrix& a, const Matrix& b, std::size_t n);
+
+std::uint64_t checksum(const Matrix& m);
+
+}  // namespace apps::matmul

@@ -1,0 +1,25 @@
+// nqueens: count the placements of n non-attacking queens (bitmask
+// backtracking).  Not part of the paper's Figure 21/22 set -- included as
+// an extension benchmark because it is the canonical irregular-search
+// stress test for fine-grain schedulers.
+#pragma once
+
+#include <vector>
+
+namespace apps::nqueens {
+
+long seq(int n);
+long run_st(int n);  ///< inside st::Runtime::run
+long run_ck(int n);  ///< inside ck::Runtime::run
+
+/// First-solution search with cooperative abortion (st::AbortGroup) --
+/// the Cilk feature the paper had not implemented (Section 8.2).
+/// Returns the column of the queen in each row; empty when n has no
+/// solution.  Call inside st::Runtime::run.
+std::vector<int> first_solution_st(int n);
+
+/// Nodes visited by the most recent first_solution_st on this thread
+/// (diagnostics for the abortion ablation).
+long last_first_solution_nodes();
+
+}  // namespace apps::nqueens

@@ -1,0 +1,199 @@
+#include "apps/registry.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "apps/cilksort.hpp"
+#include "apps/common.hpp"
+#include "apps/fft.hpp"
+#include "apps/fib.hpp"
+#include "apps/heat.hpp"
+#include "apps/knapsack.hpp"
+#include "apps/lu.hpp"
+#include "apps/magic.hpp"
+#include "apps/matmul.hpp"
+#include "apps/nqueens.hpp"
+#include "apps/strassen.hpp"
+
+namespace apps {
+
+namespace {
+
+// ---- per-app size laws (scale 1.0 = a few hundred ms on a small host) --
+
+int fib_n(double s) { return 24 + static_cast<int>(std::log2(std::max(1.0, s)) * 2); }
+
+std::size_t sort_n(double s) {
+  return static_cast<std::size_t>(400000.0 * s);
+}
+
+int knap_items(double s) { return 28 + static_cast<int>(std::log2(std::max(1.0, s)) * 2); }
+
+std::size_t mat_n(double s) {
+  std::size_t n = 128;
+  double budget = s;
+  while (budget >= 8.0) {  // matmul is O(n^3): x8 work per doubling
+    n *= 2;
+    budget /= 8.0;
+  }
+  return n;
+}
+
+std::size_t heat_n(double s) { return static_cast<std::size_t>(256.0 * std::sqrt(s)); }
+int heat_steps(double) { return 64; }
+
+std::size_t lu_n(double s) {
+  std::size_t n = 192;
+  double budget = s;
+  while (budget >= 8.0) {
+    n *= 2;
+    budget /= 8.0;
+  }
+  return n;
+}
+
+std::size_t fft_n(double s) {
+  std::size_t n = 1 << 16;
+  for (double b = s; b >= 2.0; b /= 2.0) n *= 2;
+  return n;
+}
+
+int magic_limit(double s) { return std::min(16, 2 + static_cast<int>(2.0 * s)); }
+
+int queens_n(double s) { return 10 + static_cast<int>(std::log2(std::max(1.0, s))); }
+
+// ---- wrappers -----------------------------------------------------------
+
+std::uint64_t sort_wrap(void (*run)(std::vector<long>&), double s) {
+  auto v = cilksort::make_input(sort_n(s));
+  run(v);
+  return cilksort::checksum(v);
+}
+
+std::uint64_t matmul_wrap(matmul::Variant variant,
+                          void (*run)(matmul::Variant, matmul::Matrix&, const matmul::Matrix&,
+                                      const matmul::Matrix&, std::size_t),
+                          double s) {
+  const std::size_t n = mat_n(s);
+  const auto a = random_matrix(n, 0xaaaa);
+  const auto b = random_matrix(n, 0xbbbb);
+  matmul::Matrix c(n * n, 0.0);
+  run(variant, c, a, b, n);
+  return matmul::checksum(c);
+}
+
+std::uint64_t heat_wrap(void (*run)(heat::Grid&, int), double s) {
+  auto g = heat::make_grid(heat_n(s), heat_n(s));
+  run(g, heat_steps(s));
+  return heat::checksum(g);
+}
+
+std::uint64_t lu_wrap(void (*run)(lu::Matrix&, std::size_t), double s) {
+  const std::size_t n = lu_n(s);
+  lu::Matrix a = dominant_matrix(n, 0x1a);
+  run(a, n);
+  return lu::checksum(a);
+}
+
+std::uint64_t strassen_wrap(void (*run)(strassen::Matrix&, const strassen::Matrix&,
+                                        const strassen::Matrix&, std::size_t),
+                            double s) {
+  const std::size_t n = mat_n(s);
+  const auto a = random_matrix(n, 0x5a);
+  const auto b = random_matrix(n, 0x5b);
+  strassen::Matrix c(n * n, 0.0);
+  run(c, a, b, n);
+  return strassen::checksum(c);
+}
+
+std::uint64_t fft_wrap(void (*run)(fft::Signal&), double s) {
+  auto sig = fft::make_input(fft_n(s));
+  run(sig);
+  return fft::checksum(sig);
+}
+
+std::vector<AppEntry> build_registry() {
+  using std::uint64_t;
+  std::vector<AppEntry> reg;
+
+  reg.push_back({"cilksort",
+                 [](double s) { return sort_wrap(&cilksort::seq, s); },
+                 [](double s) { return sort_wrap(&cilksort::run_st, s); },
+                 [](double s) { return sort_wrap(&cilksort::run_ck, s); }});
+
+  reg.push_back({"notempmul",
+                 [](double s) { return matmul_wrap(matmul::Variant::kNoTemp, &matmul::multiply_seq, s); },
+                 [](double s) { return matmul_wrap(matmul::Variant::kNoTemp, &matmul::multiply_st, s); },
+                 [](double s) { return matmul_wrap(matmul::Variant::kNoTemp, &matmul::multiply_ck, s); }});
+
+  reg.push_back({"knapsack",
+                 [](double s) { return hash_u64(static_cast<uint64_t>(
+                       knapsack::seq(knapsack::make_instance(knap_items(s))))); },
+                 [](double s) { return hash_u64(static_cast<uint64_t>(
+                       knapsack::run_st(knapsack::make_instance(knap_items(s))))); },
+                 [](double s) { return hash_u64(static_cast<uint64_t>(
+                       knapsack::run_ck(knapsack::make_instance(knap_items(s))))); }});
+
+  reg.push_back({"fib",
+                 [](double s) { return hash_u64(static_cast<uint64_t>(fib::seq(fib_n(s)))); },
+                 [](double s) { return hash_u64(static_cast<uint64_t>(fib::run_st(fib_n(s)))); },
+                 [](double s) { return hash_u64(static_cast<uint64_t>(fib::run_ck(fib_n(s)))); }});
+
+  reg.push_back({"heat",
+                 [](double s) { return heat_wrap(&heat::step_seq, s); },
+                 [](double s) { return heat_wrap(&heat::step_st, s); },
+                 [](double s) { return heat_wrap(&heat::step_ck, s); }});
+
+  reg.push_back({"lu",
+                 [](double s) { return lu_wrap(&lu::factor_seq, s); },
+                 [](double s) { return lu_wrap(&lu::factor_st, s); },
+                 [](double s) { return lu_wrap(&lu::factor_ck, s); }});
+
+  reg.push_back({"fft",
+                 [](double s) { return fft_wrap(&fft::transform_seq, s); },
+                 [](double s) { return fft_wrap(&fft::transform_st, s); },
+                 [](double s) { return fft_wrap(&fft::transform_ck, s); }});
+
+  reg.push_back({"spacemul",
+                 [](double s) { return matmul_wrap(matmul::Variant::kSpace, &matmul::multiply_seq, s); },
+                 [](double s) { return matmul_wrap(matmul::Variant::kSpace, &matmul::multiply_st, s); },
+                 [](double s) { return matmul_wrap(matmul::Variant::kSpace, &matmul::multiply_ck, s); }});
+
+  reg.push_back({"blockedmul",
+                 [](double s) { return matmul_wrap(matmul::Variant::kBlocked, &matmul::multiply_seq, s); },
+                 [](double s) { return matmul_wrap(matmul::Variant::kBlocked, &matmul::multiply_st, s); },
+                 [](double s) { return matmul_wrap(matmul::Variant::kBlocked, &matmul::multiply_ck, s); }});
+
+  reg.push_back({"magic",
+                 [](double s) { return hash_u64(static_cast<uint64_t>(magic::seq(magic_limit(s)))); },
+                 [](double s) { return hash_u64(static_cast<uint64_t>(magic::run_st(magic_limit(s)))); },
+                 [](double s) { return hash_u64(static_cast<uint64_t>(magic::run_ck(magic_limit(s)))); }});
+
+  reg.push_back({"strassen",
+                 [](double s) { return strassen_wrap(&strassen::multiply_seq, s); },
+                 [](double s) { return strassen_wrap(&strassen::multiply_st, s); },
+                 [](double s) { return strassen_wrap(&strassen::multiply_ck, s); }});
+
+  reg.push_back({"nqueens",
+                 [](double s) { return hash_u64(static_cast<uint64_t>(nqueens::seq(queens_n(s)))); },
+                 [](double s) { return hash_u64(static_cast<uint64_t>(nqueens::run_st(queens_n(s)))); },
+                 [](double s) { return hash_u64(static_cast<uint64_t>(nqueens::run_ck(queens_n(s)))); }});
+
+  return reg;
+}
+
+}  // namespace
+
+const std::vector<AppEntry>& all_apps() {
+  static const std::vector<AppEntry> registry = build_registry();
+  return registry;
+}
+
+const AppEntry& app(const std::string& name) {
+  for (const auto& a : all_apps()) {
+    if (a.name == name) return a;
+  }
+  throw std::out_of_range("unknown app: " + name);
+}
+
+}  // namespace apps

@@ -1,0 +1,34 @@
+// Registry of all benchmark applications, exposing a uniform interface to
+// the Figure 21/22 harnesses:
+//
+//   seq(scale)  -- sequential C++ run, returns a checksum
+//   st(scale)   -- StackThreads/MP run (call inside st::Runtime::run)
+//   ck(scale)   -- cilkstyle run (call inside ck::Runtime::run)
+//
+// The scale factor (STMP_SCALE) multiplies the default problem size; the
+// checksum of every variant at the same scale must agree (tests enforce
+// this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace apps {
+
+struct AppEntry {
+  std::string name;
+  std::function<std::uint64_t(double scale)> seq;
+  std::function<std::uint64_t(double scale)> st;
+  std::function<std::uint64_t(double scale)> ck;
+};
+
+/// The ten paper benchmarks (Figure 21/22 order) plus the nqueens
+/// extension at the end.
+const std::vector<AppEntry>& all_apps();
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+const AppEntry& app(const std::string& name);
+
+}  // namespace apps

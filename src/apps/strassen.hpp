@@ -1,0 +1,27 @@
+// strassen: Strassen's seven-multiplication recursive matrix multiply --
+// part of the Cilk distribution's benchmark set and a natural extension
+// here (the paper's ported set stopped at the ten in Figure 21).  The
+// seven quadrant products recurse in parallel; additions/subtractions of
+// quadrants are data-parallel.  Results differ from the naive product
+// only by floating-point rearrangement; all three variants of *this*
+// algorithm are bit-identical to each other.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace apps::strassen {
+
+using Matrix = std::vector<double>;  // row-major n*n
+
+/// Edge below which the recursion falls back to the blocked kernel.
+inline constexpr std::size_t kLeaf = 64;
+
+/// C = A * B (C is overwritten).  n must be a power of two >= kLeaf.
+void multiply_seq(Matrix& c, const Matrix& a, const Matrix& b, std::size_t n);
+void multiply_st(Matrix& c, const Matrix& a, const Matrix& b, std::size_t n);
+void multiply_ck(Matrix& c, const Matrix& a, const Matrix& b, std::size_t n);
+
+std::uint64_t checksum(const Matrix& m);
+
+}  // namespace apps::strassen

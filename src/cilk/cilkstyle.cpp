@@ -1,0 +1,98 @@
+#include "cilk/cilkstyle.hpp"
+
+namespace ck {
+
+thread_local TlsBinding tls;
+
+Runtime::Runtime(unsigned workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) workers_.push_back(std::make_unique<WorkerState>());
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Runtime::~Runtime() {
+  done_.store(true, std::memory_order_release);
+  for (auto& t : threads_) t.join();
+}
+
+Task* Runtime::find_task() {
+  WorkerState& self = *workers_[tls.worker];
+  if (Task* t = self.pop_newest()) {
+    ++self.executed;
+    return t;
+  }
+  // Injected root?
+  if (Task* t = injected_.exchange(nullptr, std::memory_order_acq_rel)) {
+    ++self.executed;
+    return t;
+  }
+  // Steal the oldest task of a random victim.
+  const unsigned n = num_workers();
+  if (n > 1) {
+    thread_local stu::Xoshiro256 rng(0x57ea1ULL + tls.worker);
+    for (unsigned attempt = 0; attempt < n; ++attempt) {
+      unsigned v = static_cast<unsigned>(rng.below(n));
+      if (v == tls.worker) continue;
+      if (Task* t = workers_[v]->steal_oldest()) {
+        ++self.steals;
+        ++self.executed;
+        return t;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void Runtime::worker_loop(unsigned id) {
+  tls.rt = this;
+  tls.worker = id;
+  while (!done()) {
+    if (Task* t = find_task()) {
+      t->run();
+      delete t;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  tls.rt = nullptr;
+}
+
+void Runtime::run(std::function<void()> root) {
+  std::binary_semaphore sem(0);
+  auto body = [&root, &sem] {
+    root();
+    sem.release();
+  };
+  auto* task = new ClosureTask<decltype(body)>(std::move(body));
+  Task* expected = nullptr;
+  while (!injected_.compare_exchange_weak(expected, task, std::memory_order_acq_rel)) {
+    expected = nullptr;
+    std::this_thread::yield();
+  }
+  sem.acquire();
+}
+
+std::uint64_t Runtime::total_steals() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->steals;
+  return total;
+}
+
+void SpawnGroup::sync() {
+  Runtime* rt = tls.rt;
+  assert(rt != nullptr && "ck::sync outside of ck::Runtime::run");
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (Task* t = rt->find_task()) {
+      t->run();
+      delete t;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace ck

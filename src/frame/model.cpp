@@ -1,0 +1,212 @@
+#include "frame/model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+#include <sstream>
+#include <stdexcept>
+
+namespace stf {
+
+WorkerState::WorkerState() : stack_{0} {}
+
+Frame WorkerState::max_exported() const {
+  return exported_.empty() ? 0 : *exported_.rbegin();
+}
+
+void WorkerState::call() {
+  ++t_;
+  stack_.insert(stack_.begin(), t_);
+  // Physical index reuse: SP may have dropped past frames that finished
+  // earlier (their retirement mark is a zeroed return-address slot and
+  // their extension was an SP bump).  Writing the new frame's prologue
+  // over such a slot physically erases both marks, so the model must
+  // forget them too, or a stale retirement could later let shrink discard
+  // this frame's *new* incarnation while it is live.
+  retired_.erase(t_);
+  extended_.erase(t_);
+}
+
+Frame WorkerState::ret() {
+  if (stack_.empty()) throw std::logic_error("return on empty logical stack");
+  const Frame f1 = stack_.front();
+  stack_.erase(stack_.begin());
+  if (f1 > max_exported()) {
+    // Free branch: f1 is above every exported frame, hence (Lemma 1) above
+    // every live frame of this physical stack; SP drops just below it.
+    t_ = f1 - 1;
+    for (auto it = extended_.begin(); it != extended_.end();) {
+      it = (*it >= f1) ? extended_.erase(it) : std::next(it);
+    }
+  } else {
+    // Retire branch.  Note this branch is also taken when f1 == max E --
+    // the Figure 15 subtlety: freeing the maximal exported frame here
+    // would expose an unextended argument region under the new top.
+    retired_.insert(f1);
+  }
+  return f1;
+}
+
+Chain WorkerState::suspend(std::size_t n) {
+  if (n >= stack_.size()) throw std::logic_error("suspend would unwind the scheduler frame");
+  Chain detached(stack_.begin(), stack_.begin() + static_cast<long>(n));
+  stack_.erase(stack_.begin(), stack_.begin() + static_cast<long>(n));
+  for (Frame u : detached) {
+    if (u > 0) exported_.insert(u);
+  }
+  extended_.insert(t_);
+  return detached;
+}
+
+void WorkerState::restart(const Chain& c) {
+  if (c.empty()) throw std::logic_error("restart of an empty chain");
+  if (stack_.empty()) throw std::logic_error("restart with empty logical stack");
+  for (Frame ci : c) {
+    if (ci > 0 && exported_.count(ci) == 0) {
+      throw std::logic_error("restart precondition violated: local chain frame not exported");
+    }
+  }
+  const Frame f1 = stack_.front();
+  const Frame cn = c.back();
+  if (f1 > cn && f1 >= 0) {
+    // First Section 5.3 subtlety: the link cn -> f1 ascends within this
+    // physical stack, so f1's reclamation is no longer under the owner's
+    // sole control -- export it, or a later shrink could discard it.
+    exported_.insert(f1);
+  }
+  stack_.insert(stack_.begin(), c.begin(), c.end());
+  extended_.insert(t_);
+}
+
+bool WorkerState::shrink() {
+  if (exported_.empty()) return false;
+  const Frame m = max_exported();
+  if (retired_.count(m) == 0) return false;
+  exported_.erase(m);
+  retired_.erase(m);
+  const Frame f1 = stack_.front();
+  const Frame new_max = max_exported();
+  if (f1 > new_max) {
+    t_ = f1;
+  } else {
+    t_ = new_max;
+    extended_.insert(new_max);
+  }
+  return true;
+}
+
+void WorkerState::remote_finish(Frame f) {
+  if (std::find(stack_.begin(), stack_.end(), f) != stack_.end()) {
+    throw std::logic_error("remote_finish of a frame still on the logical stack");
+  }
+  retired_.insert(f);
+}
+
+namespace {
+
+Frame max_of(const Chain& s, const std::set<Frame>& e) {
+  Frame m = e.empty() ? LONG_MIN : *e.rbegin();
+  for (Frame f : s) m = std::max(m, f);
+  return m;
+}
+
+// The paper's ordering (Section 5.2): f > g when f is local and g is not,
+// or both are local and f is physically above g.  Two foreign frames are
+// incomparable ("it does not matter whether f > g holds"), so every
+// invariant involving an order between them is vacuous.
+bool frame_lt(Frame f, Frame g) {
+  if (f < 0 && g >= 0) return true;   // foreign < local
+  if (f >= 0 && g >= 0) return f < g; // both local: physical order
+  return false;                       // local !< foreign; foreign-foreign undefined
+}
+
+}  // namespace
+
+std::optional<std::string> WorkerState::check_invariants() const {
+  const auto& s = stack_;
+  const std::size_t m = s.size();
+  std::ostringstream err;
+
+  // Lemma 2, property 1: s[i-1] < s[i]  =>  s[i] in E.
+  // (An ascending link within the stack means the lower frame is exported.)
+  for (std::size_t i = 1; i < m; ++i) {
+    if (s[i] >= 0 && frame_lt(s[i - 1], s[i]) && exported_.count(s[i]) == 0) {
+      err << "Lemma2.1 violated: f" << i << "=" << s[i - 1] << " < f" << i + 1 << "=" << s[i]
+          << " but " << s[i] << " not exported";
+      return err.str();
+    }
+  }
+
+  // Lemma 3, property 1: (exists e in E: s[i] <= e < s[i-1]) and
+  //   s[i-1] not in E  =>  s[i-1]-1 in X.
+  for (std::size_t i = 1; i < m; ++i) {
+    if (exported_.count(s[i - 1]) != 0) continue;
+    const bool straddles = std::any_of(exported_.begin(), exported_.end(), [&](Frame e) {
+      return (frame_lt(s[i], e) || s[i] == e) && frame_lt(e, s[i - 1]);
+    });
+    if (straddles && extended_.count(s[i - 1] - 1) == 0) {
+      err << "Lemma3.1 violated: frame below " << s[i - 1] << " lacks argument extension";
+      return err.str();
+    }
+  }
+
+  // Lemma 3, property 2: f1 <= max E  =>  t in X.  (With E empty the
+  // paper's max {} = 0 convention would make this vacuously fire on the
+  // initial state; the property is only meaningful with exported frames.)
+  if (!exported_.empty() && !s.empty() && s.front() <= max_exported() &&
+      extended_.count(t_) == 0) {
+    err << "Lemma3.2 violated: f1=" << s.front() << " <= maxE=" << max_exported() << " but t="
+        << t_ << " not extended";
+    return err.str();
+  }
+
+  // Theorem 4(1): t >= every live (non-retired) frame; equality with
+  // max(s+E) is Lemma 2.3 above.
+  for (Frame f : s) {
+    if (f > t_) {
+      err << "Theorem4.1 violated: live stack frame " << f << " above SP " << t_;
+      return err.str();
+    }
+  }
+  for (Frame e : exported_) {
+    if (retired_.count(e) == 0 && e > t_) {
+      err << "Theorem4.1 violated: live exported frame " << e << " above SP " << t_;
+      return err.str();
+    }
+  }
+
+  // Theorem 4(2): f1 < t  =>  t in X (the executing frame is not the
+  // physical top, so the physical top must be argument-extended).
+  if (!s.empty() && s.front() < t_ && extended_.count(t_) == 0) {
+    err << "Theorem4.2 violated: f1=" << s.front() << " < t=" << t_ << " but t not extended";
+    return err.str();
+  }
+
+  return std::nullopt;
+}
+
+std::optional<std::string> WorkerState::check_promptness() const {
+  const auto& s = stack_;
+  const std::size_t m = s.size();
+  std::ostringstream err;
+
+  // Lemma 2, property 2 (strict): s[i-1] > s[i]+1, s[i-1] > 0,
+  // s[i-1] not in E  =>  s[i-1]-1 in E.
+  for (std::size_t i = 1; i < m; ++i) {
+    if (s[i] >= 0 && s[i - 1] > s[i] + 1 && s[i - 1] > 0 && exported_.count(s[i - 1]) == 0 &&
+        exported_.count(s[i - 1] - 1) == 0) {
+      err << "Lemma2.2 violated at gap below frame " << s[i - 1];
+      return err.str();
+    }
+  }
+
+  // Lemma 2, property 3 (strict): t = max(s + E).
+  if (t_ != max_of(s, exported_)) {
+    err << "Lemma2.3 violated: t=" << t_ << " max(s+E)=" << max_of(s, exported_);
+    return err.str();
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace stf

@@ -1,0 +1,131 @@
+// Executable formal model of the StackThreads/MP stack management
+// (Taura, Tabata, Yonezawa, TR99-01 / PPoPP'99, Section 5, Figure 13).
+//
+// The paper models one worker's stack as a five-tuple
+//
+//     S = (s, t, E, R, X)
+//
+//   s : the *logical stack* -- the chain of frames reachable from FP,
+//       front() being f1, the frame currently executing.  A frame is a
+//       non-negative integer n when it is the n-th bottom-most frame of
+//       this worker's *physical stack*, and a negative integer when it
+//       lives in some other worker's physical stack.
+//   t : the physical stack top (SP); frames are allocated at t+1.
+//   E : the *exported set* -- local frames that were handed to other
+//       workers (by suspension or by a cross-stack restart link) and
+//       whose reclamation the owner therefore no longer controls.
+//   R : the *retired set* -- exported frames that have finished but whose
+//       space has not yet been observed reclaimable by the owner.
+//   X : the *extended set* -- frames whose argument region has been
+//       extended (Invariant 2 of Section 3.2: whenever the executing
+//       frame is not the physical top, the physical top frame must have
+//       an extended argument region so outgoing argument stores of any
+//       procedure cannot overrun it).
+//
+// The six transitions below are literal transcriptions of Figure 13.
+// check_invariants() verifies the inductive properties of Lemma 2
+// (props 1-3), Lemma 3 (props 1-2) and Theorem 4; the property tests in
+// tests/frame_model_property_test.cpp drive random legal traces through
+// them, mechanizing the paper's correctness proof.
+//
+// In the real runtime E is a max-heap (util/max_heap.hpp), R is realized
+// by zeroing the return-address slot of a frame, and X by bumping SP; the
+// model uses ordered sets so the invariant checkers can inspect
+// membership, which the runtime never needs to do.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace stf {
+
+/// Frame identifier in one worker's coordinates.  >= 0: local physical
+/// index (0 = stack bottom).  < 0: a frame in another worker's stack.
+using Frame = long;
+
+using Chain = std::vector<Frame>;  // front() is the chain's top frame (c1)
+
+class WorkerState {
+ public:
+  /// Initial state S0 = ((0), 0, {}, {}, {}): one scheduler frame.
+  WorkerState();
+
+  // ---- The six transitions of Figure 13 -------------------------------
+
+  /// call: push frame t+1 onto the logical stack; SP rises by one.
+  void call();
+
+  /// return: pop f1.  If f1 is strictly above every exported frame it is
+  /// freed (SP drops to f1-1 and extension marks at or above f1 vanish);
+  /// otherwise it merely retires.  Returns the finished frame.
+  Frame ret();
+
+  /// suspend_n: detach the top n frames; every detached local frame is
+  /// exported; the physically top frame's argument region is extended.
+  /// Returns the detached chain (u1 ... un).  Precondition: n < depth().
+  Chain suspend(std::size_t n);
+
+  /// restart_c: prepend chain c to the logical stack.  If the previous
+  /// top f1 is local and physically above the chain's bottom frame cn, f1
+  /// is exported (first subtlety of Section 5.3).  The physically top
+  /// frame's argument region is extended.
+  /// Precondition: every local frame of c is already exported.
+  void restart(const Chain& c);
+
+  /// shrink: if the maximal exported frame has retired, drop it from E
+  /// and R and lower SP to the larger of f1 and the new max E (extending
+  /// the latter's argument region when it becomes the physical top).
+  /// Returns true iff the state changed.
+  bool shrink();
+
+  /// remote_finish_f: another worker finished local frame f (which must
+  /// not be on this worker's logical stack); it retires here.
+  void remote_finish(Frame f);
+
+  // ---- Observers -------------------------------------------------------
+
+  Frame top() const { return stack_.front(); }          ///< f1 (FP)
+  Frame sp() const { return t_; }                        ///< t  (SP)
+  std::size_t depth() const { return stack_.size(); }    ///< |s|
+  const Chain& stack() const { return stack_; }
+  const std::set<Frame>& exported() const { return exported_; }
+  const std::set<Frame>& retired() const { return retired_; }
+  const std::set<Frame>& extended() const { return extended_; }
+
+  /// max E with the paper's convention max {} = 0.
+  Frame max_exported() const;
+
+  /// Checks the *safety* invariants -- the properties actual execution
+  /// depends on: Lemma 2 prop 1 (ascending links are exported), Theorem 4
+  /// prop 1 (SP at or above every live frame, stacked or exported), Lemma
+  /// 3 props 1-2 and Theorem 4 prop 2 (argument-region extension).
+  /// Returns a description of the first violated property, or nullopt.
+  ///
+  /// Reproduction finding: the TR's Lemma 2 props 2-3 as *literally*
+  /// stated are not inductive.  A `call` above a retired max-exported
+  /// frame m allocates frame m+1 whose only prop-2 witness is m itself;
+  /// `shrink` then removes m from E, after which a `return` of m+1 parks
+  /// SP at m although the maximal live frame is lower.  This is harmless
+  /// (SP stays *above* all live frames; at worst slots are wasted, which
+  /// Section 5.1 explicitly tolerates), but it breaks the exact equality
+  /// t = max(s+E).  check_promptness() verifies the strict claims and is
+  /// used by tests on traces that avoid the escaping schedule;
+  /// check_invariants() verifies what correctness needs, on all traces.
+  std::optional<std::string> check_invariants() const;
+
+  /// The strict Lemma 2 props 2-3 (gap witnesses and t == max(s+E)).
+  /// See check_invariants() for why these are separated.
+  std::optional<std::string> check_promptness() const;
+
+ private:
+  Chain stack_;
+  Frame t_ = 0;
+  std::set<Frame> exported_;
+  std::set<Frame> retired_;
+  std::set<Frame> extended_;
+};
+
+}  // namespace stf

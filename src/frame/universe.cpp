@@ -1,0 +1,68 @@
+#include "frame/universe.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace stf {
+
+Universe::Universe(std::size_t workers) : workers_(workers) {
+  if (workers == 0) throw std::invalid_argument("Universe needs at least one worker");
+}
+
+Frame Universe::encode(std::size_t viewer, const GlobalFrame& g) {
+  if (static_cast<std::size_t>(g.owner) == viewer) return g.index;
+  auto [it, inserted] = codes_.try_emplace(g, -(static_cast<Frame>(registry_.size()) + 1));
+  if (inserted) registry_.push_back(g);
+  return it->second;
+}
+
+GlobalFrame Universe::decode(std::size_t viewer, Frame local) const {
+  if (local >= 0) return GlobalFrame{static_cast<int>(viewer), local};
+  const std::size_t k = static_cast<std::size_t>(-local - 1);
+  return registry_.at(k);
+}
+
+GlobalFrame Universe::call(std::size_t w) {
+  workers_.at(w).call();
+  return GlobalFrame{static_cast<int>(w), workers_[w].top()};
+}
+
+GlobalFrame Universe::ret(std::size_t w) {
+  const Frame finished = workers_.at(w).ret();
+  const GlobalFrame g = decode(w, finished);
+  if (finished < 0) {
+    // A foreign frame finished here: its owner observes remote_finish.
+    workers_.at(static_cast<std::size_t>(g.owner)).remote_finish(g.index);
+  }
+  return g;
+}
+
+GlobalChain Universe::suspend(std::size_t w, std::size_t n) {
+  const Chain local = workers_.at(w).suspend(n);
+  GlobalChain out;
+  out.reserve(local.size());
+  for (Frame f : local) out.push_back(decode(w, f));
+  return out;
+}
+
+void Universe::restart(std::size_t w, const GlobalChain& chain) {
+  Chain local;
+  local.reserve(chain.size());
+  for (const GlobalFrame& g : chain) local.push_back(encode(w, g));
+  workers_.at(w).restart(local);
+}
+
+bool Universe::shrink(std::size_t w) { return workers_.at(w).shrink(); }
+
+std::optional<std::string> Universe::check_invariants() const {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (auto bad = workers_[w].check_invariants()) {
+      std::ostringstream err;
+      err << "worker " << w << ": " << *bad;
+      return err.str();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace stf

@@ -1,0 +1,78 @@
+// Multi-worker closure of the formal model.
+//
+// Figure 13 models a single worker and abstracts "everything other
+// workers do" into remote_finish events.  The Universe makes that
+// abstraction concrete: it runs K WorkerStates side by side, keeps a
+// global identity for every frame, translates suspended chains between
+// the coordinate systems of different workers (a frame is a non-negative
+// physical index at home and a negative code abroad -- exactly the
+// paper's notational convention), and routes a remote_finish to a
+// frame's owner whenever another worker retires it.
+//
+// This is the harness for the migration-era property tests: random
+// cross-worker suspend/restart/return traces, with every worker's
+// invariants checked after every step.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frame/model.hpp"
+
+namespace stf {
+
+struct GlobalFrame {
+  int owner = 0;   ///< which worker's physical stack holds it
+  Frame index = 0; ///< physical index within that stack (always >= 0)
+
+  friend bool operator==(const GlobalFrame&, const GlobalFrame&) = default;
+  friend auto operator<=>(const GlobalFrame&, const GlobalFrame&) = default;
+};
+
+using GlobalChain = std::vector<GlobalFrame>;
+
+class Universe {
+ public:
+  explicit Universe(std::size_t workers);
+
+  std::size_t size() const { return workers_.size(); }
+  const WorkerState& worker(std::size_t w) const { return workers_.at(w); }
+
+  /// call on worker w; returns the new frame's global identity.
+  GlobalFrame call(std::size_t w);
+
+  /// return on worker w.  If the finished frame is foreign, the owner
+  /// receives the corresponding remote_finish.  Returns the frame.
+  GlobalFrame ret(std::size_t w);
+
+  /// suspend_n on worker w; the detached chain is expressed globally so
+  /// any worker may restart it later.
+  GlobalChain suspend(std::size_t w, std::size_t n);
+
+  /// restart of a global chain on worker w (coordinates are translated
+  /// into w's view; foreign frames become negative codes).
+  void restart(std::size_t w, const GlobalChain& chain);
+
+  bool shrink(std::size_t w);
+
+  /// Depth of w's logical stack.
+  std::size_t depth(std::size_t w) const { return workers_.at(w).depth(); }
+
+  /// Checks every worker's invariants; returns the first violation
+  /// annotated with the worker id.
+  std::optional<std::string> check_invariants() const;
+
+ private:
+  Frame encode(std::size_t viewer, const GlobalFrame& g);
+  GlobalFrame decode(std::size_t viewer, Frame local) const;
+
+  std::vector<WorkerState> workers_;
+  // Registry of foreign codes: code -(k+1) <-> registry_[k].
+  std::vector<GlobalFrame> registry_;
+  std::map<GlobalFrame, Frame> codes_;
+};
+
+}  // namespace stf

@@ -1,0 +1,70 @@
+// Machine-context capture and transfer.
+//
+// StackThreads/MP's suspend/restart are, at bottom, "save callee-saved
+// registers + SP somewhere, load someone else's, continue there" -- the
+// same contract a procedure return obeys (Section 3.2: "a return sequence
+// is just a general mechanism that loads some registers by whatever values
+// are written in its stack frame and jumps to whatever location is written
+// in the return address slot").  On the paper's postprocessed ABI this is
+// done by patching return-address / saved-FP slots of compiler-generated
+// frames; on stock x86-64 C++ we instead perform the equivalent transfer
+// with ~20 instructions of assembly (context_x86_64.S), saving the six
+// SysV callee-saved registers on the source stack and switching RSP.
+//
+// The `msg` word carried across a switch implements "run this on my
+// behalf once you are off my stack": a suspending thread hands its
+// unlock/publish action to the context it switches to, which runs it
+// before continuing.  This closes the classic lost-wakeup race without
+// holding locks across a context switch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace st {
+
+/// A captured machine context: everything lives on the context's own
+/// stack; only the stack pointer is held here.
+struct MachineContext {
+  void* sp = nullptr;
+};
+
+/// Action executed by the destination context immediately after a switch,
+/// while the source context's stack is already quiescent.
+struct SwitchMsg {
+  void (*run)(void*) = nullptr;
+  void* arg = nullptr;
+};
+
+extern "C" {
+
+/// Saves the current context into *save_sp and continues at target_sp
+/// (previously produced by st_ctx_swap or st_ctx_prepare).  Returns, in
+/// the *resumed* context, the msg pointer passed by whoever switched back.
+void* st_ctx_swap(void** save_sp, void* target_sp, void* msg) noexcept;
+
+/// Entry signature for a fresh context: fn(msg, arg).  `msg` is the
+/// SwitchMsg* carried by the switch that first entered the context; `arg`
+/// is the pointer given to st_ctx_prepare.  fn must never return -- a
+/// finished computation leaves by switching to another context.
+using ContextEntry = void (*)(void* msg, void* arg);
+
+}  // extern "C"
+
+/// Builds an initial context on [stack_base, stack_base+size): returns the
+/// sp to pass to st_ctx_swap so that execution enters fn(msg, arg) on the
+/// new stack with correct SysV alignment.
+void* st_ctx_prepare(void* stack_base, std::size_t size, ContextEntry fn, void* arg) noexcept;
+
+/// Convenience wrappers.
+inline SwitchMsg* ctx_swap(MachineContext& save, void* target_sp, SwitchMsg* msg) noexcept {
+  return static_cast<SwitchMsg*>(st_ctx_swap(&save.sp, target_sp, msg));
+}
+
+/// Runs a pending cross-context action, if any.  Every resume point
+/// (after a swap returns) must call this before touching shared state.
+inline void run_switch_msg(SwitchMsg* msg) noexcept {
+  if (msg != nullptr && msg->run != nullptr) msg->run(msg->arg);
+}
+
+}  // namespace st

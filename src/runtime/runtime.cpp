@@ -1,0 +1,296 @@
+#include "runtime/runtime.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <semaphore>
+
+namespace st {
+
+thread_local Worker* tl_worker = nullptr;
+
+namespace {
+
+constexpr int kStealSpinLimit = 512;
+
+void release_stacklet_cb(void* p) { StackRegion::release(static_cast<Stacklet*>(p)); }
+
+/// Entry point of every forked computation (reached through st_ctx_boot).
+void child_entry(void* raw_msg, void* arg) {
+  run_switch_msg(static_cast<SwitchMsg*>(raw_msg));
+  auto* s = static_cast<Stacklet*>(arg);
+  s->invoke(s->closure);
+  // Completed.  tl_worker is re-read: the computation may have migrated.
+  Worker* w = tl_worker;
+  w->stats().bump(w->stats().tasks_completed);
+  // The stacklet must outlive this stack; the destination context releases
+  // it (the msg lives on this dying stack, which stays mapped and
+  // unreusable until the release actually runs).
+  SwitchMsg release{&release_stacklet_cb, s};
+  detail::finish_current(&release);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Core primitives
+// ---------------------------------------------------------------------
+
+namespace detail {
+
+[[noreturn]] void finish_current(SwitchMsg* msg) {
+  Worker* w = tl_worker;
+  void* target = !w->fork_deque().empty() ? w->fork_deque().pop_head()->sp
+                                          : w->scheduler_context().sp;
+  void* dummy;
+  st_ctx_swap(&dummy, target, msg);
+  __builtin_unreachable();
+}
+
+void fork_impl(void (*invoke)(void*), void* closure, Stacklet* s) {
+  Worker* w = tl_worker;
+  w->stats().bump(w->stats().forks);
+  s->invoke = invoke;
+  s->closure = closure;
+  void* child_sp = st_ctx_prepare(s->stack_base(), s->stack_bytes(), &child_entry, s);
+  Continuation parent;  // this worker's deques never outlive this frame's liveness
+  w->fork_deque().push_head(&parent);
+  auto* back = static_cast<SwitchMsg*>(st_ctx_swap(&parent.sp, child_sp, nullptr));
+  // Resumed: the child finished or suspended on this worker, or this
+  // continuation was stolen and now runs on a thief.  Do not touch `w`.
+  run_switch_msg(back);
+}
+
+Stacklet* allocate_stacklet() {
+  Worker* w = tl_worker;
+  assert(w != nullptr && "st::fork must be called on a worker");
+  w->serve_steal_request();  // every fork point is a poll point
+  return w->region().allocate();
+}
+
+[[noreturn]] void report_escaped_exception() noexcept {
+  std::fprintf(stderr,
+               "stackthreads-mp: an exception escaped a forked computation; "
+               "exceptions cannot propagate across a fork boundary "
+               "(frames of the parent may already be detached). Aborting.\n");
+  std::terminate();
+}
+
+}  // namespace detail
+
+void suspend(Continuation* c, void (*after)(void*), void* arg) {
+  Worker* w = tl_worker;
+  assert(w != nullptr && "st::suspend must be called on a worker");
+  w->stats().bump(w->stats().suspends);
+  SwitchMsg m{after, arg};
+  SwitchMsg* mp = after != nullptr ? &m : nullptr;
+  void* target = !w->fork_deque().empty() ? w->fork_deque().pop_head()->sp
+                                          : w->scheduler_context().sp;
+  auto* back = static_cast<SwitchMsg*>(st_ctx_swap(&c->sp, target, mp));
+  // Resumed, possibly on a different worker.
+  run_switch_msg(back);
+}
+
+void resume(Continuation* c) {
+  Worker* w = tl_worker;
+  assert(w != nullptr && "st::resume must be called on a worker");
+  w->stats().bump(w->stats().resumes);
+  w->readyq().push_tail(c);
+}
+
+void restart(Continuation* c) {
+  Worker* w = tl_worker;
+  assert(w != nullptr && "st::restart must be called on a worker");
+  Continuation parent;
+  w->fork_deque().push_head(&parent);
+  auto* back = static_cast<SwitchMsg*>(st_ctx_swap(&parent.sp, c->sp, nullptr));
+  run_switch_msg(back);
+}
+
+void poll() {
+  Worker* w = tl_worker;
+  if (w != nullptr) w->serve_steal_request();
+}
+
+bool on_worker() noexcept { return tl_worker != nullptr; }
+
+unsigned worker_id() noexcept {
+  assert(tl_worker != nullptr);
+  return tl_worker->id();
+}
+
+// ---------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------
+
+Worker::Worker(Runtime& rt, unsigned id, std::size_t stacklet_bytes, std::size_t region_slots)
+    : rt_(rt),
+      id_(id),
+      region_(stacklet_bytes, region_slots),
+      rng_(0x5157'1ead'0000'0000ULL + id) {}
+
+void Worker::serve_steal_request() {
+  if (port_.load(std::memory_order_relaxed) == nullptr) return;
+  StealRequest* r = port_.exchange(nullptr, std::memory_order_acq_rel);
+  if (r == nullptr) return;
+  // Figure 12: hand out the tail of the lazy task queue -- readyq tail if
+  // any, otherwise the outermost parent continuation of the running chain.
+  Continuation* task = nullptr;
+  if (!readyq_.empty()) {
+    task = readyq_.pop_tail();
+  } else if (!fork_deque_.empty()) {
+    task = fork_deque_.pop_tail();
+  }
+  if (task != nullptr) {
+    r->reply = *task;
+    stats_.bump(stats_.steals_served);
+    r->state.store(StealRequest::kServed, std::memory_order_release);
+  } else {
+    stats_.bump(stats_.steals_rejected);
+    r->state.store(StealRequest::kRejected, std::memory_order_release);
+  }
+}
+
+bool Worker::try_steal_and_run() {
+  Worker* victim = rt_.random_victim(rng_, id_);
+  if (victim == nullptr) return false;
+  stats_.bump(stats_.steal_attempts);
+
+  StealRequest req;
+  StealRequest* expected = nullptr;
+  if (!victim->port().compare_exchange_strong(expected, &req, std::memory_order_acq_rel)) {
+    return false;  // someone else is already negotiating with this victim
+  }
+
+  int spins = 0;
+  bool cancel_tried = false;
+  while (req.state.load(std::memory_order_acquire) == StealRequest::kPosted) {
+    serve_steal_request();  // stay responsive to requests aimed at us
+    if (++spins > kStealSpinLimit && !cancel_tried) {
+      cancel_tried = true;
+      StealRequest* me = &req;
+      if (victim->port().compare_exchange_strong(me, nullptr, std::memory_order_acq_rel)) {
+        return false;  // cancelled before the victim saw it
+      }
+      // The victim claimed the request; it will store a final state soon.
+    }
+    std::this_thread::yield();
+  }
+
+  if (req.state.load(std::memory_order_acquire) != StealRequest::kServed) return false;
+  stats_.bump(stats_.steals_received);
+  attach_and_run(req.reply);
+  return true;
+}
+
+void Worker::attach_and_run(Continuation target, SwitchMsg* msg) {
+  auto* back = static_cast<SwitchMsg*>(st_ctx_swap(&sched_ctx_.sp, target.sp, msg));
+  run_switch_msg(back);
+}
+
+void Worker::scheduler_loop() {
+  tl_worker = this;
+  while (!rt_.done()) {
+    serve_steal_request();
+    if (!readyq_.empty()) {
+      // Figure 12: schedule the head of readyq when the chain is empty.
+      Continuation* c = readyq_.pop_head();
+      attach_and_run(*c);
+      continue;
+    }
+    std::function<void()> root;
+    if (rt_.pop_injected(root)) {
+      Stacklet* s = region_.allocate();
+      using Root = std::function<void()>;
+      static_assert(sizeof(Root) <= Stacklet::kClosureBytes);
+      s->closure = new (s->closure_area()) Root(std::move(root));
+      s->invoke = &detail::invoke_closure<Root>;
+      void* sp = st_ctx_prepare(s->stack_base(), s->stack_bytes(), &child_entry, s);
+      attach_and_run(Continuation{sp});
+      continue;
+    }
+    if (!try_steal_and_run()) std::this_thread::yield();
+  }
+  // Shutdown: resolve any request still parked on our port so no thief
+  // spins on a vanished victim.
+  StealRequest* r = port_.exchange(nullptr, std::memory_order_acq_rel);
+  if (r != nullptr) r->state.store(StealRequest::kRejected, std::memory_order_release);
+  tl_worker = nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------
+
+Runtime::Runtime(RuntimeConfig cfg) {
+  if (cfg.workers == 0) cfg.workers = 1;
+  workers_.reserve(cfg.workers);
+  for (unsigned i = 0; i < cfg.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(*this, i, cfg.stacklet_bytes, cfg.region_slots));
+  }
+  threads_.reserve(cfg.workers);
+  for (unsigned i = 0; i < cfg.workers; ++i) {
+    threads_.emplace_back([this, i] { workers_[i]->scheduler_loop(); });
+  }
+}
+
+Runtime::~Runtime() {
+  done_.store(true, std::memory_order_release);
+  for (auto& t : threads_) t.join();
+}
+
+void Runtime::inject(std::function<void()> fn) {
+  stu::SpinGuard g(inject_lock_);
+  injected_.push_back(std::move(fn));
+  injected_count_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool Runtime::pop_injected(std::function<void()>& out) {
+  if (injected_count_.load(std::memory_order_acquire) == 0) return false;
+  stu::SpinGuard g(inject_lock_);
+  if (injected_.empty()) return false;
+  injected_count_.fetch_sub(1, std::memory_order_acq_rel);
+  out = std::move(injected_.front());
+  injected_.erase(injected_.begin());
+  return true;
+}
+
+Worker* Runtime::random_victim(stu::Xoshiro256& rng, unsigned self) {
+  const unsigned n = num_workers();
+  if (n <= 1) return nullptr;
+  unsigned pick = static_cast<unsigned>(rng.below(n - 1));
+  if (pick >= self) ++pick;
+  return workers_[pick].get();
+}
+
+void Runtime::run(std::function<void()> root) {
+  std::binary_semaphore sem(0);
+  inject([&root, &sem] {
+    root();
+    sem.release();
+  });
+  sem.acquire();
+}
+
+RuntimeStats Runtime::stats() const {
+  RuntimeStats out;
+  for (const auto& w : workers_) {
+    auto& s = const_cast<Worker&>(*w).stats();
+    auto get = [](const std::atomic<std::uint64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    out.forks += get(s.forks);
+    out.suspends += get(s.suspends);
+    out.resumes += get(s.resumes);
+    out.steals_served += get(s.steals_served);
+    out.steals_received += get(s.steals_received);
+    out.steal_attempts += get(s.steal_attempts);
+    out.steals_rejected += get(s.steals_rejected);
+    out.tasks_completed += get(s.tasks_completed);
+    out.region_high_water += const_cast<Worker&>(*w).region().high_water();
+    out.heap_fallbacks += const_cast<Worker&>(*w).region().heap_fallbacks();
+  }
+  return out;
+}
+
+}  // namespace st

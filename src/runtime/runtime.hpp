@@ -1,0 +1,189 @@
+// Public API of the StackThreads/MP-style native runtime.
+//
+//   st::Runtime rt(4);                       // four workers (OS threads)
+//   rt.run([] {
+//     st::JoinCounter jc(2);                 // see sync/join_counter.hpp
+//     st::fork([&] { work_a(); jc.finish(); });
+//     st::fork([&] { work_b(); jc.finish(); });
+//     jc.join();
+//   });
+//
+// Mapping to the paper's core primitives (Section 3.4):
+//   st::fork(f)           ~ ST_THREAD_CREATE(e)/ASYNC_CALL(e): the child
+//                           starts immediately on this worker (LIFO); the
+//                           parent's continuation becomes stealable.
+//   st::suspend(c)        ~ suspend(c, 1): block the current thread,
+//                           control reaches the nearest fork point.
+//   st::resume(c)         ~ LTC_resume: deferred -- c enters the tail of
+//                           the resuming worker's readyq (Figure 12).
+//   st::restart(c)        ~ restart(c): immediate -- the caller becomes
+//                           c's parent and c runs now (Figure 7/8).
+//   st::poll()            ~ the manually inserted polling of Section 4.1
+//                           (Feeley-style); also run at every fork point.
+//
+// Migration (Figure 9/10) follows from these: an idle worker posts a
+// request; the victim's poll hands over the tail of its lazy task queue
+// (readyq tail if any, else its outermost parent continuation).
+//
+// Substitution note (see DESIGN.md §2): a forked child runs on a pooled
+// stacklet carved from the worker's physical-stack region instead of
+// sharing the parent's native frames -- frame-level detachment of g++
+// frames is unsound without the paper's proposed -call-destroys-sp
+// compiler option.  All scheduling, synchronization, migration and
+// space-management behaviour is preserved; the STVM substrate performs
+// the literal frame surgery.
+//
+// Exceptions MUST NOT propagate out of a forked callable (the known hard
+// case for frame detachment): the child's boot frame catches and calls
+// std::terminate with a diagnostic.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/context.hpp"
+#include "runtime/worker.hpp"
+#include "util/spinlock.hpp"
+
+namespace st {
+
+struct RuntimeConfig {
+  unsigned workers = 1;
+  std::size_t stacklet_bytes = 64 * 1024;
+  std::size_t region_slots = 2048;
+};
+
+/// Aggregated counters over all workers (see WorkerStats).
+struct RuntimeStats {
+  std::uint64_t forks = 0, suspends = 0, resumes = 0;
+  std::uint64_t steals_served = 0, steals_received = 0, steal_attempts = 0,
+                steals_rejected = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t region_high_water = 0, heap_fallbacks = 0;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(unsigned workers) : Runtime(RuntimeConfig{workers}) {}
+  explicit Runtime(RuntimeConfig cfg);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Executes `root` on some worker as a fine-grain thread and blocks the
+  /// calling (non-worker) thread until it completes.  May be called
+  /// repeatedly; calls are serialized by the caller.
+  void run(std::function<void()> root);
+
+  unsigned num_workers() const noexcept { return static_cast<unsigned>(workers_.size()); }
+  Worker& worker(unsigned i) noexcept { return *workers_[i]; }
+  bool done() const noexcept { return done_.load(std::memory_order_acquire); }
+
+  RuntimeStats stats() const;
+
+  // -- internal (used by workers) ----------------------------------------
+  bool pop_injected(std::function<void()>& out);
+  Worker* random_victim(stu::Xoshiro256& rng, unsigned self);
+
+ private:
+  void inject(std::function<void()> fn);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> done_{false};
+
+  stu::Spinlock inject_lock_;
+  std::vector<std::function<void()>> injected_;
+  std::atomic<std::size_t> injected_count_{0};
+};
+
+// ---------------------------------------------------------------------
+// Core primitives.  All of these must be called on a worker (i.e. from
+// inside Runtime::run's dynamic extent); fork/suspend/restart/resume
+// assert this in debug builds.
+// ---------------------------------------------------------------------
+
+namespace detail {
+
+/// Leaves the current computation for good: jump to the parent
+/// continuation (fork-deque head) or the scheduler.  `msg` runs on the
+/// destination once this stack is quiescent.
+[[noreturn]] void finish_current(SwitchMsg* msg);
+
+/// Non-template part of fork: runs `invoke(closure)` on stacklet `s` as a
+/// new fine-grain thread, pushing the caller's continuation as a fork
+/// record.  Returns when the child finishes or suspends, or -- if the
+/// record was stolen -- on the thief.
+void fork_impl(void (*invoke)(void*), void* closure, Stacklet* s);
+
+Stacklet* allocate_stacklet();
+
+[[noreturn]] void report_escaped_exception() noexcept;
+
+template <typename Fn>
+void invoke_closure(void* p) {
+  Fn* fn = static_cast<Fn*>(p);
+  try {
+    (*fn)();
+  } catch (...) {
+    fn->~Fn();
+    report_escaped_exception();
+  }
+  fn->~Fn();
+}
+
+}  // namespace detail
+
+/// Asynchronous call: run `f` as a new fine-grain thread.  The child runs
+/// immediately (LIFO); the caller continues when the child finishes or
+/// suspends, or earlier on another worker if the caller's continuation is
+/// stolen.  The callable is copied/moved into the child (a stolen caller
+/// may leave the fork site before the child completes).
+template <typename F>
+void fork(F&& f) {
+  using Fn = std::decay_t<F>;
+  Stacklet* s = detail::allocate_stacklet();
+  static_assert(sizeof(Fn) <= Stacklet::kClosureBytes,
+                "fork closure too large: capture by pointer/reference instead");
+  Fn* closure = new (s->closure_area()) Fn(std::forward<F>(f));
+  detail::fork_impl(&detail::invoke_closure<Fn>, closure, s);
+}
+
+/// Blocks the current fine-grain thread, filling *c so that resume(c) /
+/// restart(c) can continue it later.  Control reaches the nearest fork
+/// point, exactly like the paper's suspend(c, 1).  If `after` is given it
+/// runs on the continued-to context once this thread's stack is
+/// quiescent -- use it to release the lock that protects *c's publication
+/// (closes the lost-wakeup race).
+void suspend(Continuation* c, void (*after)(void*) = nullptr, void* arg = nullptr);
+
+/// LTC resume: c enters the tail of the current worker's readyq; it will
+/// run when the worker's chain empties or when it is stolen.
+void resume(Continuation* c);
+
+/// Immediate restart: the caller becomes c's parent and c runs now; the
+/// caller continues when c finishes or suspends (or on a thief).
+void restart(Continuation* c);
+
+/// Serve pending steal requests.  Called automatically at every fork
+/// point; insert manually into long fork-free stretches (the paper
+/// inserts polls following Feeley's scheme).
+void poll();
+
+/// True when the calling OS thread is a worker.
+bool on_worker() noexcept;
+
+/// Id of the current worker (precondition: on_worker()).
+unsigned worker_id() noexcept;
+
+}  // namespace st

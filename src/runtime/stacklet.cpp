@@ -1,0 +1,85 @@
+#include "runtime/stacklet.hpp"
+
+#include <sys/mman.h>
+
+#include <cassert>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+
+namespace st {
+
+StackRegion::StackRegion(std::size_t slot_bytes, std::size_t slots)
+    : slot_bytes_(slot_bytes), slots_(slots), state_(slots) {
+  if (slot_bytes_ < sizeof(Stacklet) + Stacklet::kClosureBytes + 4096) {
+    throw std::invalid_argument("stacklet slot too small");
+  }
+  void* mem = ::mmap(nullptr, slot_bytes_ * slots_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (mem == MAP_FAILED) throw std::bad_alloc();
+  base_ = static_cast<char*>(mem);
+  for (auto& s : state_) s.store(kFree, std::memory_order_relaxed);
+}
+
+StackRegion::~StackRegion() {
+  if (base_ != nullptr) ::munmap(base_, slot_bytes_ * slots_);
+}
+
+Stacklet* StackRegion::header_of(std::size_t slot) noexcept {
+  return reinterpret_cast<Stacklet*>(base_ + slot * slot_bytes_);
+}
+
+Stacklet* StackRegion::allocate() {
+  reclaim_top();
+  if (top_ < slots_) {
+    const std::size_t slot = top_++;
+    if (top_ > high_water_) high_water_ = top_;
+    state_[slot].store(kLive, std::memory_order_relaxed);
+    Stacklet* s = header_of(slot);
+    s->region = this;
+    s->slot = static_cast<std::uint32_t>(slot);
+    s->bytes = slot_bytes_;
+    return s;
+  }
+  // Region exhausted: heap fallback (the paper's multiple-physical-stacks
+  // alternative), reclaimed eagerly on release.
+  ++heap_fallbacks_;
+  char* mem = static_cast<char*>(::operator new(slot_bytes_, std::align_val_t{16}));
+  auto* s = reinterpret_cast<Stacklet*>(mem);
+  s->region = nullptr;
+  s->slot = 0;
+  s->bytes = slot_bytes_;
+  return s;
+}
+
+void StackRegion::release(Stacklet* s) noexcept {
+  if (s->region == nullptr) {
+    ::operator delete(reinterpret_cast<char*>(s), std::align_val_t{16});
+    return;
+  }
+  // The retirement mark: the analog of zeroing the return-address slot.
+  // Only the owner moves the bump pointer (in reclaim_top), so a release
+  // from any worker is a single release-store.
+  s->region->state_[s->slot].store(kRetired, std::memory_order_release);
+}
+
+std::size_t StackRegion::reclaim_top() noexcept {
+  std::size_t reclaimed = 0;
+  while (top_ > 0 &&
+         state_[top_ - 1].load(std::memory_order_acquire) == kRetired) {
+    state_[top_ - 1].store(kFree, std::memory_order_relaxed);
+    --top_;
+    ++reclaimed;
+  }
+  return reclaimed;
+}
+
+std::size_t StackRegion::live_slots() const noexcept {
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < top_; ++i) {
+    if (state_[i].load(std::memory_order_relaxed) == kLive) ++live;
+  }
+  return live;
+}
+
+}  // namespace st

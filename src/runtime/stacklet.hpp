@@ -1,0 +1,108 @@
+// Per-worker physical stack regions and stacklet carving.
+//
+// The paper gives each worker one contiguous *physical stack* from which
+// every frame is allocated at the top (SP), and reclaims space with the
+// exported/retired-set discipline of Section 5: a frame finishing out of
+// LIFO order is merely *marked* finished (its return-address slot is
+// zeroed); the owner's shrink operation later pops marked frames off the
+// physical top.  Space sandwiched between live frames is deliberately not
+// reused ("the space utilization of a stack may be arbitrarily low",
+// Section 5.1).
+//
+// The native runtime reproduces this at stacklet granularity: each forked
+// computation runs on a stacklet carved from its worker's region.
+//   allocate  = the model's `call`  (always at the physical top),
+//   release of the top slot            = `return`, free branch,
+//   release of a lower slot            = `return`, retire branch
+//                                        (an atomic mark -- the zeroed
+//                                        return-address slot's analog),
+//   reclaim_top (pop marked top slots) = repeated `shrink`.
+// Because every live slot's maximum is by construction the highest live
+// slot, the exported-set max-heap of the model degenerates here to the
+// region's bump pointer; the full heap machinery runs in src/stvm where
+// frames are individually managed.
+//
+// When the region is exhausted (deep outstanding suspension), allocation
+// falls back to heap stacklets -- the "multiple physical stacks per
+// worker" safer scheme the paper sketches as an alternative.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace st {
+
+class StackRegion;
+
+/// One computation's stack.  The header sits at the slot's low end; the
+/// machine stack grows down from the slot's high end toward it.  A small
+/// closure area after the header receives the forked callable (the child
+/// must own its copy: a stolen parent may destroy the fork-site temporary
+/// before the child finishes).
+struct Stacklet {
+  StackRegion* region;  ///< nullptr for heap-fallback stacklets
+  std::uint32_t slot;   ///< region slot index (undefined for heap stacklets)
+  std::size_t bytes;    ///< total slot size including this header
+  void (*invoke)(void*) = nullptr;  ///< type-erased entry for the closure
+  void* closure = nullptr;          ///< points into closure_area()
+
+  char* closure_area() noexcept { return reinterpret_cast<char*>(this + 1); }
+  static constexpr std::size_t kClosureBytes = 256;
+
+  char* stack_base() noexcept { return closure_area() + kClosureBytes; }
+  std::size_t stack_bytes() const noexcept {
+    return bytes - sizeof(Stacklet) - kClosureBytes;
+  }
+};
+
+/// A worker's physical stack region.  allocate()/reclaim_top() are
+/// owner-only; release() may be called by any worker (cross-worker frees
+/// happen whenever a migrated computation finishes away from home).
+class StackRegion {
+ public:
+  /// slots * slot_bytes of address space is reserved lazily (mmap,
+  /// MAP_NORESERVE); pages are touched only as stacklets are used.
+  StackRegion(std::size_t slot_bytes, std::size_t slots);
+  ~StackRegion();
+  StackRegion(const StackRegion&) = delete;
+  StackRegion& operator=(const StackRegion&) = delete;
+
+  /// Owner-only: carve the next stacklet at the physical top (after
+  /// shrinking past any retired top slots).  Falls back to the heap when
+  /// the region is full.
+  Stacklet* allocate();
+
+  /// Any worker: finish a stacklet.  Top slots are not eagerly popped
+  /// here (that is the owner's shrink); the slot is marked retired.
+  /// Heap-fallback stacklets are freed immediately.
+  static void release(Stacklet* s) noexcept;
+
+  /// Owner-only: the shrink loop -- pop retired slots off the top.
+  /// Returns the number of slots reclaimed.
+  std::size_t reclaim_top() noexcept;
+
+  // -- observability (benchmarks / tests) --------------------------------
+  std::size_t top() const noexcept { return top_; }
+  std::size_t high_water() const noexcept { return high_water_; }
+  std::size_t heap_fallbacks() const noexcept { return heap_fallbacks_; }
+  std::size_t live_slots() const noexcept;
+  std::size_t capacity() const noexcept { return slots_; }
+
+ private:
+  enum SlotState : std::uint8_t { kFree = 0, kLive = 1, kRetired = 2 };
+
+  Stacklet* header_of(std::size_t slot) noexcept;
+
+  std::size_t slot_bytes_;
+  std::size_t slots_;
+  char* base_ = nullptr;       // mmap'd arena
+  std::size_t top_ = 0;        // bump pointer: next slot to carve
+  std::size_t high_water_ = 0;
+  std::size_t heap_fallbacks_ = 0;
+  std::vector<std::atomic<std::uint8_t>> state_;
+};
+
+}  // namespace st

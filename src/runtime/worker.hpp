@@ -1,0 +1,115 @@
+// Worker: one OS thread ("worker" in the paper's terminology) multiplexed
+// by many fine-grain threads.
+//
+// Scheduling state per Figure 11/12 of the paper:
+//   fork_deque -- the chain of parent continuations of the computation the
+//                 worker is currently executing, newest at the head.  This
+//                 is the in-stack part of the lazy task queue.  Head pops
+//                 happen when a child finishes or suspends (LIFO); tail
+//                 pops happen only when the owner serves a steal request.
+//   readyq     -- contexts that are schedulable but not linked into the
+//                 chain: resumed (re-awakened) threads enter at the tail
+//                 (LTC policy: a resumed thread is *not* run immediately).
+//
+// Both deques are owner-only: under the polling steal protocol a thief
+// never touches a victim's queues; it posts a StealRequest to the victim's
+// port and the victim dequeues on its behalf (Figure 10).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "runtime/context.hpp"
+#include "runtime/stacklet.hpp"
+#include "util/cache.hpp"
+#include "util/owner_deque.hpp"
+#include "util/rng.hpp"
+
+namespace st {
+
+class Runtime;
+
+/// A suspended computation: the paper's `context' structure.  Like the
+/// paper's join-counter example (Figure 8), these typically live on the
+/// suspended thread's own stack and stay valid for exactly as long as the
+/// thread is suspended.
+struct Continuation {
+  void* sp = nullptr;
+};
+
+/// One in-flight steal negotiation.  Owned by the thief (stack-allocated
+/// in its steal loop); the victim holds a pointer only between claiming
+/// the port and storing the final state.
+struct StealRequest {
+  enum State : std::uint32_t { kPosted = 0, kServed = 1, kRejected = 2 };
+  std::atomic<std::uint32_t> state{kPosted};
+  Continuation reply;
+};
+
+/// Per-worker counters (relaxed atomics: single writer, racy readers).
+struct WorkerStats {
+  std::atomic<std::uint64_t> forks{0};
+  std::atomic<std::uint64_t> suspends{0};
+  std::atomic<std::uint64_t> resumes{0};
+  std::atomic<std::uint64_t> steals_served{0};
+  std::atomic<std::uint64_t> steals_received{0};
+  std::atomic<std::uint64_t> steal_attempts{0};
+  std::atomic<std::uint64_t> steals_rejected{0};
+  std::atomic<std::uint64_t> tasks_completed{0};
+
+  void bump(std::atomic<std::uint64_t>& c) noexcept {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+};
+
+class alignas(stu::kCacheLine) Worker {
+ public:
+  Worker(Runtime& rt, unsigned id, std::size_t stacklet_bytes, std::size_t region_slots);
+
+  /// The scheduler loop of Figure 12 (runs on the worker's OS thread).
+  void scheduler_loop();
+
+  /// Serve at most one pending steal request (the paper's
+  /// check_steal_request, reached from poll points).
+  void serve_steal_request();
+
+  /// Idle-path: request a task from a random other worker; returns true
+  /// if one was received and executed.
+  bool try_steal_and_run();
+
+  /// Push/pop of the parent-continuation chain (owner only).
+  stu::OwnerDeque<Continuation*>& fork_deque() noexcept { return fork_deque_; }
+  stu::OwnerDeque<Continuation*>& readyq() noexcept { return readyq_; }
+
+  StackRegion& region() noexcept { return region_; }
+  WorkerStats& stats() noexcept { return stats_; }
+  unsigned id() const noexcept { return id_; }
+  Runtime& runtime() noexcept { return rt_; }
+
+  /// Run a continuation to its next suspension/completion, with this
+  /// worker's scheduler context as the fallback parent.
+  void attach_and_run(Continuation target, SwitchMsg* msg = nullptr);
+
+  /// The scheduler's own context: where a computation goes when its
+  /// parent chain is exhausted on this worker.
+  MachineContext& scheduler_context() noexcept { return sched_ctx_; }
+
+  std::atomic<StealRequest*>& port() noexcept { return port_; }
+
+ private:
+  Runtime& rt_;
+  unsigned id_;
+  stu::OwnerDeque<Continuation*> fork_deque_;
+  stu::OwnerDeque<Continuation*> readyq_;
+  StackRegion region_;
+  MachineContext sched_ctx_;
+  stu::Xoshiro256 rng_;
+  WorkerStats stats_;
+  alignas(stu::kCacheLine) std::atomic<StealRequest*> port_{nullptr};
+};
+
+/// The worker executing the current OS thread, or nullptr outside workers.
+extern thread_local Worker* tl_worker;
+
+}  // namespace st

@@ -1,0 +1,128 @@
+#include "specsur/kernels.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace specsur {
+
+thread_local EpilogueCounters g_epilogue_counters;
+
+std::mutex& ThreadLibPolicy::mutex() {
+  static std::mutex m;
+  return m;
+}
+
+double dct_cos(int x, int u) {
+  static const auto table = [] {
+    std::array<double, 64> t{};
+    for (int xi = 0; xi < 8; ++xi) {
+      for (int ui = 0; ui < 8; ++ui) {
+        const double c = ui == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+        t[static_cast<std::size_t>(xi * 8 + ui)] =
+            c * std::cos((2.0 * xi + 1.0) * ui * 3.14159265358979323846 / 16.0);
+      }
+    }
+    return t;
+  }();
+  return table[static_cast<std::size_t>(x * 8 + u)];
+}
+
+const std::vector<SimInstr>& sim_program() {
+  // A short loop: r0 accumulates a mixed checksum over memory, r1 counts
+  // down from 200.  op codes: 0..4 ALU (4 = load-imm), 5 load, 6 store,
+  // 7 branch-if-nonzero, 8 halt.
+  static const std::vector<SimInstr> prog = {
+      {4, 1, 0, 0, 200},   // r1 = 200
+      {4, 2, 0, 0, 1},     // r2 = 1
+      {4, 0, 0, 0, 0},     // r0 = 0
+      // loop (pc=3):
+      {5, 3, 1, 0, 3},     // r3 = mem[r1 + 3]
+      {0, 0, 0, 3, 0},     // r0 += r3
+      {2, 3, 3, 15, 0},    // r3 *= r15 (iteration salt)
+      {6, 3, 1, 0, 5},     // mem[r1 + 5] = r3
+      {3, 0, 0, 1, 0},     // r0 ^= r1
+      {1, 1, 1, 2, 0},     // r1 -= 1
+      {7, 1, 0, 0, 3},     // if r1 != 0 goto loop
+      {8, 0, 0, 0, 0},     // halt
+  };
+  return prog;
+}
+
+namespace {
+struct InterpProgram {
+  std::vector<IExpr> arena;
+  const IExpr* root = nullptr;
+};
+}  // namespace
+
+const IExpr* interp_root() {
+  // Deterministic arena of IExpr nodes forming a deep mixed tree.  Built
+  // once; evaluation is read-only.  The arena is reserved up front so the
+  // internal pointers stay stable while it grows.
+  static const InterpProgram program = [] {
+    std::vector<IExpr> nodes;
+    nodes.reserve(4096);
+    stu::Xoshiro256 rng(0x11);
+    // Build bottom-up: leaves first.
+    std::vector<std::size_t> layer;
+    for (int i = 0; i < 256; ++i) {
+      IExpr e;
+      if (rng.chance(0.5)) {
+        e.op = IOp::kConst;
+        e.value = rng.range(-10, 10);
+      } else {
+        e.op = IOp::kVar;
+        e.slot = static_cast<int>(rng.below(16));
+      }
+      nodes.push_back(e);
+      layer.push_back(nodes.size() - 1);
+    }
+    while (layer.size() > 1) {
+      std::vector<std::size_t> next;
+      for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+        IExpr e;
+        const double dice = rng.unit();
+        if (dice < 0.4) {
+          e.op = IOp::kAdd;
+        } else if (dice < 0.7) {
+          e.op = IOp::kMul;
+        } else if (dice < 0.85) {
+          e.op = IOp::kIf;
+          e.c = &nodes[layer[i]];
+        } else {
+          e.op = IOp::kLet;
+          e.slot = static_cast<int>(rng.below(16));
+        }
+        e.a = &nodes[layer[i]];
+        e.b = &nodes[layer[i + 1]];
+        nodes.push_back(e);
+        next.push_back(nodes.size() - 1);
+      }
+      if (layer.size() % 2 == 1) next.push_back(layer.back());
+      layer = std::move(next);
+    }
+    InterpProgram p;
+    p.arena = std::move(nodes);
+    p.root = &p.arena[layer[0]];
+    return p;
+  }();
+  return program.root;
+}
+
+bool game_won(std::uint32_t stones) {
+  // All 3-in-a-row lines on a 4x4 board (rows, columns, diagonals).
+  static const std::uint32_t lines[] = {
+      // rows (two windows per row)
+      0x0007, 0x000E, 0x0070, 0x00E0, 0x0700, 0x0E00, 0x7000, 0xE000,
+      // columns (two windows per column)
+      0x0111, 0x1110, 0x0222, 0x2220, 0x0444, 0x4440, 0x0888, 0x8880,
+      // diagonals
+      0x0421, 0x4210, 0x0842, 0x8420, 0x0124, 0x1240, 0x0248, 0x2480,
+  };
+  for (std::uint32_t line : lines) {
+    if ((stones & line) == line) return true;
+  }
+  return false;
+}
+
+}  // namespace specsur

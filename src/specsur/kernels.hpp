@@ -1,0 +1,576 @@
+// Eight sequential surrogate kernels standing in for SPEC int 95 in the
+// Figure 17-20 overhead study (see DESIGN.md §2 for the substitution
+// argument).  Each mirrors the flavour of one SPEC component:
+//
+//   compress -> k_compress : LZ-style compressor + decompressor round trip
+//   gcc      -> k_parser   : tokenizer + recursive-descent parser + folding
+//   li       -> k_interp   : tree-walking expression interpreter
+//   m88ksim  -> k_cpu      : register-machine simulator
+//   ijpeg    -> k_dct      : 8x8 DCT + quantization over an image
+//   perl     -> k_hash     : string building + open-addressing hash table
+//   vortex   -> k_db       : in-memory binary-search-tree database
+//   go       -> k_minimax  : alpha-beta game-tree search
+//
+// Every kernel is templated over the build policy (specsur/policy.hpp):
+// P::epilogue(&frame_marker) is invoked at each return of a *non-leaf*
+// function (matching the postprocessor's augmentation criterion) and
+// allocations go through P::alloc so the thread-library variant can
+// interpose.  All kernels return a checksum that every variant must
+// reproduce exactly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "specsur/policy.hpp"
+#include "util/rng.hpp"
+
+namespace specsur {
+
+// ---------------------------------------------------------------------
+// compress: LZ77-flavoured round trip
+// ---------------------------------------------------------------------
+
+template <class P>
+std::size_t lz_match_len(const std::uint8_t* a, const std::uint8_t* b, std::size_t max_len) {
+  std::size_t n = 0;
+  while (n < max_len && a[n] == b[n]) ++n;
+  return n;  // leaf: unaugmented
+}
+
+template <class P>
+std::vector<std::uint8_t> lz_compress(const std::vector<std::uint8_t>& in) {
+  int frame_marker = 0;
+  std::vector<std::uint8_t> out;
+  constexpr std::size_t kWindow = 255;
+  std::size_t i = 0;
+  while (i < in.size()) {
+    std::size_t best_len = 0, best_dist = 0;
+    const std::size_t start = i > kWindow ? i - kWindow : 0;
+    for (std::size_t j = start; j < i; ++j) {
+      const std::size_t len =
+          lz_match_len<P>(&in[j], &in[i], std::min<std::size_t>(255, in.size() - i));
+      if (len > best_len) {
+        best_len = len;
+        best_dist = i - j;
+      }
+    }
+    if (best_len >= 4) {
+      out.push_back(0xFF);
+      out.push_back(static_cast<std::uint8_t>(best_dist));
+      out.push_back(static_cast<std::uint8_t>(best_len));
+      i += best_len;
+    } else {
+      out.push_back(in[i] == 0xFF ? 0xFE : in[i]);
+      ++i;
+    }
+  }
+  P::epilogue(&frame_marker);
+  return out;
+}
+
+template <class P>
+std::vector<std::uint8_t> lz_decompress(const std::vector<std::uint8_t>& in) {
+  int frame_marker = 0;
+  std::vector<std::uint8_t> out;
+  std::size_t i = 0;
+  while (i < in.size()) {
+    if (in[i] == 0xFF && i + 2 < in.size()) {
+      const std::size_t dist = in[i + 1];
+      const std::size_t len = in[i + 2];
+      const std::size_t from = out.size() - dist;
+      for (std::size_t k = 0; k < len; ++k) out.push_back(out[from + k]);
+      i += 3;
+    } else {
+      out.push_back(in[i]);
+      ++i;
+    }
+  }
+  P::epilogue(&frame_marker);
+  return out;
+}
+
+template <class P>
+std::uint64_t run_compress(long iters) {
+  int frame_marker = 0;
+  stu::Xoshiro256 rng(0xC0);
+  std::vector<std::uint8_t> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>((i % 97 < 60) ? (i / 13) % 200 : rng.below(200));
+  }
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (long it = 0; it < iters; ++it) {
+    const auto packed = lz_compress<P>(data);
+    const auto restored = lz_decompress<P>(packed);
+    if (restored != data) return 0;  // corruption: variants must agree
+    h = h * 0x100000001b3ULL + packed.size();
+  }
+  P::epilogue(&frame_marker);
+  return h;
+}
+
+// ---------------------------------------------------------------------
+// parser: expression grammar with constant folding (gcc surrogate)
+// ---------------------------------------------------------------------
+
+template <class P>
+struct AstNode {
+  char op;  // '+', '*', '-', 'n'
+  long value;
+  AstNode* lhs;
+  AstNode* rhs;
+};
+
+template <class P>
+struct ParserState {
+  const char* cursor;
+  std::vector<AstNode<P>*> owned;
+
+  AstNode<P>* node(char op, long v, AstNode<P>* l, AstNode<P>* r) {
+    auto* n = static_cast<AstNode<P>*>(P::alloc(sizeof(AstNode<P>)));
+    n->op = op;
+    n->value = v;
+    n->lhs = l;
+    n->rhs = r;
+    owned.push_back(n);
+    return n;
+  }
+  ~ParserState() {
+    for (auto* n : owned) P::dealloc(n);
+  }
+};
+
+template <class P>
+AstNode<P>* parse_expr(ParserState<P>& ps);
+
+template <class P>
+AstNode<P>* parse_primary(ParserState<P>& ps) {
+  int frame_marker = 0;
+  AstNode<P>* result = nullptr;
+  if (*ps.cursor == '(') {
+    ++ps.cursor;
+    result = parse_expr(ps);
+    if (*ps.cursor == ')') ++ps.cursor;
+  } else {
+    long v = 0;
+    while (*ps.cursor >= '0' && *ps.cursor <= '9') v = v * 10 + (*ps.cursor++ - '0');
+    result = ps.node('n', v, nullptr, nullptr);
+  }
+  P::epilogue(&frame_marker);
+  return result;
+}
+
+template <class P>
+AstNode<P>* parse_term(ParserState<P>& ps) {
+  int frame_marker = 0;
+  AstNode<P>* lhs = parse_primary(ps);
+  while (*ps.cursor == '*') {
+    ++ps.cursor;
+    lhs = ps.node('*', 0, lhs, parse_primary(ps));
+  }
+  P::epilogue(&frame_marker);
+  return lhs;
+}
+
+template <class P>
+AstNode<P>* parse_expr(ParserState<P>& ps) {
+  int frame_marker = 0;
+  AstNode<P>* lhs = parse_term(ps);
+  while (*ps.cursor == '+' || *ps.cursor == '-') {
+    const char op = *ps.cursor++;
+    lhs = ps.node(op, 0, lhs, parse_term(ps));
+  }
+  P::epilogue(&frame_marker);
+  return lhs;
+}
+
+// fold_ast only calls itself, so the Section 8.1 criterion leaves it
+// unaugmented (pure same-compilation-unit recursion).
+template <class P>
+long fold_ast(const AstNode<P>* n) {
+  switch (n->op) {
+    case 'n': return n->value;
+    case '+': return fold_ast<P>(n->lhs) + fold_ast<P>(n->rhs);
+    case '-': return fold_ast<P>(n->lhs) - fold_ast<P>(n->rhs);
+    default: return fold_ast<P>(n->lhs) * fold_ast<P>(n->rhs);
+  }
+}
+
+template <class P>
+std::uint64_t run_parser(long iters) {
+  int frame_marker = 0;
+  // Deterministic source text: nested arithmetic.
+  std::string src;
+  stu::Xoshiro256 rng(0x9C);
+  for (int e = 0; e < 64; ++e) {
+    std::string expr = std::to_string(rng.below(100));
+    for (int d = 0; d < 12; ++d) {
+      const char* ops = "+*-";
+      expr = "(" + expr + std::string(1, ops[rng.below(3)]) + std::to_string(rng.below(50)) + ")";
+    }
+    src += expr;
+    src += '+';
+  }
+  src += "1";
+  std::uint64_t h = 1469598103934665603ULL;
+  for (long it = 0; it < iters; ++it) {
+    ParserState<P> ps;
+    ps.cursor = src.c_str();
+    AstNode<P>* root = parse_expr(ps);
+    h = h * 0x100000001b3ULL + static_cast<std::uint64_t>(fold_ast<P>(root));
+  }
+  P::epilogue(&frame_marker);
+  return h;
+}
+
+// ---------------------------------------------------------------------
+// interp: tree-walking interpreter (li surrogate)
+// ---------------------------------------------------------------------
+
+enum class IOp : std::uint8_t { kConst, kVar, kAdd, kMul, kIf, kLet };
+
+struct IExpr {
+  IOp op;
+  long value = 0;
+  int slot = 0;
+  const IExpr* a = nullptr;
+  const IExpr* b = nullptr;
+  const IExpr* c = nullptr;
+};
+
+// ieval only calls itself and inline vector accessors, so the criterion
+// leaves it unaugmented.
+template <class P>
+long ieval(const IExpr* e, std::vector<long>& env) {
+  switch (e->op) {
+    case IOp::kConst: return e->value;
+    case IOp::kVar: return env[static_cast<std::size_t>(e->slot)];
+    case IOp::kAdd: return ieval<P>(e->a, env) + ieval<P>(e->b, env);
+    case IOp::kMul: return ieval<P>(e->a, env) * ieval<P>(e->b, env);
+    case IOp::kIf:
+      return ieval<P>(e->a, env) != 0 ? ieval<P>(e->b, env) : ieval<P>(e->c, env);
+    case IOp::kLet:
+      env[static_cast<std::size_t>(e->slot)] = ieval<P>(e->a, env);
+      return ieval<P>(e->b, env);
+  }
+  return 0;
+}
+
+/// Root of the deterministic interpreter program tree (built once).
+const IExpr* interp_root();
+
+template <class P>
+std::uint64_t run_interp(long iters) {
+  int frame_marker = 0;
+  const IExpr* root = interp_root();
+  std::uint64_t h = 0x100001b3ULL;
+  for (long it = 0; it < iters; ++it) {
+    std::vector<long> env(16, it);
+    h = h * 31 + static_cast<std::uint64_t>(ieval<P>(root, env));
+  }
+  P::epilogue(&frame_marker);
+  return h;
+}
+
+// ---------------------------------------------------------------------
+// cpu: register-machine simulator (m88ksim surrogate)
+// ---------------------------------------------------------------------
+
+struct SimInstr {
+  std::uint8_t op, rd, ra, rb;
+  std::int32_t imm;
+};
+
+struct SimMachine {
+  long regs[16] = {0};
+  std::vector<long> memory;
+  std::size_t pc = 0;
+  std::uint64_t cycles = 0;
+};
+
+/// The simulated program: computes iterative checksums over memory.
+const std::vector<SimInstr>& sim_program();
+
+// Leaf procedures: the criterion never augments them.
+template <class P>
+void sim_alu(SimMachine& m, const SimInstr& i) {
+  switch (i.op) {
+    case 0: m.regs[i.rd] = m.regs[i.ra] + m.regs[i.rb]; break;
+    case 1: m.regs[i.rd] = m.regs[i.ra] - m.regs[i.rb]; break;
+    case 2: m.regs[i.rd] = m.regs[i.ra] * m.regs[i.rb]; break;
+    case 3: m.regs[i.rd] = m.regs[i.ra] ^ m.regs[i.rb]; break;
+    default: m.regs[i.rd] = i.imm; break;
+  }
+}
+
+template <class P>
+void sim_mem(SimMachine& m, const SimInstr& i) {
+  const std::size_t addr =
+      static_cast<std::size_t>(m.regs[i.ra] + i.imm) % m.memory.size();
+  if (i.op == 5) {
+    m.regs[i.rd] = m.memory[addr];
+  } else {
+    m.memory[addr] = m.regs[i.rd];
+  }
+}
+
+template <class P>
+std::uint64_t run_cpu(long iters) {
+  int frame_marker = 0;
+  const auto& prog = sim_program();
+  SimMachine m;
+  m.memory.assign(1024, 7);
+  std::uint64_t h = 0;
+  for (long it = 0; it < iters; ++it) {
+    m.pc = 0;
+    m.regs[15] = it;
+    while (m.pc < prog.size()) {
+      const SimInstr& ins = prog[m.pc];
+      ++m.cycles;
+      if (ins.op <= 4) {
+        sim_alu<P>(m, ins);
+        ++m.pc;
+      } else if (ins.op <= 6) {
+        sim_mem<P>(m, ins);
+        ++m.pc;
+      } else if (ins.op == 7) {  // branch if rd != 0
+        m.pc = (m.regs[ins.rd] != 0) ? static_cast<std::size_t>(ins.imm) : m.pc + 1;
+      } else {
+        break;  // halt
+      }
+    }
+    h = h * 0x100000001b3ULL + static_cast<std::uint64_t>(m.regs[0]);
+  }
+  P::epilogue(&frame_marker);
+  return h;
+}
+
+// ---------------------------------------------------------------------
+// dct: 8x8 DCT + quantization (ijpeg surrogate)
+// ---------------------------------------------------------------------
+
+/// Precomputed cos((2x+1) u pi / 16) with the DCT scale factor.
+double dct_cos(int x, int u);
+
+template <class P>
+void dct_block(const double* in, double* out) {
+  int frame_marker = 0;
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      double sum = 0;
+      for (int x = 0; x < 8; ++x) {
+        for (int y = 0; y < 8; ++y) {
+          sum += in[x * 8 + y] * dct_cos(x, u) * dct_cos(y, v);
+        }
+      }
+      out[u * 8 + v] = sum * 0.25;
+    }
+  }
+  P::epilogue(&frame_marker);
+}
+
+template <class P>
+std::uint64_t run_dct(long iters) {
+  int frame_marker = 0;
+  constexpr int kBlocks = 24;
+  std::vector<double> image(kBlocks * 64);
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    image[i] = static_cast<double>((i * 31) % 256) - 128.0;
+  }
+  std::vector<double> coeffs(64);
+  std::uint64_t h = 0;
+  for (long it = 0; it < iters; ++it) {
+    for (int b = 0; b < kBlocks; ++b) {
+      dct_block<P>(&image[static_cast<std::size_t>(b) * 64], coeffs.data());
+      for (int k = 0; k < 64; ++k) {
+        h = h * 31 + static_cast<std::uint64_t>(static_cast<long>(coeffs[static_cast<std::size_t>(k)] / 16.0));
+      }
+    }
+  }
+  P::epilogue(&frame_marker);
+  return h;
+}
+
+// ---------------------------------------------------------------------
+// hash: strings + open addressing (perl surrogate)
+// ---------------------------------------------------------------------
+
+template <class P>
+struct HashTable {
+  std::vector<std::string> keys;
+  std::vector<long> values;
+  std::size_t mask;
+
+  explicit HashTable(std::size_t pow2) : keys(pow2), values(pow2, 0), mask(pow2 - 1) {}
+};
+
+template <class P>
+std::size_t hash_probe(const HashTable<P>& t, const std::string& key) {
+  std::size_t h = 1469598103934665603ULL;
+  for (char c : key) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  std::size_t i = h & t.mask;
+  while (!t.keys[i].empty() && t.keys[i] != key) i = (i + 1) & t.mask;
+  return i;  // leaf-ish (only std calls)
+}
+
+template <class P>
+void hash_insert(HashTable<P>& t, const std::string& key, long v) {
+  int frame_marker = 0;
+  const std::size_t i = hash_probe<P>(t, key);
+  if (t.keys[i].empty()) t.keys[i] = key;
+  t.values[i] += v;
+  P::epilogue(&frame_marker);
+}
+
+template <class P>
+std::uint64_t run_hash(long iters) {
+  int frame_marker = 0;
+  std::uint64_t h = 0;
+  for (long it = 0; it < iters; ++it) {
+    HashTable<P> table(1 << 12);
+    stu::Xoshiro256 rng(0x9E);
+    for (int k = 0; k < 2000; ++k) {
+      std::string key = "k";
+      for (int c = 0; c < 8; ++c) key += static_cast<char>('a' + rng.below(26));
+      hash_insert<P>(table, key, k);
+      if (k % 3 == 0) hash_insert<P>(table, key, 1);  // repeat lookups
+    }
+    for (long v : table.values) h = h * 31 + static_cast<std::uint64_t>(v);
+  }
+  P::epilogue(&frame_marker);
+  return h;
+}
+
+// ---------------------------------------------------------------------
+// db: binary-search-tree database (vortex surrogate)
+// ---------------------------------------------------------------------
+
+template <class P>
+struct DbNode {
+  long key;
+  long payload;
+  DbNode* left;
+  DbNode* right;
+};
+
+template <class P>
+DbNode<P>* db_insert(DbNode<P>* root, long key, long payload,
+                     std::vector<DbNode<P>*>& owned) {
+  int frame_marker = 0;
+  DbNode<P>* result;
+  if (root == nullptr) {
+    auto* n = static_cast<DbNode<P>*>(P::alloc(sizeof(DbNode<P>)));
+    n->key = key;
+    n->payload = payload;
+    n->left = n->right = nullptr;
+    owned.push_back(n);
+    result = n;
+  } else if (key < root->key) {
+    root->left = db_insert<P>(root->left, key, payload, owned);
+    result = root;
+  } else if (key > root->key) {
+    root->right = db_insert<P>(root->right, key, payload, owned);
+    result = root;
+  } else {
+    root->payload += payload;
+    result = root;
+  }
+  P::epilogue(&frame_marker);
+  return result;
+}
+
+// Pure same-unit recursion: unaugmented under the criterion.
+template <class P>
+long db_lookup(const DbNode<P>* root, long key) {
+  if (root == nullptr) return -1;
+  if (key == root->key) return root->payload;
+  return db_lookup<P>(key < root->key ? root->left : root->right, key);
+}
+
+template <class P>
+std::uint64_t run_db(long iters) {
+  int frame_marker = 0;
+  std::uint64_t h = 0;
+  for (long it = 0; it < iters; ++it) {
+    DbNode<P>* root = nullptr;
+    std::vector<DbNode<P>*> owned;
+    stu::Xoshiro256 rng(0xDB);
+    for (int k = 0; k < 3000; ++k) {
+      root = db_insert<P>(root, rng.range(0, 4000), k, owned);
+    }
+    stu::Xoshiro256 probe(0xDB);
+    for (int k = 0; k < 3000; ++k) {
+      h = h * 31 + static_cast<std::uint64_t>(db_lookup<P>(root, probe.range(0, 4000)) + 1);
+    }
+    for (auto* n : owned) P::dealloc(n);
+  }
+  P::epilogue(&frame_marker);
+  return h;
+}
+
+// ---------------------------------------------------------------------
+// minimax: alpha-beta search (go surrogate)
+// ---------------------------------------------------------------------
+
+struct GameState {
+  std::uint32_t occupied = 0;  // 4x4 board
+  std::uint32_t mine = 0;
+  int moves = 0;
+};
+
+bool game_won(std::uint32_t stones);  // three in a row on the 4x4 board
+
+template <class P>
+long minimax(GameState s, int depth, long alpha, long beta, bool maximizing) {
+  int frame_marker = 0;
+  const std::uint32_t theirs = s.occupied & ~s.mine;
+  long result;
+  if (game_won(s.mine)) {
+    result = 100 - s.moves;
+  } else if (game_won(theirs)) {
+    result = -100 + s.moves;
+  } else if (depth == 0 || s.occupied == 0xFFFF) {
+    result = static_cast<long>(__builtin_popcount(s.mine)) -
+             static_cast<long>(__builtin_popcount(theirs));
+  } else {
+    result = maximizing ? -1000 : 1000;
+    for (int cell = 0; cell < 16; ++cell) {
+      const std::uint32_t bit = 1u << cell;
+      if (s.occupied & bit) continue;
+      GameState next = s;
+      next.occupied |= bit;
+      if (maximizing) next.mine |= bit;
+      ++next.moves;
+      const long v = minimax<P>(next, depth - 1, alpha, beta, !maximizing);
+      if (maximizing) {
+        result = std::max(result, v);
+        alpha = std::max(alpha, v);
+      } else {
+        result = std::min(result, v);
+        beta = std::min(beta, v);
+      }
+      if (beta <= alpha) break;
+    }
+  }
+  P::epilogue(&frame_marker);
+  return result;
+}
+
+template <class P>
+std::uint64_t run_minimax(long iters) {
+  int frame_marker = 0;
+  std::uint64_t h = 0;
+  for (long it = 0; it < iters; ++it) {
+    GameState s;
+    s.occupied = static_cast<std::uint32_t>(it % 5);  // vary the opening
+    s.mine = s.occupied & 0x5;
+    h = h * 31 + static_cast<std::uint64_t>(minimax<P>(s, 6, -1000, 1000, true) + 500);
+  }
+  P::epilogue(&frame_marker);
+  return h;
+}
+
+}  // namespace specsur

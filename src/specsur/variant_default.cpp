@@ -1,0 +1,3 @@
+#define SPECSUR_POLICY specsur::PlainPolicy
+#define SPECSUR_SUFFIX vdefault
+#include "specsur/instantiate.inc"

@@ -1,0 +1,6 @@
+// This translation unit is compiled with -fno-inline -fno-inline-functions
+// (see CMakeLists.txt): the paper's `st` configuration, where inlining is
+// disabled globally so that no ASYNC_CALL callee can be inlined.
+#define SPECSUR_POLICY specsur::CheckedNoInlinePolicy
+#define SPECSUR_SUFFIX vst
+#include "specsur/instantiate.inc"

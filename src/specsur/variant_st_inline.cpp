@@ -1,0 +1,3 @@
+#define SPECSUR_POLICY specsur::CheckedInlinePolicy
+#define SPECSUR_SUFFIX vstinline
+#include "specsur/instantiate.inc"

@@ -1,0 +1,3 @@
+#define SPECSUR_POLICY specsur::ThreadLibPolicy
+#define SPECSUR_SUFFIX vthread
+#include "specsur/instantiate.inc"

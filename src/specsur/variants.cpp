@@ -1,0 +1,37 @@
+#include "specsur/variants.hpp"
+
+namespace specsur {
+
+// Instantiated in the per-variant translation units.
+#define SPECSUR_DECLARE(kernel)                       \
+  std::uint64_t kernel##_vdefault(long);              \
+  std::uint64_t kernel##_vthread(long);               \
+  std::uint64_t kernel##_vstinline(long);             \
+  std::uint64_t kernel##_vst(long);
+
+SPECSUR_DECLARE(compress)
+SPECSUR_DECLARE(parser)
+SPECSUR_DECLARE(interp)
+SPECSUR_DECLARE(cpu)
+SPECSUR_DECLARE(dct)
+SPECSUR_DECLARE(hash)
+SPECSUR_DECLARE(db)
+SPECSUR_DECLARE(minimax)
+#undef SPECSUR_DECLARE
+
+const std::vector<KernelEntry>& kernels() {
+  static const std::vector<KernelEntry> registry = {
+      {"gcc", "parser", 400, {&parser_vdefault, &parser_vthread, &parser_vstinline, &parser_vst}},
+      {"m88ksim", "cpu", 20000, {&cpu_vdefault, &cpu_vthread, &cpu_vstinline, &cpu_vst}},
+      {"li", "interp", 60000, {&interp_vdefault, &interp_vthread, &interp_vstinline, &interp_vst}},
+      {"ijpeg", "dct", 400, {&dct_vdefault, &dct_vthread, &dct_vstinline, &dct_vst}},
+      {"perl", "hash", 400, {&hash_vdefault, &hash_vthread, &hash_vstinline, &hash_vst}},
+      {"vortex", "db", 500, {&db_vdefault, &db_vthread, &db_vstinline, &db_vst}},
+      {"go", "minimax", 800, {&minimax_vdefault, &minimax_vthread, &minimax_vstinline, &minimax_vst}},
+      {"compress", "compress", 150,
+       {&compress_vdefault, &compress_vthread, &compress_vstinline, &compress_vst}},
+  };
+  return registry;
+}
+
+}  // namespace specsur

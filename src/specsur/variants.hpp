@@ -1,0 +1,39 @@
+// Kernel x build-variant registry for the Figure 17-20 harness.
+//
+// The four variants correspond to the paper's bars:
+//   kDefault       -- plain sequential build,
+//   kDefaultThread -- + thread-safe allocation entry points,
+//   kStInline      -- + epilogue checks (inlining allowed),
+//   kSt            -- + epilogue checks, TU compiled with -fno-inline
+//                     (the paper's guaranteed-safe configuration).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specsur {
+
+enum class Variant { kDefault, kDefaultThread, kStInline, kSt };
+
+inline const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kDefault: return "default";
+    case Variant::kDefaultThread: return "default+thread";
+    case Variant::kStInline: return "st_inline";
+    case Variant::kSt: return "st";
+  }
+  return "?";
+}
+
+struct KernelEntry {
+  std::string name;        ///< SPEC component it stands in for
+  std::string surrogate;   ///< our kernel's name
+  long default_iters;      ///< iterations for a ~tens-of-ms run at scale 1
+  std::uint64_t (*run[4])(long iters);  ///< indexed by Variant
+};
+
+/// All eight kernels, in the paper's Figure 17 order.
+const std::vector<KernelEntry>& kernels();
+
+}  // namespace specsur

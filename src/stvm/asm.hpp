@@ -1,0 +1,44 @@
+// Two-pass assembler for STVM assembly text.
+//
+// Syntax (one instruction, label or directive per line; ';' comments):
+//
+//     .proc fib              ; procedure bracket (like MIPS .ent/.end)
+//     fib:
+//         subi sp, sp, 6
+//         st   lr, [sp + 5]
+//         st   fp, [sp + 4]
+//         addi fp, sp, 6
+//         ...
+//         ld   lr, [fp - 1]
+//         mov  sp, fp
+//         ld   fp, [fp - 2]
+//         jr   lr
+//     .endproc
+//
+// Call targets may be module labels or runtime entry points
+// (__st_suspend, __st_alloc, ...); both stay symbolic in the Module and
+// are resolved by the linker in vm.hpp.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "stvm/module.hpp"
+
+namespace stvm {
+
+struct AsmError : std::runtime_error {
+  AsmError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_no(line) {}
+  int line_no;
+};
+
+/// Assembles `source` into a Module.  Throws AsmError on syntax errors.
+Module assemble(const std::string& source);
+
+/// Renders a module back to assembly text (diagnostics & tests: the
+/// postprocessor's output is inspectable the same way the paper's
+/// postprocessed .s files are).
+std::string disassemble(const Module& m);
+
+}  // namespace stvm

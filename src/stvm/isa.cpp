@@ -1,0 +1,41 @@
+#include "stvm/isa.hpp"
+
+namespace stvm {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kLi: return "li";
+    case Op::kMov: return "mov";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kAddi: return "addi";
+    case Op::kSubi: return "subi";
+    case Op::kLd: return "ld";
+    case Op::kSt: return "st";
+    case Op::kCall: return "call";
+    case Op::kCallr: return "callr";
+    case Op::kJmp: return "jmp";
+    case Op::kJr: return "jr";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kBltu: return "bltu";
+    case Op::kBgeu: return "bgeu";
+    case Op::kFetchAdd: return "fetchadd";
+    case Op::kGetMaxE: return "getmaxe";
+    case Op::kHalt: return "halt";
+  }
+  return "?";
+}
+
+std::string reg_name(int r) {
+  if (r == kLr) return "lr";
+  if (r == kSp) return "sp";
+  if (r == kFp) return "fp";
+  return "r" + std::to_string(r);
+}
+
+}  // namespace stvm

@@ -1,0 +1,91 @@
+// Assembled module and per-procedure descriptors.
+//
+// The descriptor is the paper's "table that describes the frame format
+// and some other pieces of information for each procedure" (Section 3.3):
+// the postprocessor builds one per procedure and "descriptors from several
+// object files are collected into a single table at link time; the runtime
+// accesses the descriptor of a procedure by searching the table using any
+// address within the procedure as a key".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stvm/isa.hpp"
+
+namespace stvm {
+
+/// One assembled (and possibly postprocessed) compilation unit.
+struct Module {
+  struct ProcSpan {
+    std::string name;
+    std::size_t begin = 0;  // instruction index range [begin, end)
+    std::size_t end = 0;
+  };
+
+  std::vector<Instr> code;
+  std::map<std::string, std::size_t> labels;  // label -> instruction index
+  std::vector<ProcSpan> procs;                // from .proc/.endproc
+};
+
+/// Frame-format descriptor of one procedure (paper Section 3.3).
+struct ProcDescriptor {
+  std::string name;
+  Addr entry = -1;           ///< first instruction
+  Addr end = -1;             ///< one past the last instruction
+  Addr pure_epilogue = -1;   ///< entry of the emitted pure-epilogue replica
+  Word frame_size = 0;       ///< words allocated by the prologue (0 = leaf frameless)
+  Word ra_offset = 0;        ///< fp-relative offset of the return-address slot
+  Word pfp_offset = 0;       ///< fp-relative offset of the saved parent FP
+  Word max_sp_store = -1;    ///< maximum x of any `st _, [sp+x]` (-1: none)
+  bool augmented = false;    ///< epilogue got the exported-set check
+  bool has_frame = false;    ///< non-leaf: allocates a frame / keeps FP
+  std::vector<int> saved_regs;      ///< callee-saved GPRs the proc spills
+  std::vector<Word> saved_offsets;  ///< fp-relative slots, parallel array
+  std::vector<Addr> fork_points;    ///< addresses of fork call instructions
+};
+
+/// The link-time union of descriptors, keyed by code address.
+class DescriptorTable {
+ public:
+  void add(ProcDescriptor d) { by_entry_[d.entry] = std::move(d); }
+
+  /// Looks up the descriptor covering `addr` (any address within the
+  /// procedure body works -- the paper's runtime-procedure-descriptor
+  /// style lookup).  Returns nullptr for addresses outside any procedure.
+  const ProcDescriptor* find(Addr addr) const {
+    auto it = by_entry_.upper_bound(addr);
+    if (it == by_entry_.begin()) return nullptr;
+    --it;
+    return (addr < it->second.end) ? &it->second : nullptr;
+  }
+
+  const ProcDescriptor* by_name(const std::string& name) const {
+    for (const auto& [entry, d] : by_entry_) {
+      if (d.name == name) return &d;
+    }
+    return nullptr;
+  }
+
+  std::size_t size() const { return by_entry_.size(); }
+
+  /// Largest arguments region over all procedures: the extension amount
+  /// the stack manager uses for Invariant 2 ("the size of the arguments
+  /// region that is largest throughout all procedures", Section 3.2).
+  Word max_args_region() const {
+    Word m = 0;
+    for (const auto& [entry, d] : by_entry_) m = std::max(m, d.max_sp_store + 1);
+    return m;
+  }
+
+  auto begin() const { return by_entry_.begin(); }
+  auto end() const { return by_entry_.end(); }
+
+ private:
+  std::map<Addr, ProcDescriptor> by_entry_;
+};
+
+}  // namespace stvm

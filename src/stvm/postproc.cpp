@@ -1,0 +1,309 @@
+#include "stvm/postproc.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace stvm {
+
+bool is_runtime_entry(const std::string& label) { return label.rfind("__st_", 0) == 0; }
+
+namespace {
+
+/// Per-procedure analysis of the ORIGINAL instruction stream.
+struct ProcAnalysis {
+  std::string name;
+  std::size_t begin = 0, end = 0;  // original indices
+  bool has_frame = false;
+  Word frame_size = 0;
+  Word ra_offset = 0;   // fp-relative
+  Word pfp_offset = 0;  // fp-relative
+  std::size_t prologue_end = 0;  // first index past the prologue
+  Word max_sp_store = -1;
+  std::vector<int> saved_regs;
+  std::vector<Word> saved_offsets;
+  std::vector<std::size_t> fork_calls;        // original indices of fork call instrs
+  std::vector<std::size_t> marker_deletions;  // original indices of dummy calls
+  std::vector<std::size_t> frame_frees;       // original indices of `mov sp, fp`
+  bool calls_unknown = false;                 // callr / runtime / external
+  std::set<std::string> callees;              // direct call targets
+  bool augment = false;
+};
+
+bool is_mov_sp_fp(const Instr& i) {
+  return i.op == Op::kMov && i.rd == kSp && i.ra == kFp;
+}
+
+ProcAnalysis analyze(const Module& m, const Module::ProcSpan& span) {
+  ProcAnalysis a;
+  a.name = span.name;
+  a.begin = span.begin;
+  a.end = span.end;
+  if (span.begin >= span.end) throw PostprocError("empty procedure " + span.name);
+
+  // ---- prologue ---------------------------------------------------------
+  std::size_t i = span.begin;
+  if (i < span.end && m.code[i].op == Op::kSubi && m.code[i].rd == kSp &&
+      m.code[i].ra == kSp) {
+    a.has_frame = true;
+    a.frame_size = m.code[i].imm;
+    ++i;
+    bool saw_ra = false, saw_pfp = false, saw_fp_setup = false;
+    while (i < span.end) {
+      const Instr& ins = m.code[i];
+      if (ins.op == Op::kSt && ins.rd == kLr && ins.ra == kSp) {
+        a.ra_offset = ins.imm - a.frame_size;
+        saw_ra = true;
+      } else if (ins.op == Op::kSt && ins.rd == kFp && ins.ra == kSp) {
+        a.pfp_offset = ins.imm - a.frame_size;
+        saw_pfp = true;
+      } else if (ins.op == Op::kAddi && ins.rd == kFp && ins.ra == kSp &&
+                 ins.imm == a.frame_size) {
+        saw_fp_setup = true;
+      } else if (ins.op == Op::kSt && ins.ra == kFp && ins.rd >= kFirstCalleeSaved &&
+                 ins.rd <= kLastCalleeSaved && saw_fp_setup) {
+        a.saved_regs.push_back(ins.rd);
+        a.saved_offsets.push_back(ins.imm);
+      } else {
+        break;  // first non-prologue instruction
+      }
+      ++i;
+    }
+    if (!saw_ra || !saw_pfp || !saw_fp_setup) {
+      throw PostprocError("procedure " + span.name +
+                          " allocates a frame but has a nonstandard prologue");
+    }
+  }
+  a.prologue_end = i;
+
+  // ---- body scan --------------------------------------------------------
+  bool in_fork_block = false;
+  bool fork_seen_in_block = false;
+  for (std::size_t k = a.prologue_end; k < span.end; ++k) {
+    const Instr& ins = m.code[k];
+    if (ins.op == Op::kSt && ins.ra == kSp && ins.imm > a.max_sp_store) {
+      a.max_sp_store = ins.imm;  // outgoing-arguments region
+    }
+    if (ins.op == Op::kCallr) a.calls_unknown = true;
+    if (ins.op == Op::kCall) {
+      if (ins.label == kForkBegin) {
+        if (in_fork_block) throw PostprocError("nested fork block in " + span.name);
+        in_fork_block = true;
+        fork_seen_in_block = false;
+        a.marker_deletions.push_back(k);
+      } else if (ins.label == kForkEnd) {
+        if (!in_fork_block) throw PostprocError("stray fork-block end in " + span.name);
+        if (!fork_seen_in_block) {
+          throw PostprocError("fork block without a call in " + span.name);
+        }
+        in_fork_block = false;
+        a.marker_deletions.push_back(k);
+      } else {
+        if (in_fork_block) {
+          if (fork_seen_in_block) {
+            throw PostprocError("multiple calls in one fork block in " + span.name +
+                                " (no nested calls in ASYNC_CALL argument positions)");
+          }
+          a.fork_calls.push_back(k);
+          fork_seen_in_block = true;
+        }
+        if (is_runtime_entry(ins.label)) {
+          a.calls_unknown = true;
+        } else {
+          a.callees.insert(ins.label);
+        }
+      }
+    }
+    if (is_mov_sp_fp(ins)) a.frame_frees.push_back(k);
+  }
+  if (in_fork_block) throw PostprocError("unterminated fork block in " + span.name);
+
+  // ---- epilogue sanity: the RA load must precede every frame free -------
+  for (std::size_t f : a.frame_frees) {
+    bool ra_loaded_before = false;
+    for (std::size_t k = a.prologue_end; k < f; ++k) {
+      const Instr& ins = m.code[k];
+      if (ins.op == Op::kLd && ins.rd == kLr && ins.ra == kFp && ins.imm == a.ra_offset) {
+        ra_loaded_before = true;
+      }
+    }
+    if (!ra_loaded_before) {
+      throw PostprocError("frame free before return-address load in " + span.name);
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+PostprocResult postprocess(const Module& input, bool force_augment_all) {
+  PostprocResult result;
+  result.procs_total = input.procs.size();
+
+  // Pass 1: analyze every procedure on the original stream.
+  std::vector<ProcAnalysis> analyses;
+  analyses.reserve(input.procs.size());
+  for (const auto& span : input.procs) analyses.push_back(analyze(input, span));
+  if (force_augment_all) {
+    for (auto& a : analyses) a.augment = a.has_frame && !a.frame_frees.empty();
+  }
+
+  // Augmentation criterion (Section 8.1), computed to a fixed point:
+  // augmented iff it frees a frame AND (calls unknown code, or calls any
+  // augmented procedure, or forks).
+  std::map<std::string, ProcAnalysis*> by_name;
+  for (auto& a : analyses) by_name[a.name] = &a;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& a : analyses) {
+      if (a.augment || !a.has_frame) continue;
+      bool need = a.calls_unknown || !a.fork_calls.empty();
+      for (const auto& callee : a.callees) {
+        auto it = by_name.find(callee);
+        if (it == by_name.end() || it->second->augment) {
+          need = true;  // external or augmented callee
+          break;
+        }
+      }
+      if (need) {
+        a.augment = true;
+        changed = true;
+      }
+    }
+  }
+
+  // Pass 2: rebuild the instruction stream.
+  std::set<std::size_t> deletions;
+  std::map<std::size_t, const ProcAnalysis*> augment_free_sites;  // old idx -> proc
+  std::set<std::size_t> fork_set;
+  for (const auto& a : analyses) {
+    for (std::size_t d : a.marker_deletions) deletions.insert(d);
+    if (a.augment) {
+      for (std::size_t f : a.frame_frees) augment_free_sites[f] = &a;
+    }
+    for (std::size_t f : a.fork_calls) fork_set.insert(f);
+  }
+
+  Module out;
+  std::vector<std::size_t> new_index(input.code.size() + 1, 0);
+  int aug_counter = 0;
+  for (std::size_t i = 0; i < input.code.size(); ++i) {
+    new_index[i] = out.code.size();
+    if (deletions.count(i) != 0) continue;
+    auto aug = augment_free_sites.find(i);
+    if (aug == augment_free_sites.end()) {
+      out.code.push_back(input.code[i]);
+      continue;
+    }
+    // Replace `mov sp, fp` with the exported-set check.  r10 is
+    // caller-saved and dead at a return site, so it is a legal scratch.
+    const ProcAnalysis& a = *aug->second;
+    const std::string retire = "__st_aug$" + std::to_string(aug_counter) + "$retire";
+    const std::string join = "__st_aug$" + std::to_string(aug_counter) + "$join";
+    ++aug_counter;
+    auto emit = [&](Instr ins) { out.code.push_back(std::move(ins)); };
+    Instr getmax;
+    getmax.op = Op::kGetMaxE;
+    getmax.rd = 10;
+    emit(getmax);
+    Instr b1;  // fp >= maxE  -> retire (the frame is not above every export)
+    b1.op = Op::kBgeu;
+    b1.ra = kFp;
+    b1.rb = 10;
+    b1.label = retire;
+    emit(b1);
+    Instr b2;  // !(sp < fp)  -> retire (fp is not within this stack)
+    b2.op = Op::kBgeu;
+    b2.ra = kSp;
+    b2.rb = kFp;
+    b2.label = retire;
+    emit(b2);
+    Instr free_ins;  // the original free
+    free_ins.op = Op::kMov;
+    free_ins.rd = kSp;
+    free_ins.ra = kFp;
+    emit(free_ins);
+    Instr jmp;
+    jmp.op = Op::kJmp;
+    jmp.label = join;
+    emit(jmp);
+    out.labels[retire] = out.code.size();
+    Instr zero;
+    zero.op = Op::kLi;
+    zero.rd = 10;
+    zero.imm = 0;
+    emit(zero);
+    Instr mark;  // zero the return-address slot: the retirement mark
+    mark.op = Op::kSt;
+    mark.rd = 10;
+    mark.ra = kFp;
+    mark.imm = a.ra_offset;
+    emit(mark);
+    out.labels[join] = out.code.size();
+    result.instructions_added += 6;
+  }
+  new_index[input.code.size()] = out.code.size();
+
+  // Remap labels and proc spans.
+  for (const auto& [name, idx] : input.labels) out.labels[name] = new_index[idx];
+  for (const auto& span : input.procs) {
+    out.procs.push_back({span.name, new_index[span.begin], new_index[span.end]});
+  }
+
+  // Pass 3: pure-epilogue replicas + descriptors.
+  for (const auto& a : analyses) {
+    ProcDescriptor d;
+    d.name = a.name;
+    d.entry = static_cast<Addr>(new_index[a.begin]);
+    d.end = static_cast<Addr>(new_index[a.end]);
+    d.has_frame = a.has_frame;
+    d.frame_size = a.frame_size;
+    d.ra_offset = a.ra_offset;
+    d.pfp_offset = a.pfp_offset;
+    d.max_sp_store = a.max_sp_store;
+    d.augmented = a.augment;
+    d.saved_regs = a.saved_regs;
+    d.saved_offsets = a.saved_offsets;
+    for (std::size_t f : a.fork_calls) d.fork_points.push_back(static_cast<Addr>(new_index[f]));
+    result.fork_points += a.fork_calls.size();
+    if (a.augment) ++result.procs_augmented;
+
+    if (a.has_frame) {
+      const std::string pure = "__st_pure$" + a.name;
+      d.pure_epilogue = static_cast<Addr>(out.code.size());
+      out.labels[pure] = out.code.size();
+      for (std::size_t k = 0; k < a.saved_regs.size(); ++k) {
+        Instr restore;
+        restore.op = Op::kLd;
+        restore.rd = a.saved_regs[k];
+        restore.ra = kFp;
+        restore.imm = a.saved_offsets[k];
+        out.code.push_back(restore);
+      }
+      Instr ld_lr;
+      ld_lr.op = Op::kLd;
+      ld_lr.rd = kLr;
+      ld_lr.ra = kFp;
+      ld_lr.imm = a.ra_offset;
+      out.code.push_back(ld_lr);
+      Instr ld_fp;  // loads the parent FP; reads the old fp's slot first
+      ld_fp.op = Op::kLd;
+      ld_fp.rd = kFp;
+      ld_fp.ra = kFp;
+      ld_fp.imm = a.pfp_offset;
+      out.code.push_back(ld_fp);
+      Instr ret;
+      ret.op = Op::kJr;
+      ret.ra = kLr;
+      out.code.push_back(ret);
+      result.instructions_added += 3 + a.saved_regs.size();
+    }
+    result.descriptors.push_back(std::move(d));
+  }
+
+  result.module = std::move(out);
+  return result;
+}
+
+}  // namespace stvm

@@ -1,0 +1,74 @@
+// The assembly postprocessor (paper Section 3.3 and 5.2).
+//
+// Input: an assembled Module whose procedures follow the calling standard
+// of isa.hpp.  The postprocessor performs, per procedure:
+//
+//   1. *Fork-point extraction*: a call bracketed by the dummy calls
+//      __st_fork_block_begin / __st_fork_block_end is a fork; the dummy
+//      calls are removed and the call's address is recorded.
+//   2. *Frame-format extraction*: frame size, return-address slot offset,
+//      parent-FP slot offset, callee-save spill slots -- all recovered by
+//      scanning the prologue/epilogue instructions, not trusted from
+//      annotations.
+//   3. *Arguments-region measurement*: the maximum x over every
+//      `st _, [sp + x]` outside the prologue (the paper's max-SP-offset
+//      scan; prologue saves address the frame, not the outgoing-argument
+//      region, and are excluded just as the paper's AWK scripts delimit
+//      them).
+//   4. *Epilogue augmentation*: `mov sp, fp` (the frame free) becomes the
+//      Section 5.2 check -- the frame is freed only when
+//      SP < FP < maxE (unsigned); otherwise the return-address slot is
+//      zeroed (the retirement mark) and SP is retained.  This costs the
+//      paper's quoted "1 load, two compares, two conditional branches"
+//      plus the mark on the retire path.
+//   5. *Augmentation criterion* (Section 8.1): leaf procedures, and
+//      procedures that only call procedures already known unaugmented,
+//      keep their original epilogue.  Calls to runtime entry points or
+//      indirect calls force augmentation.
+//   6. *Pure-epilogue replica*: for every frame-owning procedure a replica
+//      that restores callee-saves + FP and jumps to the return address
+//      WITHOUT freeing the frame -- what the runtime executes to unwind a
+//      frame during suspend.
+//
+// Output: the rewritten Module plus a ProcDescriptor per procedure (the
+// link-time descriptor table of Section 3.3).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "stvm/module.hpp"
+
+namespace stvm {
+
+struct PostprocError : std::runtime_error {
+  explicit PostprocError(const std::string& m) : std::runtime_error(m) {}
+};
+
+struct PostprocResult {
+  Module module;                          ///< rewritten code
+  std::vector<ProcDescriptor> descriptors;
+  // Statistics (the Section 8.1 augmentation report).
+  std::size_t procs_total = 0;
+  std::size_t procs_augmented = 0;
+  std::size_t fork_points = 0;
+  std::size_t instructions_added = 0;
+};
+
+/// Names of the fork-bracket dummy procedures.
+inline constexpr const char* kForkBegin = "__st_fork_block_begin";
+inline constexpr const char* kForkEnd = "__st_fork_block_end";
+
+/// True for runtime entry points (__st_*): calls to these force epilogue
+/// augmentation of the caller.
+bool is_runtime_entry(const std::string& label);
+
+/// Runs the postprocessor.  Throws PostprocError on malformed procedures
+/// (e.g. an epilogue whose frame free precedes the return-address load).
+/// With force_augment_all the Section 8.1 criterion is bypassed and every
+/// frame-owning procedure gets the augmented epilogue -- used by the
+/// overhead ablation to price the criterion itself.
+PostprocResult postprocess(const Module& input, bool force_augment_all = false);
+
+}  // namespace stvm

@@ -1,0 +1,538 @@
+#include "stvm/programs.hpp"
+
+#include "stvm/asm.hpp"
+
+namespace stvm::programs {
+
+const std::string& stdlib() {
+  static const std::string src = R"(
+; ---- join counter (paper Figure 8, k+1 counting protocol) -------------
+; layout: jc[0] = count, jc[1] = waiting context (0 = none)
+; jc_init(jc, n): count = n + 1 (the join itself is the +1)
+.proc jc_init
+jc_init:
+    subi sp, sp, 4
+    st lr, [sp + 3]
+    st fp, [sp + 2]
+    addi fp, sp, 4
+    ld r0, [fp + 0]
+    ld r1, [fp + 1]
+    addi r1, r1, 1
+    st r1, [r0 + 0]
+    li r2, 0
+    st r2, [r0 + 1]
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+
+; jc_finish(jc): decrement; the decrementer that reaches zero wakes the
+; waiter (spinning for the publication, which is guaranteed to follow).
+.proc jc_finish
+jc_finish:
+    subi sp, sp, 6
+    st lr, [sp + 5]
+    st fp, [sp + 4]
+    addi fp, sp, 6
+    ld r0, [fp + 0]
+    li r1, -1
+    fetchadd r2, [r0 + 0], r1
+    li r3, 1
+    bne r2, r3, jcf_done
+jcf_wait:
+    ld r2, [r0 + 1]
+    li r3, 0
+    bne r2, r3, jcf_resume
+    jmp jcf_wait
+jcf_resume:
+    st r2, [sp + 0]
+    call __st_resume
+jcf_done:
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+
+; jc_join(jc): decrement; when tasks remain, suspend and atomically
+; publish the context into jc[1] (paper Figure 8 lines 18-22, with the
+; lost-wakeup race closed by suspend-then-publish).
+.proc jc_join
+jc_join:
+    subi sp, sp, 16
+    st lr, [sp + 15]
+    st fp, [sp + 14]
+    addi fp, sp, 16
+    ld r0, [fp + 0]
+    li r1, -1
+    fetchadd r2, [r0 + 0], r1
+    li r3, 1
+    beq r2, r3, jcj_done
+    addi r2, fp, -12
+    st r2, [sp + 0]
+    addi r3, r0, 1
+    st r3, [sp + 1]
+    call __st_suspend_publish
+jcj_done:
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+)";
+  return src;
+}
+
+const std::string& fib() {
+  static const std::string src = R"(
+; Sequential fib: no forks anywhere, so the augmentation criterion leaves
+; every procedure here unaugmented when compiled without the stdlib.
+.proc fib
+fib:
+    subi sp, sp, 6
+    st lr, [sp + 5]
+    st fp, [sp + 4]
+    addi fp, sp, 6
+    st r4, [fp - 3]
+    ld r0, [fp + 0]
+    li r1, 2
+    blt r0, r1, fib_base
+    subi r0, r0, 1
+    st r0, [sp + 0]
+    call fib
+    mov r4, r0
+    ld r0, [fp + 0]
+    subi r0, r0, 2
+    st r0, [sp + 0]
+    call fib
+    add r0, r4, r0
+    jmp fib_done
+fib_base:
+    ld r0, [fp + 0]
+fib_done:
+    ld r4, [fp - 3]
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+
+.proc main
+main:
+    subi sp, sp, 4
+    st lr, [sp + 3]
+    st fp, [sp + 2]
+    addi fp, sp, 4
+    ld r0, [fp + 0]
+    st r0, [sp + 0]
+    call fib
+    st r0, [sp + 0]
+    call __st_exit
+.endproc
+)";
+  return src;
+}
+
+const std::string& pfib() {
+  static const std::string src = R"(
+; Parallel fib.  pfib forks pfib_task(n-1) with ASYNC_CALL (the fork
+; markers below), computes pfib(n-2) inline, and joins.  Polls at entry
+; so steal requests are served (Feeley-style manual poll insertion).
+.proc pfib_task
+pfib_task:
+    subi sp, sp, 6
+    st lr, [sp + 5]
+    st fp, [sp + 4]
+    addi fp, sp, 6
+    ld r0, [fp + 0]
+    st r0, [sp + 0]
+    call pfib
+    ld r1, [fp + 1]
+    st r0, [r1 + 0]
+    ld r0, [fp + 2]
+    st r0, [sp + 0]
+    call jc_finish
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+
+.proc pfib
+pfib:
+    subi sp, sp, 20
+    st lr, [sp + 19]
+    st fp, [sp + 18]
+    addi fp, sp, 20
+    st r4, [fp - 3]
+    ld r0, [fp + 0]
+    li r1, 2
+    blt r0, r1, pfib_base
+    call __st_poll
+    addi r2, fp, -6
+    st r2, [sp + 0]
+    li r3, 1
+    st r3, [sp + 1]
+    call jc_init
+    call __st_fork_block_begin
+    ld r0, [fp + 0]
+    subi r0, r0, 1
+    st r0, [sp + 0]
+    addi r2, fp, -7
+    st r2, [sp + 1]
+    addi r2, fp, -6
+    st r2, [sp + 2]
+    call pfib_task
+    call __st_fork_block_end
+    ld r0, [fp + 0]
+    subi r0, r0, 2
+    st r0, [sp + 0]
+    call pfib
+    mov r4, r0
+    addi r2, fp, -6
+    st r2, [sp + 0]
+    call jc_join
+    ld r0, [fp - 7]
+    add r0, r4, r0
+    jmp pfib_done
+pfib_base:
+    ld r0, [fp + 0]
+pfib_done:
+    ld r4, [fp - 3]
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+
+.proc pmain
+pmain:
+    subi sp, sp, 4
+    st lr, [sp + 3]
+    st fp, [sp + 2]
+    addi fp, sp, 4
+    ld r0, [fp + 0]
+    st r0, [sp + 0]
+    call pfib
+    st r0, [sp + 0]
+    call __st_exit
+.endproc
+)";
+  return src;
+}
+
+const std::string& figure15() {
+  static const std::string src = R"(
+; Figure 15 / second Section 5.3 subtlety, executed for real:
+;   main forks fff; fff forks ggg; ggg suspends both (suspend .., 2);
+;   main restarts ggg.  When ggg finishes, its frame is both physical top
+;   and the maximal exported frame -- the augmented epilogue must retire
+;   it, not free it.  Expected print order: 1 2 4 3 5.
+.proc ggg
+ggg:
+    subi sp, sp, 6
+    st lr, [sp + 5]
+    st fp, [sp + 4]
+    addi fp, sp, 6
+    li r0, 1
+    st r0, [sp + 0]
+    call __st_print
+    ld r0, [fp + 0]
+    st r0, [sp + 0]
+    li r1, 2
+    st r1, [sp + 1]
+    call __st_suspend
+    li r0, 4
+    st r0, [sp + 0]
+    call __st_print
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+
+.proc fff
+fff:
+    subi sp, sp, 6
+    st lr, [sp + 5]
+    st fp, [sp + 4]
+    addi fp, sp, 6
+    call __st_fork_block_begin
+    ld r0, [fp + 0]
+    st r0, [sp + 0]
+    call ggg
+    call __st_fork_block_end
+    li r0, 3
+    st r0, [sp + 0]
+    call __st_print
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+
+.proc scenario_main
+scenario_main:
+    subi sp, sp, 8
+    st lr, [sp + 7]
+    st fp, [sp + 6]
+    addi fp, sp, 8
+    li r0, 9
+    st r0, [sp + 0]
+    call __st_alloc
+    st r0, [fp - 3]
+    call __st_fork_block_begin
+    st r0, [sp + 0]
+    call fff
+    call __st_fork_block_end
+    li r0, 2
+    st r0, [sp + 0]
+    call __st_print
+    ld r0, [fp - 3]
+    st r0, [sp + 0]
+    call __st_restart
+    li r0, 5
+    st r0, [sp + 0]
+    call __st_print
+    li r0, 0
+    st r0, [sp + 0]
+    call __st_exit
+.endproc
+)";
+  return src;
+}
+
+const std::string& scenario1() {
+  static const std::string src = R"(
+; First Section 5.3 subtlety: main forks fff (which suspends); main then
+; calls ggg, which restarts fff's context -- ggg's frame is above fff's,
+; so the restart must export it; fff's subsequent poll (shrink) must not
+; discard ggg's live frame.  Expected print order: 1 2 3 4 5 6.
+.proc fff
+fff:
+    subi sp, sp, 6
+    st lr, [sp + 5]
+    st fp, [sp + 4]
+    addi fp, sp, 6
+    li r0, 1
+    st r0, [sp + 0]
+    call __st_print
+    ld r0, [fp + 0]
+    st r0, [sp + 0]
+    li r1, 1
+    st r1, [sp + 1]
+    call __st_suspend
+    li r0, 4
+    st r0, [sp + 0]
+    call __st_print
+    call __st_poll
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+
+.proc ggg
+ggg:
+    subi sp, sp, 6
+    st lr, [sp + 5]
+    st fp, [sp + 4]
+    addi fp, sp, 6
+    li r0, 3
+    st r0, [sp + 0]
+    call __st_print
+    ld r0, [fp + 0]
+    st r0, [sp + 0]
+    call __st_restart
+    li r0, 5
+    st r0, [sp + 0]
+    call __st_print
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+
+.proc scenario_main
+scenario_main:
+    subi sp, sp, 8
+    st lr, [sp + 7]
+    st fp, [sp + 6]
+    addi fp, sp, 8
+    li r0, 9
+    st r0, [sp + 0]
+    call __st_alloc
+    st r0, [fp - 3]
+    call __st_fork_block_begin
+    st r0, [sp + 0]
+    call fff
+    call __st_fork_block_end
+    li r0, 2
+    st r0, [sp + 0]
+    call __st_print
+    ld r0, [fp - 3]
+    st r0, [sp + 0]
+    call ggg
+    li r0, 6
+    st r0, [sp + 0]
+    call __st_print
+    li r0, 0
+    st r0, [sp + 0]
+    call __st_exit
+.endproc
+)";
+  return src;
+}
+
+const std::string& psum() {
+  static const std::string src = R"(
+; Parallel array sum.  psum(lo, hi, base) returns sum(mem[base+lo..hi)).
+; psum_task is the forked wrapper writing its result through a pointer
+; and signalling the join counter -- the same shape as pfib_task.
+.proc psum_task
+psum_task:
+    subi sp, sp, 8
+    st lr, [sp + 7]
+    st fp, [sp + 6]
+    addi fp, sp, 8
+    ld r0, [fp + 0]
+    st r0, [sp + 0]
+    ld r0, [fp + 1]
+    st r0, [sp + 1]
+    ld r0, [fp + 2]
+    st r0, [sp + 2]
+    call psum
+    ld r1, [fp + 3]
+    st r0, [r1 + 0]
+    ld r0, [fp + 4]
+    st r0, [sp + 0]
+    call jc_finish
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+
+.proc psum
+psum:
+    subi sp, sp, 20
+    st lr, [sp + 19]
+    st fp, [sp + 18]
+    addi fp, sp, 20
+    st r4, [fp - 3]
+    st r5, [fp - 4]
+    ; r0=lo r1=hi
+    ld r0, [fp + 0]
+    ld r1, [fp + 1]
+    sub r2, r1, r0
+    li r3, 4
+    bge r2, r3, psum_split
+    ; sequential base: sum mem[base+lo .. base+hi)
+    ld r2, [fp + 2]
+    add r2, r2, r0          ; cursor = base + lo
+    ld r3, [fp + 2]
+    add r3, r3, r1          ; end = base + hi
+    li r0, 0
+psum_loop:
+    bge r2, r3, psum_done
+    ld r4, [r2 + 0]
+    add r0, r0, r4
+    addi r2, r2, 1
+    jmp psum_loop
+psum_split:
+    call __st_poll
+    ; jc at [fp-7..fp-6], partial result a at [fp-8]
+    addi r2, fp, -7
+    st r2, [sp + 0]
+    li r3, 1
+    st r3, [sp + 1]
+    call jc_init
+    ; mid = lo + (hi-lo)/2 into r5 (callee-saved: survives calls)
+    ld r0, [fp + 0]
+    ld r1, [fp + 1]
+    sub r2, r1, r0
+    li r3, 2
+    div r2, r2, r3
+    add r5, r0, r2
+    ; fork psum_task(lo, mid, base, &a, &jc)
+    call __st_fork_block_begin
+    ld r0, [fp + 0]
+    st r0, [sp + 0]
+    st r5, [sp + 1]
+    ld r0, [fp + 2]
+    st r0, [sp + 2]
+    addi r2, fp, -8
+    st r2, [sp + 3]
+    addi r2, fp, -7
+    st r2, [sp + 4]
+    call psum_task
+    call __st_fork_block_end
+    ; b = psum(mid, hi, base)
+    st r5, [sp + 0]
+    ld r0, [fp + 1]
+    st r0, [sp + 1]
+    ld r0, [fp + 2]
+    st r0, [sp + 2]
+    call psum
+    mov r4, r0
+    ; join
+    addi r2, fp, -7
+    st r2, [sp + 0]
+    call jc_join
+    ld r0, [fp - 8]
+    add r0, r4, r0
+psum_done:
+    ld r5, [fp - 4]
+    ld r4, [fp - 3]
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+
+.proc psum_main
+psum_main:
+    subi sp, sp, 8
+    st lr, [sp + 7]
+    st fp, [sp + 6]
+    addi fp, sp, 8
+    st r4, [fp - 3]
+    st r5, [fp - 4]
+    ; base = alloc(n)
+    ld r0, [fp + 0]
+    st r0, [sp + 0]
+    call __st_alloc
+    mov r4, r0              ; base
+    ; fill: mem[base+i] = i+1
+    li r5, 0
+fill_loop:
+    ld r1, [fp + 0]
+    bge r5, r1, fill_done
+    add r2, r4, r5
+    addi r3, r5, 1
+    st r3, [r2 + 0]
+    addi r5, r5, 1
+    jmp fill_loop
+fill_done:
+    ; result = psum(0, n, base)
+    li r0, 0
+    st r0, [sp + 0]
+    ld r0, [fp + 0]
+    st r0, [sp + 1]
+    st r4, [sp + 2]
+    call psum
+    st r0, [sp + 0]
+    call __st_exit
+.endproc
+)";
+  return src;
+}
+
+PostprocResult compile(const std::string& source, bool with_stdlib) {
+  std::string full = source;
+  if (with_stdlib) full += "\n" + stdlib();
+  return postprocess(assemble(full));
+}
+
+}  // namespace stvm::programs

@@ -1,0 +1,50 @@
+// STVM assembly programs: a small standard library (the Figure 8 join
+// counter built on the core primitives) and the benchmark/demo programs
+// used by tests, benches and examples.
+//
+// "Linking" multiple sources is textual concatenation before assembly --
+// the descriptor merge the paper performs at link time happens when the
+// postprocessor output is installed into the VM's DescriptorTable.
+#pragma once
+
+#include <string>
+
+#include "stvm/postproc.hpp"
+
+namespace stvm::programs {
+
+/// Join counter (jc_init/jc_finish/jc_join) -- Figure 8 with the k+1
+/// counting protocol and suspend-then-publish to close the wakeup race.
+const std::string& stdlib();
+
+/// Sequential fib: main(n) returns fib(n).  Exercises plain calls,
+/// callee-save spills and the augmentation criterion (fib is augmented
+/// only if something in its call graph forks -- here it does not).
+const std::string& fib();
+
+/// Parallel fib: pmain(n) forks pfib_task at every level (ASYNC_CALL via
+/// the fork markers) and joins with the stdlib join counter; polls at
+/// every pfib entry so migration can happen.
+const std::string& pfib();
+
+/// The Section 5.3 / Figure 15 scenario: main forks f, f forks g, g
+/// suspends both (suspend .., 2), main restarts g; g's return must retire
+/// (not free) its frame.  scenario_main(_) returns a checksum of the
+/// execution order.
+const std::string& figure15();
+
+/// The first Section 5.3 scenario: main forks f, f suspends; main calls
+/// g; g restarts f; f shrinks.  g's frame must survive (restart exported
+/// it).  scenario1_main(_) returns an order checksum.
+const std::string& scenario1();
+
+/// Parallel array sum: psum_main(n) allocates an array of n cells,
+/// fills cell i with i+1, then sums it by parallel divide-and-conquer
+/// (fork one half, recurse into the other, join).  Returns n*(n+1)/2.
+const std::string& psum();
+
+/// Assembles `source` (plus the stdlib if with_stdlib) and runs the
+/// postprocessor.
+PostprocResult compile(const std::string& source, bool with_stdlib = true);
+
+}  // namespace stvm::programs

@@ -1,0 +1,617 @@
+#include "stvm/stc.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace stvm::stc {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+enum class Tok {
+  kEnd, kIdent, kNumber,
+  kFunc, kVar, kIf, kElse, kWhile, kReturn, kAsync, kMem, kFetchAdd,
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemi, kAssign, kAmp,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe, kNot,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  long value = 0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  const Token& peek() const { return cur_; }
+  Token take() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+  bool at(Tok k) const { return cur_.kind == k; }
+  Token expect(Tok k, const char* what) {
+    if (!at(k)) throw CompileError(cur_.line, std::string("expected ") + what);
+    return take();
+  }
+  bool accept(Tok k) {
+    if (!at(k)) return false;
+    advance();
+    return true;
+  }
+
+ private:
+  void advance() {
+    skip_space();
+    cur_ = Token{};
+    cur_.line = line_;
+    if (pos_ >= src_.size()) {
+      cur_.kind = Tok::kEnd;
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_')) {
+        word += src_[pos_++];
+      }
+      static const std::map<std::string, Tok> keywords = {
+          {"func", Tok::kFunc},   {"var", Tok::kVar},       {"if", Tok::kIf},
+          {"else", Tok::kElse},   {"while", Tok::kWhile},   {"return", Tok::kReturn},
+          {"async", Tok::kAsync}, {"mem", Tok::kMem},       {"fetchadd", Tok::kFetchAdd},
+      };
+      auto it = keywords.find(word);
+      cur_.kind = it != keywords.end() ? it->second : Tok::kIdent;
+      cur_.text = word;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      long v = 0;
+      while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        v = v * 10 + (src_[pos_++] - '0');
+      }
+      cur_.kind = Tok::kNumber;
+      cur_.value = v;
+      return;
+    }
+    ++pos_;
+    auto two = [&](char second, Tok with, Tok without) {
+      if (pos_ < src_.size() && src_[pos_] == second) {
+        ++pos_;
+        cur_.kind = with;
+      } else {
+        cur_.kind = without;
+      }
+    };
+    switch (c) {
+      case '(': cur_.kind = Tok::kLParen; return;
+      case ')': cur_.kind = Tok::kRParen; return;
+      case '{': cur_.kind = Tok::kLBrace; return;
+      case '}': cur_.kind = Tok::kRBrace; return;
+      case '[': cur_.kind = Tok::kLBracket; return;
+      case ']': cur_.kind = Tok::kRBracket; return;
+      case ',': cur_.kind = Tok::kComma; return;
+      case ';': cur_.kind = Tok::kSemi; return;
+      case '&': cur_.kind = Tok::kAmp; return;
+      case '+': cur_.kind = Tok::kPlus; return;
+      case '-': cur_.kind = Tok::kMinus; return;
+      case '*': cur_.kind = Tok::kStar; return;
+      case '/': cur_.kind = Tok::kSlash; return;
+      case '%': cur_.kind = Tok::kPercent; return;
+      case '=': two('=', Tok::kEq, Tok::kAssign); return;
+      case '!': two('=', Tok::kNe, Tok::kNot); return;
+      case '<': two('=', Tok::kLe, Tok::kLt); return;
+      case '>': two('=', Tok::kGe, Tok::kGt); return;
+      default: throw CompileError(line_, std::string("stray character '") + c + "'");
+    }
+  }
+
+  void skip_space() {
+    for (;;) {
+      while (pos_ < src_.size() && std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token cur_;
+};
+
+// ---------------------------------------------------------------------
+// Code generator (one pass; see stc.hpp for the frame layout contract)
+// ---------------------------------------------------------------------
+
+struct VarInfo {
+  int fpoff = 0;      // address = fp + fpoff (params >= 0, locals < 0)
+  bool is_array = false;
+};
+
+class FunctionCodegen {
+ public:
+  FunctionCodegen(Lexer& lex, std::ostringstream& out, int& label_counter)
+      : lex_(lex), out_(out), labels_(label_counter) {}
+
+  void run() {
+    lex_.expect(Tok::kFunc, "'func'");
+    name_ = lex_.expect(Tok::kIdent, "function name").text;
+    lex_.expect(Tok::kLParen, "'('");
+    int param_index = 0;
+    if (!lex_.at(Tok::kRParen)) {
+      do {
+        const Token p = lex_.expect(Tok::kIdent, "parameter name");
+        declare(p.text, VarInfo{param_index++, false}, p.line);
+      } while (lex_.accept(Tok::kComma));
+    }
+    lex_.expect(Tok::kRParen, "')'");
+    gen_block();
+    // Fall-through return (value 0).
+    emit("li r0, 0");
+    finish();
+  }
+
+ private:
+  // -- emission -----------------------------------------------------------
+  void emit(const std::string& line) { body_.push_back("    " + line); }
+  void emit_label(const std::string& label) { body_.push_back(label + ":"); }
+  std::string fresh_label(const char* stem) {
+    return name_ + "$" + stem + std::to_string(labels_++);
+  }
+
+  // -- frame bookkeeping ---------------------------------------------------
+  void declare(const std::string& name, VarInfo info, int line) {
+    if (vars_.count(name) != 0) throw CompileError(line, "duplicate variable " + name);
+    vars_[name] = info;
+  }
+
+  /// Allocates `words` fresh local slots; returns the fp offset of the
+  /// slot with the LOWEST address (arrays ascend from it).
+  int alloc_local(int words) {
+    next_local_ += words;
+    if (next_local_ - 1 > max_used_) max_used_ = next_local_ - 1;
+    return -(next_local_ - 1);
+  }
+
+  int push_temp() {
+    const int off = -(next_local_ + temp_depth_);
+    ++temp_depth_;
+    if (next_local_ + temp_depth_ - 1 > max_used_) max_used_ = next_local_ + temp_depth_ - 1;
+    return off;
+  }
+  void pop_temp() { --temp_depth_; }
+
+  static std::string slot(int fpoff) {
+    return "[fp + " + std::to_string(fpoff) + "]";
+  }
+
+  // -- expressions (result lands in r0) ------------------------------------
+  void gen_expr() { gen_comparison(); }
+
+  void gen_comparison() {
+    gen_additive();
+    const Tok k = lex_.peek().kind;
+    if (k != Tok::kEq && k != Tok::kNe && k != Tok::kLt && k != Tok::kLe && k != Tok::kGt &&
+        k != Tok::kGe) {
+      return;
+    }
+    lex_.take();
+    const int t = push_temp();
+    emit("st r0, " + slot(t));  // lhs
+    gen_additive();             // rhs in r0
+    emit("ld r1, " + slot(t));
+    pop_temp();
+    const std::string yes = fresh_label("cmpT");
+    const std::string end = fresh_label("cmpE");
+    const char* branch = nullptr;
+    switch (k) {
+      case Tok::kEq: branch = "beq r1, r0, "; break;
+      case Tok::kNe: branch = "bne r1, r0, "; break;
+      case Tok::kLt: branch = "blt r1, r0, "; break;
+      case Tok::kGe: branch = "bge r1, r0, "; break;
+      case Tok::kLe: branch = "bge r0, r1, "; break;  // lhs <= rhs
+      case Tok::kGt: branch = "blt r0, r1, "; break;  // lhs > rhs
+      default: break;
+    }
+    emit(branch + yes);
+    emit("li r0, 0");
+    emit("jmp " + end);
+    emit_label(yes);
+    emit("li r0, 1");
+    emit_label(end);
+  }
+
+  void gen_additive() {
+    gen_multiplicative();
+    while (lex_.at(Tok::kPlus) || lex_.at(Tok::kMinus)) {
+      const Tok k = lex_.take().kind;
+      const int t = push_temp();
+      emit("st r0, " + slot(t));
+      gen_multiplicative();
+      emit("ld r1, " + slot(t));
+      pop_temp();
+      emit(k == Tok::kPlus ? "add r0, r1, r0" : "sub r0, r1, r0");
+    }
+  }
+
+  void gen_multiplicative() {
+    gen_unary();
+    while (lex_.at(Tok::kStar) || lex_.at(Tok::kSlash) || lex_.at(Tok::kPercent)) {
+      const Tok k = lex_.take().kind;
+      const int t = push_temp();
+      emit("st r0, " + slot(t));
+      gen_unary();
+      emit("ld r1, " + slot(t));
+      pop_temp();
+      if (k == Tok::kStar) {
+        emit("mul r0, r1, r0");
+      } else if (k == Tok::kSlash) {
+        emit("div r0, r1, r0");
+      } else {
+        emit("div r2, r1, r0");
+        emit("mul r2, r2, r0");
+        emit("sub r0, r1, r2");
+      }
+    }
+  }
+
+  void gen_unary() {
+    if (lex_.accept(Tok::kMinus)) {
+      gen_unary();
+      emit("li r1, 0");
+      emit("sub r0, r1, r0");
+      return;
+    }
+    if (lex_.accept(Tok::kNot)) {
+      gen_unary();
+      const std::string yes = fresh_label("notT");
+      const std::string end = fresh_label("notE");
+      emit("li r1, 0");
+      emit("beq r0, r1, " + yes);
+      emit("li r0, 0");
+      emit("jmp " + end);
+      emit_label(yes);
+      emit("li r0, 1");
+      emit_label(end);
+      return;
+    }
+    if (lex_.at(Tok::kAmp)) {
+      const int line = lex_.take().line;
+      const Token name = lex_.expect(Tok::kIdent, "variable after '&'");
+      emit("addi r0, fp, " + std::to_string(lookup(name.text, line).fpoff));
+      return;
+    }
+    gen_primary();
+  }
+
+  void gen_primary() {
+    const Token t = lex_.peek();
+    switch (t.kind) {
+      case Tok::kNumber:
+        lex_.take();
+        emit("li r0, " + std::to_string(t.value));
+        return;
+      case Tok::kLParen:
+        lex_.take();
+        gen_expr();
+        lex_.expect(Tok::kRParen, "')'");
+        return;
+      case Tok::kMem: {
+        lex_.take();
+        lex_.expect(Tok::kLBracket, "'['");
+        gen_expr();
+        lex_.expect(Tok::kRBracket, "']'");
+        emit("ld r0, [r0 + 0]");
+        return;
+      }
+      case Tok::kFetchAdd: {
+        lex_.take();
+        lex_.expect(Tok::kLParen, "'('");
+        gen_expr();  // address
+        const int tmp = push_temp();
+        emit("st r0, " + slot(tmp));
+        lex_.expect(Tok::kComma, "','");
+        gen_expr();  // delta
+        lex_.expect(Tok::kRParen, "')'");
+        emit("ld r1, " + slot(tmp));
+        pop_temp();
+        emit("fetchadd r2, [r1 + 0], r0");
+        emit("mov r0, r2");
+        return;
+      }
+      case Tok::kIdent: {
+        lex_.take();
+        if (lex_.at(Tok::kLParen)) {
+          gen_call(t.text, t.line);
+          return;
+        }
+        const VarInfo& v = lookup(t.text, t.line);
+        if (lex_.accept(Tok::kLBracket)) {
+          // buf[i]: load from &buf + i.
+          const int tmp = push_temp();
+          emit("addi r0, fp, " + std::to_string(v.fpoff));
+          emit("st r0, " + slot(tmp));
+          gen_expr();
+          lex_.expect(Tok::kRBracket, "']'");
+          emit("ld r1, " + slot(tmp));
+          pop_temp();
+          emit("add r0, r1, r0");
+          emit("ld r0, [r0 + 0]");
+          return;
+        }
+        if (v.is_array) {
+          emit("addi r0, fp, " + std::to_string(v.fpoff));  // decays to &buf[0]
+        } else {
+          emit("ld r0, " + slot(v.fpoff));
+        }
+        return;
+      }
+      default:
+        throw CompileError(t.line, "expected an expression");
+    }
+  }
+
+  /// Arguments are evaluated into temp slots first, then copied into the
+  /// SP-relative argument region just before the call -- so an `async`
+  /// fork block never contains nested calls between the markers.
+  void gen_call(const std::string& callee, int line, bool is_fork = false) {
+    lex_.expect(Tok::kLParen, "'('");
+    std::vector<int> arg_slots;
+    if (!lex_.at(Tok::kRParen)) {
+      do {
+        gen_expr();
+        const int tmp = push_temp();
+        emit("st r0, " + slot(tmp));
+        arg_slots.push_back(tmp);
+      } while (lex_.accept(Tok::kComma));
+    }
+    lex_.expect(Tok::kRParen, "')'");
+    if (static_cast<int>(arg_slots.size()) > max_args_) {
+      max_args_ = static_cast<int>(arg_slots.size());
+    }
+    if (is_fork) emit("call __st_fork_block_begin");
+    for (std::size_t i = 0; i < arg_slots.size(); ++i) {
+      emit("ld r0, " + slot(arg_slots[i]));
+      emit("st r0, [sp + " + std::to_string(i) + "]");
+    }
+    emit("call " + runtime_name(callee, line));
+    if (is_fork) emit("call __st_fork_block_end");
+    for (std::size_t i = 0; i < arg_slots.size(); ++i) pop_temp();
+  }
+
+  static std::string runtime_name(const std::string& callee, int line) {
+    static const std::map<std::string, std::string> builtins = {
+        {"print", "__st_print"},     {"alloc", "__st_alloc"},
+        {"suspend", "__st_suspend"}, {"suspend_publish", "__st_suspend_publish"},
+        {"restart", "__st_restart"}, {"resume", "__st_resume"},
+        {"poll", "__st_poll"},       {"worker_id", "__st_worker_id"},
+        {"num_workers", "__st_num_workers"}, {"exit", "__st_exit"},
+    };
+    (void)line;
+    auto it = builtins.find(callee);
+    return it != builtins.end() ? it->second : callee;
+  }
+
+  const VarInfo& lookup(const std::string& name, int line) const {
+    auto it = vars_.find(name);
+    if (it == vars_.end()) throw CompileError(line, "undeclared variable " + name);
+    return it->second;
+  }
+
+  // -- statements -----------------------------------------------------------
+  void gen_block() {
+    lex_.expect(Tok::kLBrace, "'{'");
+    while (!lex_.at(Tok::kRBrace)) gen_statement();
+    lex_.take();
+  }
+
+  void gen_statement() {
+    const Token t = lex_.peek();
+    switch (t.kind) {
+      case Tok::kLBrace:
+        gen_block();
+        return;
+      case Tok::kVar: {
+        lex_.take();
+        const Token name = lex_.expect(Tok::kIdent, "variable name");
+        if (lex_.accept(Tok::kLBracket)) {
+          const Token size = lex_.expect(Tok::kNumber, "array size");
+          lex_.expect(Tok::kRBracket, "']'");
+          if (size.value <= 0) throw CompileError(size.line, "array size must be positive");
+          declare(name.text, VarInfo{alloc_local(static_cast<int>(size.value)), true},
+                  name.line);
+        } else {
+          const int off = alloc_local(1);
+          declare(name.text, VarInfo{off, false}, name.line);
+          if (lex_.accept(Tok::kAssign)) {
+            gen_expr();
+            emit("st r0, " + slot(off));
+          }
+        }
+        lex_.expect(Tok::kSemi, "';'");
+        return;
+      }
+      case Tok::kIf: {
+        lex_.take();
+        lex_.expect(Tok::kLParen, "'('");
+        gen_expr();
+        lex_.expect(Tok::kRParen, "')'");
+        const std::string else_label = fresh_label("else");
+        const std::string end_label = fresh_label("fi");
+        emit("li r1, 0");
+        emit("beq r0, r1, " + else_label);
+        gen_block();
+        if (lex_.at(Tok::kElse)) {
+          emit("jmp " + end_label);
+          emit_label(else_label);
+          lex_.take();
+          if (lex_.at(Tok::kIf)) {
+            gen_statement();  // else if
+          } else {
+            gen_block();
+          }
+          emit_label(end_label);
+        } else {
+          emit_label(else_label);
+        }
+        return;
+      }
+      case Tok::kWhile: {
+        lex_.take();
+        const std::string head = fresh_label("loop");
+        const std::string exit_label = fresh_label("pool");
+        emit_label(head);
+        lex_.expect(Tok::kLParen, "'('");
+        gen_expr();
+        lex_.expect(Tok::kRParen, "')'");
+        emit("li r1, 0");
+        emit("beq r0, r1, " + exit_label);
+        gen_block();
+        emit("jmp " + head);
+        emit_label(exit_label);
+        return;
+      }
+      case Tok::kReturn: {
+        lex_.take();
+        if (!lex_.at(Tok::kSemi)) {
+          gen_expr();
+        } else {
+          emit("li r0, 0");
+        }
+        lex_.expect(Tok::kSemi, "';'");
+        emit("jmp " + epilogue_label());
+        return;
+      }
+      case Tok::kAsync: {
+        lex_.take();
+        const Token callee = lex_.expect(Tok::kIdent, "function name after 'async'");
+        gen_call(callee.text, callee.line, /*is_fork=*/true);
+        lex_.expect(Tok::kSemi, "';'");
+        return;
+      }
+      case Tok::kMem: {
+        // mem[e1] = e2;
+        lex_.take();
+        lex_.expect(Tok::kLBracket, "'['");
+        gen_expr();
+        lex_.expect(Tok::kRBracket, "']'");
+        const int tmp = push_temp();
+        emit("st r0, " + slot(tmp));
+        lex_.expect(Tok::kAssign, "'='");
+        gen_expr();
+        lex_.expect(Tok::kSemi, "';'");
+        emit("ld r1, " + slot(tmp));
+        pop_temp();
+        emit("st r0, [r1 + 0]");
+        return;
+      }
+      case Tok::kIdent: {
+        // Could be assignment (x = e; buf[i] = e;) or an expression stmt.
+        lex_.take();
+        if (lex_.at(Tok::kAssign)) {
+          const VarInfo& v = lookup(t.text, t.line);
+          if (v.is_array) throw CompileError(t.line, "cannot assign to an array name");
+          lex_.take();
+          gen_expr();
+          lex_.expect(Tok::kSemi, "';'");
+          emit("st r0, " + slot(v.fpoff));
+          return;
+        }
+        if (lex_.at(Tok::kLBracket)) {
+          const VarInfo& v = lookup(t.text, t.line);
+          lex_.take();
+          const int addr_tmp = push_temp();
+          emit("addi r0, fp, " + std::to_string(v.fpoff));
+          emit("st r0, " + slot(addr_tmp));
+          gen_expr();  // index
+          lex_.expect(Tok::kRBracket, "']'");
+          emit("ld r1, " + slot(addr_tmp));
+          emit("add r0, r1, r0");
+          emit("st r0, " + slot(addr_tmp));  // element address
+          lex_.expect(Tok::kAssign, "'='");
+          gen_expr();
+          lex_.expect(Tok::kSemi, "';'");
+          emit("ld r1, " + slot(addr_tmp));
+          pop_temp();
+          emit("st r0, [r1 + 0]");
+          return;
+        }
+        if (lex_.at(Tok::kLParen)) {
+          gen_call(t.text, t.line);
+          lex_.expect(Tok::kSemi, "';'");
+          return;
+        }
+        throw CompileError(t.line, "expected '=', '[' or '(' after identifier");
+      }
+      default:
+        // Expression statement.
+        gen_expr();
+        lex_.expect(Tok::kSemi, "';'");
+        return;
+    }
+  }
+
+  std::string epilogue_label() { return name_ + "$ret"; }
+
+  void finish() {
+    // F covers: lr/fp (2) + locals/temps (max_used_ - 2) + args region.
+    const int frame = max_used_ + max_args_ + 1;
+    out_ << ".proc " << name_ << "\n" << name_ << ":\n";
+    out_ << "    subi sp, sp, " << frame << "\n";
+    out_ << "    st lr, [sp + " << frame - 1 << "]\n";
+    out_ << "    st fp, [sp + " << frame - 2 << "]\n";
+    out_ << "    addi fp, sp, " << frame << "\n";
+    for (const auto& line : body_) out_ << line << "\n";
+    out_ << epilogue_label() << ":\n";
+    out_ << "    ld lr, [fp + -1]\n";
+    out_ << "    mov sp, fp\n";
+    out_ << "    ld fp, [fp + -2]\n";
+    out_ << "    jr lr\n";
+    out_ << ".endproc\n\n";
+  }
+
+  Lexer& lex_;
+  std::ostringstream& out_;
+  int& labels_;
+  std::string name_;
+  std::map<std::string, VarInfo> vars_;
+  std::vector<std::string> body_;
+  int next_local_ = 3;   // fp-3 is the first local slot
+  int temp_depth_ = 0;
+  int max_used_ = 2;     // fp-1, fp-2 always used (lr, parent fp)
+  int max_args_ = 0;
+};
+
+}  // namespace
+
+std::string compile_to_asm(const std::string& source) {
+  Lexer lex(source);
+  std::ostringstream out;
+  out << "; generated by STC (sequential compiler; knows nothing about threads)\n";
+  int labels = 0;
+  while (!lex.at(Tok::kEnd)) {
+    FunctionCodegen fn(lex, out, labels);
+    fn.run();
+  }
+  return out.str();
+}
+
+}  // namespace stvm::stc

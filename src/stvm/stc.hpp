@@ -1,0 +1,60 @@
+// STC: a miniature sequential C-like language compiled to STVM assembly.
+//
+// This completes the paper's Figure 1 pipeline inside the reproduction:
+//
+//   source (.stc)  -->  sequential compiler (this file)  -->  assembly
+//       -->  postprocessor (postproc.hpp)  -->  VM + runtime (vm.hpp)
+//
+// Exactly as in the paper, the compiler is *sequential*: it has no notion
+// of threads, frames-as-data, or migration.  It merely obeys the calling
+// standard of isa.hpp (frame pointer kept, return address and parent FP
+// at fixed slots, arguments passed at [sp + i]).  The `async` statement
+// is the ASYNC_CALL macro of Figure 4: it wraps an ordinary call between
+// the two dummy marker calls, which the postprocessor recognizes and
+// removes.  Everything thread-related is a plain runtime call
+// (suspend/restart/resume/... -- Section 3.4's library view).
+//
+// Language summary (everything is a 64-bit word):
+//
+//   func fib(n) {
+//     if (n < 2) { return n; }
+//     var a;
+//     a = fib(n - 1);
+//     return a + fib(n - 2);
+//   }
+//
+//   * declarations:  var x;   var x = e;   var buf[9];   (arrays are
+//     word arrays with ascending addresses; `buf` evaluates to &buf[0])
+//   * statements: assignment (x = e; buf[i] = e; mem[e1] = e2;),
+//     if/else, while, return, expression statements, blocks,
+//     `async f(args);` (the fork)
+//   * expressions: integer literals, variables, unary - and & (address
+//     of a local/array), * + - / %, comparisons == != < <= > >=,
+//     logical !, function calls, mem[e] loads, buf[i] indexing,
+//     fetchadd(addr, delta) (the atomic primitive)
+//   * runtime builtins are ordinary calls: print(v), alloc(n),
+//     suspend(ctx, n), suspend_publish(ctx, slot), restart(ctx),
+//     resume(ctx), poll(), worker_id(), num_workers(), exit(v)
+//
+// Code generation is deliberately naive (expression temporaries are
+// frame slots, results travel through r0/r1): a "dumb but standard-
+// conforming" compiler is precisely what the paper's scheme must
+// tolerate, and the postprocessor/VM treat its output like any other.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stvm::stc {
+
+struct CompileError : std::runtime_error {
+  CompileError(int line, const std::string& message)
+      : std::runtime_error("stc:" + std::to_string(line) + ": " + message), line_no(line) {}
+  int line_no;
+};
+
+/// Compiles STC source to STVM assembly text (feed to stvm::assemble /
+/// stvm::postprocess, typically via programs::compile-like plumbing).
+std::string compile_to_asm(const std::string& source);
+
+}  // namespace stvm::stc

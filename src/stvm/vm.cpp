@@ -1,0 +1,655 @@
+#include "stvm/vm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace stvm {
+
+namespace {
+
+constexpr Addr kAddrMax = std::numeric_limits<Addr>::max();
+
+bool is_fork_point(const ProcDescriptor* d, Addr call_addr) {
+  return d != nullptr &&
+         std::find(d->fork_points.begin(), d->fork_points.end(), call_addr) !=
+             d->fork_points.end();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Construction / linking
+// ---------------------------------------------------------------------
+
+Vm::Vm(const PostprocResult& program, VmConfig cfg)
+    : code_(program.module.code), cfg_(cfg), rng_(cfg.steal_seed) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  for (const auto& d : program.descriptors) table_.add(d);
+  max_args_ = table_.max_args_region();
+
+  // Resolve label operands: module labels first, then runtime entries.
+  const std::map<std::string, int> builtins = {
+      {"__st_alloc", kBAlloc},
+      {"__st_print", kBPrint},
+      {"__st_suspend", kBSuspend},
+      {"__st_suspend_publish", kBSuspendPublish},
+      {"__st_restart", kBRestart},
+      {"__st_resume", kBResume},
+      {"__st_poll", kBPoll},
+      {"__st_worker_id", kBWorkerId},
+      {"__st_num_workers", kBNumWorkers},
+      {"__st_exit", kBExit},
+      {kForkBegin, kBForkBegin},
+      {kForkEnd, kBForkEnd},
+  };
+  for (auto& ins : code_) {
+    if (ins.label.empty()) continue;
+    auto lit = program.module.labels.find(ins.label);
+    if (lit != program.module.labels.end()) {
+      ins.target = static_cast<Addr>(lit->second);
+      continue;
+    }
+    auto bit = builtins.find(ins.label);
+    if (bit != builtins.end()) {
+      ins.target = kBuiltinBase + bit->second;
+      continue;
+    }
+    throw VmError("unresolved symbol: " + ins.label);
+  }
+
+  // Memory layout: [0,16) guard, heap, then one stack segment per worker.
+  heap_end_ = 16 + static_cast<Addr>(cfg_.heap_words);
+  const Addr total =
+      heap_end_ + static_cast<Addr>(cfg_.workers) * static_cast<Addr>(cfg_.stack_words);
+  memory_.assign(static_cast<std::size_t>(total), 0);
+
+  workers_.resize(cfg_.workers);
+  for (unsigned w = 0; w < cfg_.workers; ++w) {
+    auto& W = workers_[w];
+    W.stack_lo = heap_end_ + static_cast<Addr>(w) * static_cast<Addr>(cfg_.stack_words);
+    W.stack_hi = W.stack_lo + static_cast<Addr>(cfg_.stack_words);
+    W.regs[kSp] = W.stack_hi;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+Word& Vm::mem(Addr a) {
+  if (a < 1 || a >= static_cast<Addr>(memory_.size())) {
+    throw VmError("memory access out of range: " + std::to_string(a));
+  }
+  return memory_[static_cast<std::size_t>(a)];
+}
+
+Word Vm::read_mem(Addr a) const { return const_cast<Vm*>(this)->mem(a); }
+
+bool Vm::is_local(unsigned w, Addr addr) const {
+  return addr >= workers_[w].stack_lo && addr < workers_[w].stack_hi;
+}
+
+const ProcDescriptor* Vm::proc_of(Addr pc, const char* why) const {
+  const ProcDescriptor* d = table_.find(pc);
+  if (d == nullptr) {
+    throw VmError(std::string("no procedure descriptor covering address ") +
+                  std::to_string(pc) + " (" + why + ")");
+  }
+  return d;
+}
+
+Addr Vm::make_trampoline(Trampoline t) {
+  const Addr token = next_tramp_++;
+  trampolines_[token] = t;
+  return token;
+}
+
+Addr Vm::alloc_heap(Word n) {
+  if (n < 0 || heap_next_ + n > heap_end_) throw VmError("heap exhausted");
+  const Addr p = heap_next_;
+  heap_next_ += n;
+  return p;
+}
+
+void Vm::fail(unsigned w, const std::string& msg) const {
+  std::ostringstream out;
+  out << "worker " << w << " @ pc=" << workers_[w].pc << ": " << msg;
+  throw VmError(out.str());
+}
+
+// ---------------------------------------------------------------------
+// Top-level run loop
+// ---------------------------------------------------------------------
+
+Word Vm::run(const std::string& entry, const std::vector<Word>& args) {
+  if (result_.has_value()) throw VmError("Vm::run may only be called once");
+  const ProcDescriptor* d = table_.by_name(entry);
+  if (d == nullptr) throw VmError("unknown entry procedure: " + entry);
+
+  auto& W0 = workers_[0];
+  W0.regs[kSp] = W0.stack_hi - 16;  // pseudo caller frame holding the args
+  for (std::size_t i = 0; i < args.size(); ++i) mem(W0.regs[kSp] + static_cast<Addr>(i)) = args[i];
+  // The entry runs as a fine-grain thread above a scheduler fork boundary
+  // (so its joins may suspend); programs terminate via __st_exit.
+  Trampoline sched;
+  sched.kind = Trampoline::Kind::kScheduler;
+  sched.is_fork = true;
+  sched.owner = 0;
+  W0.regs[kLr] = make_trampoline(sched);
+  W0.regs[kFp] = 0;
+  W0.pc = d->entry;
+  W0.idle = false;
+
+  int quiet_rounds = 0;
+  while (!result_.has_value()) {
+    for (unsigned w = 0; w < cfg_.workers && !result_.has_value(); ++w) {
+      step_worker(w);
+    }
+    if (stats_.instructions > cfg_.max_steps) {
+      throw VmError("instruction budget exhausted (livelock or runaway program)");
+    }
+    // Deadlock detection: everything idle, nothing queued, nothing in
+    // flight, and no __st_exit seen -- for several consecutive rounds.
+    bool quiet = !result_.has_value();
+    for (const auto& W : workers_) {
+      if (!W.idle || W.halted || !W.readyq.empty() || W.steal_request_from >= 0 ||
+          W.steal_reply != kNoReply) {
+        quiet = false;
+        break;
+      }
+    }
+    quiet_rounds = quiet ? quiet_rounds + 1 : 0;
+    if (quiet_rounds >= 4) {
+      throw VmError("deadlock: all workers idle with no runnable work and no __st_exit");
+    }
+  }
+  return *result_;
+}
+
+void Vm::step_worker(unsigned w) {
+  auto& W = workers_[w];
+  if (W.halted) return;
+  if (W.idle) {
+    idle_step(w);
+    return;
+  }
+  for (int i = 0; i < cfg_.quantum; ++i) {
+    exec_instr(w);
+    if (cfg_.validate) validate_worker(w);
+    if (W.idle || W.halted || result_.has_value()) break;
+  }
+}
+
+void Vm::validate_worker(unsigned w) const {
+  const auto& W = workers_[w];
+  if (W.idle || W.halted) return;
+  const Addr sp = W.regs[kSp];
+  if (sp < W.stack_lo || sp > W.stack_hi) {
+    fail(w, "SP escaped the physical stack segment: " + std::to_string(sp));
+  }
+  // Theorem 4(1), dynamically: SP at or above the top of every live
+  // (non-retired) exported frame of this worker.
+  for (const auto& e : W.exported.raw()) {
+    if (read_mem(e.ra_slot) != 0 && sp > e.top) {
+      fail(w, "SP moved below a live exported frame (fp=" + std::to_string(e.fp) + ")");
+    }
+  }
+}
+
+void Vm::idle_step(unsigned w) {
+  auto& W = workers_[w];
+  // Serve thieves even while idle (reject or hand out the readyq tail).
+  if (W.steal_request_from >= 0) serve_steal(w, 0, 0, /*running=*/false);
+  shrink(w, /*cur_pc=*/-1);
+  if (!W.readyq.empty()) {
+    const Addr ctx = W.readyq.pop_head();  // Figure 12: schedule readyq head
+    do_restart(w, ctx, 0, 0, /*from_scheduler=*/true);
+    return;
+  }
+  if (cfg_.workers <= 1) return;
+  if (W.awaiting_victim < 0) {
+    unsigned victim = static_cast<unsigned>(rng_.below(cfg_.workers - 1));
+    if (victim >= w) ++victim;
+    if (workers_[victim].steal_request_from < 0 && !workers_[victim].halted) {
+      workers_[victim].steal_request_from = static_cast<int>(w);
+      W.awaiting_victim = static_cast<int>(victim);
+    }
+  } else if (W.steal_reply != kNoReply) {
+    const Addr reply = W.steal_reply;
+    W.steal_reply = kNoReply;
+    W.awaiting_victim = -1;
+    if (reply != kRejected) do_restart(w, reply, 0, 0, /*from_scheduler=*/true);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Instruction execution
+// ---------------------------------------------------------------------
+
+void Vm::exec_instr(unsigned w) {
+  auto& W = workers_[w];
+  if (W.pc < 0 || W.pc >= static_cast<Addr>(code_.size())) fail(w, "pc out of code range");
+  const Instr& ins = code_[static_cast<std::size_t>(W.pc)];
+  ++stats_.instructions;
+  auto& R = W.regs;
+  switch (ins.op) {
+    case Op::kLi: R[ins.rd] = ins.imm; ++W.pc; break;
+    case Op::kMov: R[ins.rd] = R[ins.ra]; ++W.pc; break;
+    case Op::kAdd: R[ins.rd] = R[ins.ra] + R[ins.rb]; ++W.pc; break;
+    case Op::kSub: R[ins.rd] = R[ins.ra] - R[ins.rb]; ++W.pc; break;
+    case Op::kMul: R[ins.rd] = R[ins.ra] * R[ins.rb]; ++W.pc; break;
+    case Op::kDiv:
+      if (R[ins.rb] == 0) fail(w, "division by zero");
+      R[ins.rd] = R[ins.ra] / R[ins.rb];
+      ++W.pc;
+      break;
+    case Op::kAddi: R[ins.rd] = R[ins.ra] + ins.imm; ++W.pc; break;
+    case Op::kSubi: R[ins.rd] = R[ins.ra] - ins.imm; ++W.pc; break;
+    case Op::kLd: R[ins.rd] = mem(R[ins.ra] + ins.imm); ++W.pc; break;
+    case Op::kSt: mem(R[ins.ra] + ins.imm) = R[ins.rd]; ++W.pc; break;
+    case Op::kFetchAdd: {
+      Word& slot = mem(R[ins.ra] + ins.imm);
+      R[ins.rd] = slot;
+      slot += R[ins.rb];
+      ++W.pc;
+      break;
+    }
+    case Op::kCall:
+      R[kLr] = W.pc + 1;
+      if (ins.target >= kBuiltinBase) {
+        W.pc = R[kLr];  // builtins "return" unless they redirect control
+        do_builtin(w, static_cast<int>(ins.target - kBuiltinBase));
+      } else {
+        W.pc = ins.target;
+      }
+      break;
+    case Op::kCallr: {
+      const Addr target = R[ins.ra];
+      R[kLr] = W.pc + 1;
+      if (target >= kBuiltinBase && target < kTrampBase) {
+        W.pc = R[kLr];
+        do_builtin(w, static_cast<int>(target - kBuiltinBase));
+      } else if (target >= kTrampBase) {
+        fail(w, "callr into a trampoline token");
+      } else {
+        W.pc = target;
+      }
+      break;
+    }
+    case Op::kJmp: W.pc = ins.target; break;
+    case Op::kJr: {
+      const Addr target = R[ins.ra];
+      if (target >= kTrampBase) {
+        take_trampoline(w, target);
+      } else if (target >= kBuiltinBase) {
+        fail(w, "jr into a builtin");
+      } else {
+        W.pc = target;
+      }
+      break;
+    }
+    case Op::kBeq: W.pc = (R[ins.ra] == R[ins.rb]) ? ins.target : W.pc + 1; break;
+    case Op::kBne: W.pc = (R[ins.ra] != R[ins.rb]) ? ins.target : W.pc + 1; break;
+    case Op::kBlt: W.pc = (R[ins.ra] < R[ins.rb]) ? ins.target : W.pc + 1; break;
+    case Op::kBge: W.pc = (R[ins.ra] >= R[ins.rb]) ? ins.target : W.pc + 1; break;
+    case Op::kBltu:
+      W.pc = (static_cast<std::uint64_t>(R[ins.ra]) < static_cast<std::uint64_t>(R[ins.rb]))
+                 ? ins.target
+                 : W.pc + 1;
+      break;
+    case Op::kBgeu:
+      W.pc = (static_cast<std::uint64_t>(R[ins.ra]) >= static_cast<std::uint64_t>(R[ins.rb]))
+                 ? ins.target
+                 : W.pc + 1;
+      break;
+    case Op::kGetMaxE: {
+      // The epilogue check's "1 load": the topmost exported frame's FP, or
+      // the above-stack sentinel when the exported set is empty.
+      R[ins.rd] = W.exported.empty() ? W.stack_hi + 1 : W.exported.max().fp;
+      ++W.pc;
+      break;
+    }
+    case Op::kHalt:
+      result_ = R[0];
+      W.halted = true;
+      break;
+  }
+}
+
+void Vm::take_trampoline(unsigned w, Addr token) {
+  auto it = trampolines_.find(token);
+  if (it == trampolines_.end()) fail(w, "return through a dead trampoline token");
+  const Trampoline t = it->second;
+  trampolines_.erase(it);
+  ++stats_.trampolines_taken;
+  auto& W = workers_[w];
+  switch (t.kind) {
+    case Trampoline::Kind::kUser:
+      // The invalid-frame fix (Section 3.4): restore the callee-saved
+      // registers captured when restart was called.
+      for (int i = 0; i < 4; ++i) W.regs[kFirstCalleeSaved + i] = t.saved[i];
+      W.pc = t.ret_pc;
+      break;
+    case Trampoline::Kind::kScheduler:
+      W.idle = true;
+      W.regs[kFp] = 0;
+      break;
+    case Trampoline::Kind::kHalt:
+      result_ = W.regs[0];
+      W.halted = true;
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Builtins
+// ---------------------------------------------------------------------
+
+void Vm::do_builtin(unsigned w, int id) {
+  auto& W = workers_[w];
+  const Addr sp = W.regs[kSp];
+  switch (id) {
+    case kBAlloc:
+      W.regs[0] = alloc_heap(read_mem(sp + 0));
+      break;
+    case kBPrint:
+      output_.push_back(read_mem(sp + 0));
+      break;
+    case kBWorkerId:
+      W.regs[0] = static_cast<Word>(w);
+      break;
+    case kBNumWorkers:
+      W.regs[0] = static_cast<Word>(cfg_.workers);
+      break;
+    case kBExit:
+      result_ = read_mem(sp + 0);
+      W.halted = true;
+      break;
+    case kBForkBegin:
+    case kBForkEnd:
+      break;  // only reachable in unpostprocessed code; inert markers
+    case kBSuspend: {
+      const Addr ctx = read_mem(sp + 0);
+      const Word n = read_mem(sp + 1);
+      if (n < 1) fail(w, "suspend with n < 1");
+      ++stats_.suspends;
+      const UnwindResult r = unwind(w, ctx, W.regs[kLr], W.regs[kFp], n);
+      apply_unwind(w, r);
+      break;
+    }
+    case kBSuspendPublish: {
+      // suspend(ctx, 1) + publish the context pointer into a shared slot,
+      // atomically w.r.t. other workers (the VM's builtin granularity is
+      // the analog of the runtime's internal locking).
+      const Addr ctx = read_mem(sp + 0);
+      const Addr slot = read_mem(sp + 1);
+      ++stats_.suspends;
+      const UnwindResult r = unwind(w, ctx, W.regs[kLr], W.regs[kFp], 1);
+      mem(slot) = ctx;
+      apply_unwind(w, r);
+      break;
+    }
+    case kBRestart: {
+      const Addr ctx = read_mem(sp + 0);
+      ++stats_.restarts;
+      do_restart(w, ctx, W.regs[kLr], W.regs[kFp], /*from_scheduler=*/false);
+      break;
+    }
+    case kBResume: {
+      const Addr ctx = read_mem(sp + 0);
+      ++stats_.resumes;
+      W.readyq.push_tail(ctx);
+      break;
+    }
+    case kBPoll: {
+      const bool migrated = serve_steal(w, W.regs[kLr], W.regs[kFp], /*running=*/true);
+      if (!migrated) shrink(w, W.regs[kLr]);
+      break;
+    }
+    default:
+      fail(w, "unknown builtin " + std::to_string(id));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Frame surgery
+// ---------------------------------------------------------------------
+
+Vm::UnwindResult Vm::unwind(unsigned w, Addr ctx, Addr resume_pc, Addr fp, Word n) {
+  auto& W = workers_[w];
+  mem(ctx + kCtxPc) = resume_pc;
+  mem(ctx + kCtxFp) = fp;
+  for (int i = 0; i < 4; ++i) mem(ctx + kCtxRegs + i) = W.regs[kFirstCalleeSaved + i];
+
+  Addr cur_pc = resume_pc;
+  Addr cur_fp = fp;
+  Word forks = 0;
+  UnwindResult r;
+
+  for (;;) {
+    const ProcDescriptor* d = proc_of(cur_pc, "unwind");
+    if (!d->has_frame) fail(w, "cannot unwind frameless procedure " + d->name);
+    // Export the frame being detached (Section 5: every unwound *local*
+    // frame enters the exported set -- the model's {u_i | u_i > 0}; a
+    // foreign frame is already exported at its home worker, whose SP is
+    // what its liveness constrains).  It is retained in place either way.
+    if (is_local(w, cur_fp)) {
+      W.exported.push({cur_fp, cur_fp - d->frame_size, cur_fp + d->ra_offset});
+    }
+    mem(ctx + kCtxBottomFp) = cur_fp;
+    mem(ctx + kCtxBottomRaSlot) = cur_fp + d->ra_offset;
+    mem(ctx + kCtxBottomPfpSlot) = cur_fp + d->pfp_offset;
+    ++stats_.frames_unwound;
+
+    const Addr ra = read_mem(cur_fp + d->ra_offset);
+    const Addr parent_fp = read_mem(cur_fp + d->pfp_offset);
+    // Pure-epilogue semantics: restore this procedure's callee-saves
+    // without touching SP (the replica code emitted by the postprocessor
+    // does exactly these loads; tests check the replica matches).
+    for (std::size_t k = 0; k < d->saved_regs.size(); ++k) {
+      W.regs[d->saved_regs[k]] = read_mem(cur_fp + d->saved_offsets[k]);
+    }
+
+    bool was_fork = false;
+    Addr next_pc = 0;
+    if (ra >= kTrampBase) {
+      auto it = trampolines_.find(ra);
+      if (it == trampolines_.end()) fail(w, "unwind through a dead trampoline");
+      const Trampoline t = it->second;
+      trampolines_.erase(it);
+      for (int i = 0; i < 4; ++i) W.regs[kFirstCalleeSaved + i] = t.saved[i];
+      was_fork = t.is_fork;
+      if (t.kind == Trampoline::Kind::kHalt) fail(w, "suspend unwound past the main thread");
+      if (t.kind == Trampoline::Kind::kScheduler) {
+        if (was_fork) ++forks;
+        if (forks >= n) {
+          r.reached_scheduler = true;
+          return r;
+        }
+        fail(w, "suspend unwound past the scheduler");
+      }
+      next_pc = t.ret_pc;
+    } else {
+      if (ra == 0) fail(w, "unwind through a retired frame");
+      const ProcDescriptor* pd = proc_of(ra, "unwind parent");
+      was_fork = is_fork_point(pd, ra - 1);
+      next_pc = ra;
+    }
+    cur_pc = next_pc;
+    cur_fp = parent_fp;
+    if (was_fork) {
+      ++forks;
+      if (forks >= n) break;
+    }
+  }
+  r.resume_pc = cur_pc;
+  r.fp = cur_fp;
+  return r;
+}
+
+void Vm::apply_unwind(unsigned w, const UnwindResult& r) {
+  auto& W = workers_[w];
+  if (r.reached_scheduler) {
+    W.idle = true;
+    W.regs[kFp] = 0;
+    return;
+  }
+  W.pc = r.resume_pc;
+  W.regs[kFp] = r.fp;
+  W.regs[0] = 0;  // the fork "returns" without a value when the child blocks
+  extend_if_needed(w, r.resume_pc);
+}
+
+void Vm::do_restart(unsigned w, Addr ctx, Addr ret_pc, Addr f_fp, bool from_scheduler) {
+  auto& W = workers_[w];
+  const Addr bottom_fp = read_mem(ctx + kCtxBottomFp);
+  const Addr ra_slot = read_mem(ctx + kCtxBottomRaSlot);
+  const Addr pfp_slot = read_mem(ctx + kCtxBottomPfpSlot);
+
+  Trampoline t;
+  t.owner = w;
+  for (int i = 0; i < 4; ++i) t.saved[i] = W.regs[kFirstCalleeSaved + i];
+  if (from_scheduler) {
+    t.kind = Trampoline::Kind::kScheduler;
+    t.is_fork = true;  // ST_THREAD_CREATE(restart(...)) in Figure 12
+  } else {
+    t.kind = Trampoline::Kind::kUser;
+    t.ret_pc = ret_pc;
+    const ProcDescriptor* pd = proc_of(ret_pc, "restart caller");
+    t.is_fork = is_fork_point(pd, ret_pc - 1);
+  }
+  // The Figure 7 slot surgery: make the chain bottom look as if it had
+  // been called from the restarter.
+  mem(ra_slot) = make_trampoline(t);
+  mem(pfp_slot) = from_scheduler ? 0 : f_fp;
+
+  // First Section 5.3 subtlety: export the restarter's frame when it is
+  // physically above the chain bottom within this stack (or the bottom is
+  // foreign) -- otherwise a later shrink could discard it.
+  if (!from_scheduler && is_local(w, f_fp) &&
+      (!is_local(w, bottom_fp) || f_fp < bottom_fp)) {
+    const ProcDescriptor* fd = proc_of(ret_pc, "restarter frame");
+    W.exported.push({f_fp, f_fp - fd->frame_size, f_fp + fd->ra_offset});
+  }
+
+  for (int i = 0; i < 4; ++i) W.regs[kFirstCalleeSaved + i] = read_mem(ctx + kCtxRegs + i);
+  W.regs[kFp] = read_mem(ctx + kCtxFp);
+  W.pc = read_mem(ctx + kCtxPc);
+  W.regs[0] = 0;  // the resumed suspend call returns 0
+  W.idle = false;
+  extend_if_needed(w, W.pc);
+}
+
+bool Vm::serve_steal(unsigned w, Addr resume_pc, Addr fp, bool running) {
+  auto& W = workers_[w];
+  if (W.steal_request_from < 0) return false;
+  const int thief = W.steal_request_from;
+  W.steal_request_from = -1;
+  auto& T = workers_[static_cast<std::size_t>(thief)];
+
+  // Figure 12: hand out the readyq tail when there is one.
+  if (!W.readyq.empty()) {
+    T.steal_reply = W.readyq.pop_tail();
+    ++stats_.steals_served;
+    return false;
+  }
+  if (running) {
+    const Word forks = count_forks(resume_pc, fp);
+    if (forks >= 2) {
+      // Figure 9: pull the bottom-most thread out of the logical stack --
+      // suspend everything above it, suspend it, hand it over, restart
+      // the rest.  Control ends up exactly where poll was called.
+      const Addr c1 = alloc_heap(kCtxWords);
+      const Addr c2 = alloc_heap(kCtxWords);
+      ++stats_.suspends;
+      const UnwindResult s1 = unwind(w, c1, resume_pc, fp, forks - 1);
+      ++stats_.suspends;
+      const UnwindResult s2 = unwind(w, c2, s1.resume_pc, s1.fp, 1);
+      T.steal_reply = c2;
+      ++stats_.steals_served;
+      ++stats_.restarts;
+      do_restart(w, c1, s2.resume_pc, s2.fp, s2.reached_scheduler);
+      return true;
+    }
+  }
+  T.steal_reply = kRejected;
+  ++stats_.steals_rejected;
+  return false;
+}
+
+Word Vm::count_forks(Addr resume_pc, Addr fp) const {
+  Word forks = 0;
+  Addr pc = resume_pc;
+  Addr f = fp;
+  for (;;) {
+    const ProcDescriptor* d = table_.find(pc);
+    if (d == nullptr || !d->has_frame) break;
+    const Addr ra = read_mem(f + d->ra_offset);
+    const Addr pf = read_mem(f + d->pfp_offset);
+    if (ra >= kTrampBase) {
+      auto it = trampolines_.find(ra);
+      if (it == trampolines_.end()) break;
+      if (it->second.is_fork) ++forks;
+      if (it->second.kind != Trampoline::Kind::kUser) break;  // scheduler/halt
+      pc = it->second.ret_pc;
+    } else {
+      if (ra == 0) break;
+      const ProcDescriptor* pd = table_.find(ra);
+      if (is_fork_point(pd, ra - 1)) ++forks;
+      pc = ra;
+    }
+    f = pf;
+  }
+  return forks;
+}
+
+void Vm::shrink(unsigned w, Addr cur_pc) {
+  auto& W = workers_[w];
+  bool popped = false;
+  while (!W.exported.empty() && read_mem(W.exported.max().ra_slot) == 0) {
+    W.exported.pop_max();
+    ++stats_.shrink_reclaimed;
+    popped = true;
+  }
+  if (!popped) return;
+
+  const bool have_f1 = !W.idle && cur_pc >= 0 && is_local(w, W.regs[kFp]);
+  const Addr max_e_fp = W.exported.empty() ? kAddrMax : W.exported.max().fp;
+  if (have_f1 && W.regs[kFp] <= max_e_fp) {
+    // The current frame is the (weakly) topmost live frame: SP goes to its
+    // natural top; no extension needed.
+    const ProcDescriptor* d = proc_of(cur_pc, "shrink");
+    if (d->has_frame) {
+      W.regs[kSp] = W.regs[kFp] - d->frame_size;
+      return;
+    }
+  }
+  if (!W.exported.empty()) {
+    W.regs[kSp] = W.exported.max().top;
+    extend_if_needed(w, cur_pc);  // the exported frame owns the top now
+  } else if (!have_f1) {
+    W.regs[kSp] = W.stack_hi;  // everything reclaimed
+  }
+}
+
+void Vm::extend_if_needed(unsigned w, Addr cur_pc) {
+  auto& W = workers_[w];
+  const Addr sp = W.regs[kSp];
+  // Prune stale extension marks above the current top.
+  for (auto it = W.extended_sps.begin(); it != W.extended_sps.end();) {
+    it = (*it < sp) ? W.extended_sps.erase(it) : std::next(it);
+  }
+  if (W.extended_sps.count(sp) != 0) return;  // already extended here
+  // Does the executing frame own the physical top?  Then no extension is
+  // required (Invariant 2 is vacuous).
+  if (cur_pc >= 0 && is_local(w, W.regs[kFp])) {
+    const ProcDescriptor* d = table_.find(cur_pc);
+    if (d != nullptr && d->has_frame && W.regs[kFp] - d->frame_size == sp) return;
+  }
+  if (max_args_ <= 0) return;
+  W.regs[kSp] = sp - max_args_;
+  W.extended_sps.insert(W.regs[kSp]);
+}
+
+}  // namespace stvm

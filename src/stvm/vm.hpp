@@ -1,0 +1,202 @@
+// The STVM virtual machine: N virtual workers sharing one memory, each
+// with a physical stack, executing postprocessed STVM code.  The runtime
+// primitives perform the paper's actual frame surgery:
+//
+//   suspend (Section 3.4/Figure 6) -- unwinds frames by *executing their
+//     pure epilogues* (restoring callee-saves and FP while leaving SP in
+//     place), counting fork points found in the descriptor table, and
+//     exporting every unwound frame into the worker's exported-set heap.
+//   restart (Figure 7) -- patches the chain-bottom frame's return-address
+//     and parent-FP slots so it "looks as if it were called from" the
+//     restarter, saving the restarter's callee-saved registers so the
+//     *invalid frame* problem (Section 3.4) is fixed exactly as in the
+//     paper: they are restored when control returns through the patched
+//     slot (realized as a trampoline token the VM intercepts).
+//   retirement -- the postprocessed epilogues zero the return-address slot
+//     of frames that finish below an exported frame; shrink pops retired
+//     maxima off the exported heap and raises SP (Section 5.2).
+//   migration (Figures 9/10/12) -- the polling steal protocol with LTC:
+//     a victim's poll hands out its readyq tail, or pulls the bottom-most
+//     thread out of its logical stack with the two-suspend + restart
+//     dance of Figure 9.
+//
+// Workers are stepped round-robin with a configurable quantum, making
+// every concurrent schedule deterministic and replayable in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "stvm/module.hpp"
+#include "stvm/postproc.hpp"
+#include "util/max_heap.hpp"
+#include "util/owner_deque.hpp"
+#include "util/rng.hpp"
+
+namespace stvm {
+
+struct VmError : std::runtime_error {
+  explicit VmError(const std::string& m) : std::runtime_error(m) {}
+};
+
+struct VmConfig {
+  unsigned workers = 1;
+  std::size_t stack_words = 16 * 1024;  ///< per-worker physical stack
+  std::size_t heap_words = 1 << 20;
+  int quantum = 64;            ///< instructions per worker per round
+  std::uint64_t steal_seed = 1;
+  std::uint64_t max_steps = 500'000'000;  ///< runaway guard
+  /// Check after every instruction that SP is inside the worker's stack
+  /// segment and at-or-above the top of every live exported frame (the
+  /// Theorem 4 safety property, enforced dynamically).  For tests.
+  bool validate = false;
+};
+
+struct VmStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t suspends = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t steals_served = 0;
+  std::uint64_t steals_rejected = 0;
+  std::uint64_t frames_unwound = 0;
+  std::uint64_t shrink_reclaimed = 0;
+  std::uint64_t retired_marks_seen = 0;
+  std::uint64_t trampolines_taken = 0;
+};
+
+class Vm {
+ public:
+  /// Links a postprocessed module: lays code at address 0, resolves
+  /// labels and runtime entry points, installs the descriptor table.
+  Vm(const PostprocResult& program, VmConfig cfg = {});
+
+  /// Runs `entry(args...)` on worker 0 (other workers start idle and pull
+  /// work via the steal protocol).  Returns the entry's r0.
+  Word run(const std::string& entry, const std::vector<Word>& args = {});
+
+  /// Values printed via __st_print, in emission order.
+  const std::vector<Word>& output() const { return output_; }
+
+  const VmStats& stats() const { return stats_; }
+  const DescriptorTable& descriptors() const { return table_; }
+
+  /// Exported-set size of a worker (tests/diagnostics).
+  std::size_t exported_count(unsigned w) const { return workers_[w].exported.size(); }
+
+ private:
+  // ---- structure -------------------------------------------------------
+  struct ExportedFrame {
+    Addr fp = 0;       ///< frame's high end
+    Addr top = 0;      ///< frame's low end (its SP extent)
+    Addr ra_slot = 0;  ///< address of the return-address slot (retire mark)
+  };
+  struct TopmostFirst {  // "max E" in growth order = numerically lowest fp
+    bool operator()(const ExportedFrame& a, const ExportedFrame& b) const {
+      return a.fp > b.fp;  // MaxHeap keeps the numerically smallest fp on top
+    }
+  };
+
+  struct Trampoline {
+    enum class Kind { kUser, kScheduler, kHalt };
+    Kind kind = Kind::kUser;
+    Addr ret_pc = 0;
+    Word saved[4] = {0, 0, 0, 0};  // r4..r7 at restart time
+    bool is_fork = false;
+    unsigned owner = 0;  // worker that created it (scheduler kind)
+  };
+
+  struct VmWorkerState {
+    std::array<Word, kNumRegs> regs{};
+    Addr pc = 0;
+    bool idle = true;
+    bool halted = false;
+    Addr stack_lo = 0, stack_hi = 0;  // stack occupies [lo, hi); grows down
+    stu::MaxHeap<ExportedFrame, TopmostFirst> exported;
+    std::set<Addr> extended_sps;
+    stu::OwnerDeque<Addr> readyq;  // context addresses
+    int steal_request_from = -1;   // requester worker id, -1 none
+    Addr steal_reply = kNoReply;   // kNoReply none, kRejected, or ctx addr
+    int awaiting_victim = -1;      // victim we posted a request to
+  };
+
+  static constexpr Addr kNoReply = -2;
+  static constexpr Addr kRejected = -1;
+  static constexpr Addr kBuiltinBase = 1 << 20;
+  static constexpr Addr kTrampBase = 1 << 21;
+
+  enum Builtin : int {
+    kBAlloc,
+    kBPrint,
+    kBSuspend,
+    kBSuspendPublish,
+    kBRestart,
+    kBResume,
+    kBPoll,
+    kBWorkerId,
+    kBNumWorkers,
+    kBExit,       // __st_exit(value): terminate the whole program
+    kBForkBegin,  // markers survive only in unpostprocessed code: no-ops
+    kBForkEnd,
+    kBCount,
+  };
+
+  // Context layout (words at the context address).
+  static constexpr Word kCtxPc = 0, kCtxFp = 1, kCtxBottomFp = 2, kCtxRegs = 3,
+                        kCtxBottomRaSlot = 7, kCtxBottomPfpSlot = 8, kCtxWords = 9;
+
+  // ---- execution -------------------------------------------------------
+  void step_worker(unsigned w);
+  void exec_instr(unsigned w);
+  void idle_step(unsigned w);
+  void do_builtin(unsigned w, int id);
+  void take_trampoline(unsigned w, Addr token);
+
+  // ---- runtime primitives ----------------------------------------------
+  struct UnwindResult {
+    Addr resume_pc = 0;  // fork point return address (or 0 if scheduler)
+    Addr fp = 0;
+    bool reached_scheduler = false;
+  };
+  UnwindResult unwind(unsigned w, Addr ctx, Addr resume_pc, Addr fp, Word n);
+  void apply_unwind(unsigned w, const UnwindResult& r);
+  void do_restart(unsigned w, Addr ctx, Addr ret_pc, Addr f_fp, bool from_scheduler);
+  /// Returns true when a migration changed the worker's control state.
+  bool serve_steal(unsigned w, Addr resume_pc, Addr fp, bool running);
+  void shrink(unsigned w, Addr cur_pc);
+  void extend_if_needed(unsigned w, Addr cur_pc);
+  Word count_forks(Addr resume_pc, Addr fp) const;
+
+  // ---- helpers ----------------------------------------------------------
+  Word& mem(Addr a);
+  Word read_mem(Addr a) const;
+  void validate_worker(unsigned w) const;
+  bool is_local(unsigned w, Addr addr) const;
+  const ProcDescriptor* proc_of(Addr pc, const char* why) const;
+  Addr make_trampoline(Trampoline t);
+  Addr alloc_heap(Word n);
+  [[noreturn]] void fail(unsigned w, const std::string& msg) const;
+
+  std::vector<Instr> code_;
+  DescriptorTable table_;
+  Word max_args_ = 0;
+  VmConfig cfg_;
+  std::vector<VmWorkerState> workers_;
+  std::vector<Word> memory_;
+  Addr heap_next_ = 16;
+  Addr heap_end_ = 0;
+  std::map<Addr, Trampoline> trampolines_;
+  Addr next_tramp_ = kTrampBase;
+  std::vector<Word> output_;
+  VmStats stats_;
+  stu::Xoshiro256 rng_;
+  std::optional<Word> result_;
+};
+
+}  // namespace stvm

@@ -1,0 +1,134 @@
+// Bounded MPMC channel and a cyclic barrier for fine-grain threads.
+//
+// Channels make the paper's motivating "asynchronous input" programs (GUI
+// loops, network servers -- Section 1.1) expressible directly: producers
+// suspend when the ring is full, consumers when it is empty.  The barrier
+// rounds out the synchronization library; both are built purely on
+// suspend/resume like everything in sync/.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "util/spinlock.hpp"
+
+namespace st {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity_ > 0);
+  }
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks while the channel is full (unless closed; sending on a closed
+  /// channel is a programming error).
+  void send(T v) {
+    lock_.lock();
+    assert(!closed_ && "send on closed channel");
+    while (buf_.size() >= capacity_) {
+      Continuation c;
+      send_waiters_.push_back(&c);
+      suspend(&c, [](void* p) { static_cast<stu::Spinlock*>(p)->unlock(); }, &lock_);
+      lock_.lock();  // re-acquire and re-check (MPMC)
+    }
+    buf_.push_back(std::move(v));
+    Continuation* wake = pop_waiter(recv_waiters_);
+    lock_.unlock();
+    if (wake != nullptr) resume(wake);
+  }
+
+  /// Blocks while the channel is empty; returns nullopt once the channel
+  /// is closed and drained.
+  std::optional<T> recv() {
+    lock_.lock();
+    while (buf_.empty()) {
+      if (closed_) {
+        lock_.unlock();
+        return std::nullopt;
+      }
+      Continuation c;
+      recv_waiters_.push_back(&c);
+      suspend(&c, [](void* p) { static_cast<stu::Spinlock*>(p)->unlock(); }, &lock_);
+      lock_.lock();
+    }
+    T v = std::move(buf_.front());
+    buf_.pop_front();
+    Continuation* wake = pop_waiter(send_waiters_);
+    lock_.unlock();
+    if (wake != nullptr) resume(wake);
+    return v;
+  }
+
+  /// Wakes all blocked receivers; subsequent recv() on an empty channel
+  /// returns nullopt.
+  void close() {
+    lock_.lock();
+    closed_ = true;
+    std::deque<Continuation*> wake = std::move(recv_waiters_);
+    recv_waiters_.clear();
+    lock_.unlock();
+    for (Continuation* c : wake) resume(c);
+  }
+
+  std::size_t size() const {
+    stu::SpinGuard g(lock_);
+    return buf_.size();
+  }
+
+ private:
+  static Continuation* pop_waiter(std::deque<Continuation*>& q) {
+    if (q.empty()) return nullptr;
+    Continuation* c = q.front();
+    q.pop_front();
+    return c;
+  }
+
+  mutable stu::Spinlock lock_;
+  std::size_t capacity_;
+  std::deque<T> buf_;
+  bool closed_ = false;
+  std::deque<Continuation*> send_waiters_;
+  std::deque<Continuation*> recv_waiters_;
+};
+
+/// Cyclic barrier: the last of `parties` arrivals releases the rest and
+/// the barrier resets for the next round.
+class Barrier {
+ public:
+  explicit Barrier(long parties) : parties_(parties), remaining_(parties) {
+    assert(parties_ > 0);
+  }
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Returns true for exactly one participant per round (the releaser).
+  bool arrive_and_wait() {
+    lock_.lock();
+    if (--remaining_ == 0) {
+      remaining_ = parties_;
+      std::vector<Continuation*> wake = std::move(waiters_);
+      waiters_.clear();
+      lock_.unlock();
+      for (Continuation* c : wake) resume(c);
+      return true;
+    }
+    Continuation c;
+    waiters_.push_back(&c);
+    suspend(&c, [](void* p) { static_cast<stu::Spinlock*>(p)->unlock(); }, &lock_);
+    return false;
+  }
+
+ private:
+  stu::Spinlock lock_;
+  long parties_;
+  long remaining_;
+  std::vector<Continuation*> waiters_;
+};
+
+}  // namespace st

@@ -1,0 +1,88 @@
+// Futures on top of suspend/resume -- the paper's titular abstraction.
+//
+// A FutureCell<T> is a single-assignment value any number of fine-grain
+// threads may block on.  st::spawn(f) is the future call: it forks f as a
+// fine-grain thread and returns a handle whose get() suspends until the
+// value arrives.  Under LIFO scheduling the child usually completes before
+// the parent ever reaches get(), so the common case is a plain load.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "util/spinlock.hpp"
+
+namespace st {
+
+template <typename T>
+class FutureCell {
+ public:
+  FutureCell() = default;
+  FutureCell(const FutureCell&) = delete;
+  FutureCell& operator=(const FutureCell&) = delete;
+
+  /// Fulfills the future; wakes every waiter (deferred, LTC order).
+  /// Precondition: not yet fulfilled.
+  void set(T value) {
+    lock_.lock();
+    assert(!value_.has_value() && "future set twice");
+    value_.emplace(std::move(value));
+    std::vector<Continuation*> waiters = std::move(waiters_);
+    waiters_.clear();
+    lock_.unlock();
+    for (Continuation* c : waiters) resume(c);
+  }
+
+  bool ready() const {
+    stu::SpinGuard g(lock_);
+    return value_.has_value();
+  }
+
+  /// Blocks the calling fine-grain thread until the value is available.
+  const T& get() {
+    lock_.lock();
+    if (value_.has_value()) {
+      lock_.unlock();
+      return *value_;
+    }
+    Continuation c;
+    waiters_.push_back(&c);
+    suspend(&c, [](void* p) { static_cast<stu::Spinlock*>(p)->unlock(); }, &lock_);
+    // Woken: the value is immutable from here on; no lock needed.
+    return *value_;
+  }
+
+ private:
+  mutable stu::Spinlock lock_;
+  std::optional<T> value_;
+  std::vector<Continuation*> waiters_;
+};
+
+/// Shared-ownership handle to a future value.
+template <typename T>
+class Future {
+ public:
+  Future() : cell_(std::make_shared<FutureCell<T>>()) {}
+
+  const T& get() const { return cell_->get(); }
+  bool ready() const { return cell_->ready(); }
+  void set(T v) const { cell_->set(std::move(v)); }
+
+ private:
+  std::shared_ptr<FutureCell<T>> cell_;
+};
+
+/// The future call: ASYNC_CALL returning a value.  Forks `f` as a
+/// fine-grain thread; the handle's get() suspends until f's result is in.
+template <typename F, typename R = std::invoke_result_t<F>>
+Future<R> spawn(F&& f) {
+  Future<R> handle;
+  fork([handle, fn = std::forward<F>(f)]() mutable { handle.set(fn()); });
+  return handle;
+}
+
+}  // namespace st

@@ -1,0 +1,86 @@
+// Join counter: the paper's Figure 8 synchronization primitive, with the
+// mutual exclusion the figure omits, and both wake-up policies:
+//
+//   kDeferred  -- the awakened thread enters the tail of the resuming
+//                 worker's readyq (the LTC policy of Section 4.2, the
+//                 paper's recommended default: "it is often better to
+//                 postpone scheduling the waiting context").
+//   kImmediate -- the finisher restarts the waiter at once and becomes
+//                 its parent (Figure 8 line 14 as written).
+//
+// As in the paper, exactly one thread may wait on a counter.
+#pragma once
+
+#include <cassert>
+
+#include "runtime/runtime.hpp"
+#include "util/spinlock.hpp"
+
+namespace st {
+
+enum class WakePolicy { kDeferred, kImmediate };
+
+class JoinCounter {
+ public:
+  explicit JoinCounter(long n = 0, WakePolicy policy = WakePolicy::kDeferred)
+      : n_(n), policy_(policy) {}
+  JoinCounter(const JoinCounter&) = delete;
+  JoinCounter& operator=(const JoinCounter&) = delete;
+
+  /// Registers k more tasks to wait for.  Must not run concurrently with
+  /// the last finish() unless a join() is still outstanding.
+  void add(long k = 1) {
+    stu::SpinGuard g(lock_);
+    n_ += k;
+  }
+
+  long outstanding() const {
+    stu::SpinGuard g(lock_);
+    return n_;
+  }
+
+  /// Declares the completion of one task; wakes the waiter when the
+  /// count reaches zero.
+  void finish() {
+    lock_.lock();
+    assert(n_ > 0 && "finish() without matching add()");
+    Continuation* to_wake = nullptr;
+    if (--n_ == 0 && waiting_ != nullptr) {
+      to_wake = waiting_;
+      waiting_ = nullptr;
+    }
+    lock_.unlock();
+    if (to_wake != nullptr) {
+      if (policy_ == WakePolicy::kDeferred) {
+        resume(to_wake);
+      } else {
+        restart(to_wake);
+      }
+    }
+  }
+
+  /// Waits for the count to reach zero.  At most one waiter.
+  void join() {
+    lock_.lock();
+    if (n_ == 0) {
+      lock_.unlock();
+      return;
+    }
+    assert(waiting_ == nullptr && "only one thread may wait on a join counter");
+    Continuation c;
+    waiting_ = &c;
+    // The lock is released by the context we suspend to, *after* c's sp
+    // has been written by the switch -- a finisher can therefore never
+    // observe a half-built continuation (the lost-wakeup race of naive
+    // implementations).
+    suspend(&c, [](void* p) { static_cast<stu::Spinlock*>(p)->unlock(); }, &lock_);
+  }
+
+ private:
+  mutable stu::Spinlock lock_;
+  long n_;
+  Continuation* waiting_ = nullptr;
+  WakePolicy policy_;
+};
+
+}  // namespace st

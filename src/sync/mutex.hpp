@@ -1,0 +1,125 @@
+// Blocking synchronization for fine-grain threads: a suspending mutex and
+// a counting semaphore.  Unlike a spinlock, a contended acquirer suspends
+// (freeing its worker to run other fine-grain threads) instead of
+// spinning; ownership is transferred directly to the head waiter on
+// release, so the primitive is FIFO-fair across workers.
+#pragma once
+
+#include <cassert>
+#include <deque>
+
+#include "runtime/runtime.hpp"
+#include "util/spinlock.hpp"
+
+namespace st {
+
+class Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+    guard_.lock();
+    if (!held_) {
+      held_ = true;
+      guard_.unlock();
+      return;
+    }
+    Continuation c;
+    waiters_.push_back(&c);
+    suspend(&c, [](void* p) { static_cast<stu::Spinlock*>(p)->unlock(); }, &guard_);
+    // Woken by unlock(): ownership was handed to us directly.
+  }
+
+  bool try_lock() {
+    stu::SpinGuard g(guard_);
+    if (held_) return false;
+    held_ = true;
+    return true;
+  }
+
+  void unlock() {
+    guard_.lock();
+    assert(held_ && "unlock of an unheld Mutex");
+    if (waiters_.empty()) {
+      held_ = false;
+      guard_.unlock();
+      return;
+    }
+    Continuation* next = waiters_.front();
+    waiters_.pop_front();
+    guard_.unlock();  // held_ stays true: ownership transfers to `next`
+    resume(next);
+  }
+
+ private:
+  stu::Spinlock guard_;
+  bool held_ = false;
+  std::deque<Continuation*> waiters_;
+};
+
+/// RAII guard for st::Mutex.
+class MutexGuard {
+ public:
+  explicit MutexGuard(Mutex& m) : m_(m) { m_.lock(); }
+  ~MutexGuard() { m_.unlock(); }
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+class Semaphore {
+ public:
+  explicit Semaphore(long initial) : count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  void acquire() {
+    guard_.lock();
+    if (count_ > 0) {
+      --count_;
+      guard_.unlock();
+      return;
+    }
+    Continuation c;
+    waiters_.push_back(&c);
+    suspend(&c, [](void* p) { static_cast<stu::Spinlock*>(p)->unlock(); }, &guard_);
+    // Woken by release(): the permit was consumed on our behalf.
+  }
+
+  bool try_acquire() {
+    stu::SpinGuard g(guard_);
+    if (count_ <= 0) return false;
+    --count_;
+    return true;
+  }
+
+  void release(long k = 1) {
+    std::deque<Continuation*> to_wake;
+    {
+      stu::SpinGuard g(guard_);
+      while (k > 0 && !waiters_.empty()) {
+        to_wake.push_back(waiters_.front());
+        waiters_.pop_front();
+        --k;
+      }
+      count_ += k;
+    }
+    for (Continuation* c : to_wake) resume(c);
+  }
+
+  long available() const {
+    stu::SpinGuard g(guard_);
+    return count_;
+  }
+
+ private:
+  mutable stu::Spinlock guard_;
+  long count_;
+  std::deque<Continuation*> waiters_;
+};
+
+}  // namespace st

@@ -1,0 +1,47 @@
+// Worker-local storage: the paper's Section 7 wish -- "It is highly
+// desirable that the calling standard specifies a register that holds a
+// pointer to a thread local storage... Many multithreaded programs and
+// libraries will benefit" -- as a library type.  One padded slot per
+// worker, addressed by the current worker id; fine-grain threads that
+// migrate observe the slot of whatever worker they are *currently* on
+// (that is the point: per-worker scratch such as counters, caches and
+// free lists, not per-thread state).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "util/cache.hpp"
+
+namespace st {
+
+template <typename T>
+class WorkerLocal {
+ public:
+  explicit WorkerLocal(Runtime& rt) : slots_(rt.num_workers()) {}
+  WorkerLocal(Runtime& rt, const T& init) : slots_(rt.num_workers()) {
+    for (auto& s : slots_) s.value = init;
+  }
+
+  /// The calling worker's slot.  Precondition: on_worker().
+  T& local() { return slots_[worker_id()].value; }
+
+  /// Slot of a specific worker (aggregation after a parallel phase).
+  T& of(unsigned worker) { return slots_[worker].value; }
+  const T& of(unsigned worker) const { return slots_[worker].value; }
+
+  std::size_t size() const { return slots_.size(); }
+
+  /// Folds every worker's slot (call after the parallel phase quiesces).
+  template <typename Combine>
+  T combine(T init, Combine&& fn) const {
+    for (const auto& s : slots_) init = fn(init, s.value);
+    return init;
+  }
+
+ private:
+  std::vector<stu::CacheAligned<T>> slots_;
+};
+
+}  // namespace st

@@ -1,0 +1,58 @@
+// Chunked bump arena.
+//
+// Used by the STVM assembler/postprocessor for per-compilation-unit
+// allocations and by workload generators for node-heavy structures
+// (cilksort runs, knapsack items).  Everything allocated from an arena is
+// freed at once when the arena dies, which mirrors how the paper's
+// postprocessor builds its per-object-file descriptor tables.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace stu {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 1 << 16) : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    std::size_t p = (offset_ + align - 1) & ~(align - 1);
+    if (chunks_.empty() || p + bytes > chunk_bytes_) {
+      const std::size_t sz = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+      chunks_.push_back(std::make_unique<std::byte[]>(sz));
+      cur_ = chunks_.back().get();
+      cur_size_ = sz;
+      offset_ = 0;
+      p = 0;
+    }
+    offset_ = p + bytes;
+    total_ += bytes;
+    return cur_ + p;
+  }
+
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* p = allocate(sizeof(T), alignof(T));
+    return new (p) T(std::forward<Args>(args)...);
+  }
+
+  /// Total bytes handed out (diagnostics only).
+  std::size_t bytes_allocated() const noexcept { return total_; }
+
+ private:
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::byte* cur_ = nullptr;
+  std::size_t cur_size_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace stu

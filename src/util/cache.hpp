@@ -1,0 +1,32 @@
+// Cache-line utilities shared by all StackThreads/MP modules.
+//
+// The runtime keeps per-worker hot state (deque pointers, steal ports,
+// exported-set heads) on distinct cache lines; every cross-worker mailbox
+// in the polling steal protocol is padded to a full line to avoid false
+// sharing between the requester's spin loop and the victim's poll.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace stu {
+
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr std::size_t kCacheLine = std::hardware_destructive_interference_size;
+#else
+inline constexpr std::size_t kCacheLine = 64;
+#endif
+
+/// Wraps a value so that it occupies (at least) one full cache line.
+/// Used for per-worker slots in shared arrays.
+template <typename T>
+struct alignas(kCacheLine) CacheAligned {
+  T value{};
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace stu

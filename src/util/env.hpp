@@ -1,0 +1,29 @@
+// Environment-variable configuration for benches and tests.
+//
+// All workload sizes default to values that finish in seconds on a small
+// host and can be scaled up (e.g. STMP_SCALE=10 bench_fig21_uniproc) to
+// approach the paper's original problem sizes on real hardware.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace stu {
+
+/// Integer environment variable with a default.
+long env_long(const char* name, long fallback);
+
+/// Floating-point environment variable with a default.
+double env_double(const char* name, double fallback);
+
+/// String environment variable with a default.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Global workload multiplier: STMP_SCALE (default 1.0).
+double workload_scale();
+
+/// Worker counts to sweep in parallel benches: STMP_WORKERS, a comma list
+/// such as "1,2,4,8". Defaults to 1,2,4 capped by 2x hardware concurrency.
+std::size_t hardware_workers();
+
+}  // namespace stu

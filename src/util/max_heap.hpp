@@ -1,0 +1,89 @@
+// D-ary max-heap: the paper's "exported set" data structure (Section 5.2).
+//
+// The stack-management algorithm needs exactly three operations on the set
+// of exported frames: insert, read-max, and remove-max.  No membership
+// queries are ever made, which is why a simple heap suffices ("This makes
+// it possible to implement an exported set as a simple heap", §5.2).
+// Read-max is O(1) because it is consulted in every augmented procedure
+// epilogue; insert/remove-max are O(log n).
+//
+// We use a 4-ary layout: shallower than binary for the same size, which
+// shortens the remove-max path that `shrink` runs repeatedly.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace stu {
+
+template <typename T, typename Compare = std::less<T>, std::size_t Arity = 4>
+class MaxHeap {
+  static_assert(Arity >= 2, "a heap needs arity >= 2");
+
+ public:
+  MaxHeap() = default;
+  explicit MaxHeap(Compare cmp) : cmp_(std::move(cmp)) {}
+
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t size() const noexcept { return items_.size(); }
+
+  /// O(1): the largest element.  Precondition: !empty().
+  const T& max() const noexcept {
+    assert(!items_.empty());
+    return items_.front();
+  }
+
+  void push(T value) {
+    items_.push_back(std::move(value));
+    sift_up(items_.size() - 1);
+  }
+
+  /// Removes and returns the largest element.  Precondition: !empty().
+  T pop_max() {
+    assert(!items_.empty());
+    T top = std::move(items_.front());
+    items_.front() = std::move(items_.back());
+    items_.pop_back();
+    if (!items_.empty()) sift_down(0);
+    return top;
+  }
+
+  void clear() noexcept { items_.clear(); }
+
+  /// Read-only view of the underlying array (used by invariant checkers in
+  /// tests; never by the runtime itself).
+  const std::vector<T>& raw() const noexcept { return items_; }
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i != 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (!cmp_(items_[parent], items_[i])) break;
+      std::swap(items_[parent], items_[i]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = items_.size();
+    for (;;) {
+      const std::size_t first_child = i * Arity + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t last_child = std::min(first_child + Arity, n);
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (cmp_(items_[best], items_[c])) best = c;
+      }
+      if (!cmp_(items_[i], items_[best])) break;
+      std::swap(items_[i], items_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<T> items_;
+  Compare cmp_{};
+};
+
+}  // namespace stu

@@ -1,0 +1,93 @@
+// Owner-only doubly-ended queue: the paper's `readyq` (Figure 11/12).
+//
+// Under the polling steal protocol of StackThreads/MP the ready queue is
+// touched *only* by its owning worker -- thieves never access it directly;
+// they post a request to the victim's port and the victim itself dequeues
+// the tail on their behalf.  The deque therefore needs no synchronization
+// at all, which is one of the paper's simplifications relative to Cilk's
+// THE protocol.  (The Cilk-style baseline in src/cilk uses a locked deque
+// instead; see cilk/deque.hpp.)
+//
+// Implemented as a growable ring buffer.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace stu {
+
+template <typename T>
+class OwnerDeque {
+ public:
+  explicit OwnerDeque(std::size_t initial_capacity = 16)
+      : buf_(round_up(initial_capacity)) {}
+
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t size() const noexcept { return count_; }
+
+  /// Push at the head (the logical stack top side; newest fork record).
+  void push_head(T v) {
+    grow_if_full();
+    head_ = (head_ + mask()) & mask();  // head_ - 1 mod capacity
+    buf_[head_] = std::move(v);
+    ++count_;
+  }
+
+  /// Push at the tail (oldest side; where resumed threads enter under LTC).
+  void push_tail(T v) {
+    grow_if_full();
+    buf_[(head_ + count_) & mask()] = std::move(v);
+    ++count_;
+  }
+
+  /// Pop the newest entry. Precondition: !empty().
+  T pop_head() {
+    assert(count_ > 0);
+    T v = std::move(buf_[head_]);
+    head_ = (head_ + 1) & mask();
+    --count_;
+    return v;
+  }
+
+  /// Pop the oldest entry (what a steal hands out). Precondition: !empty().
+  T pop_tail() {
+    assert(count_ > 0);
+    --count_;
+    return std::move(buf_[(head_ + count_) & mask()]);
+  }
+
+  /// Peek without removal; index 0 is the head (newest).
+  const T& peek(std::size_t i) const noexcept {
+    assert(i < count_);
+    return buf_[(head_ + i) & mask()];
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::size_t mask() const noexcept { return buf_.size() - 1; }
+
+  static std::size_t round_up(std::size_t n) {
+    std::size_t c = 8;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  void grow_if_full() {
+    if (count_ < buf_.size()) return;
+    std::vector<T> bigger(buf_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) bigger[i] = std::move(buf_[(head_ + i) & mask()]);
+    buf_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace stu

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random numbers for tests, property traces and
+// workload generators.  xoshiro256** — fast, seedable, and identical across
+// platforms, which keeps every benchmark workload reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace stu {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    // SplitMix64 expansion of the seed, per Vigna's recommendation.
+    std::uint64_t z = seed;
+    for (auto& s : s_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return unit() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace stu

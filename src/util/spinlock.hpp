@@ -1,0 +1,58 @@
+// Minimal test-and-test-and-set spinlock.
+//
+// StackThreads/MP (the paper, Section 4.1) needs mutual exclusion only on
+// the per-worker steal-request port and on user-level synchronization
+// counters; critical sections are a handful of instructions, so a spinlock
+// is appropriate.  On this reproduction's single-core CI host an un-yielding
+// spin would starve the lock holder, so the slow path yields to the OS.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace stu {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept {
+    int spins = 0;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins >= kSpinsBeforeYield) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int kSpinsBeforeYield = 64;
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard; mirrors std::lock_guard but avoids pulling in <mutex>.
+class SpinGuard {
+ public:
+  explicit SpinGuard(Spinlock& l) noexcept : lock_(l) { lock_.lock(); }
+  ~SpinGuard() { lock_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  Spinlock& lock_;
+};
+
+}  // namespace stu

@@ -1,0 +1,55 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace stu {
+
+Summary Samples::summarize() const {
+  Summary s;
+  s.n = values_.size();
+  if (s.n == 0) return s;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  double var = 0;
+  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(var / static_cast<double>(s.n - 1)) : 0.0;
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(s.n - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, s.n - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+  };
+  s.median = quantile(0.5);
+  s.p90 = quantile(0.9);
+  return s;
+}
+
+double Samples::best() const {
+  if (values_.empty()) throw std::logic_error("Samples::best on empty sample set");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+std::string format_seconds(double s) {
+  char buf[64];
+  if (s < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.1f ns", s * 1e9);
+  } else if (s < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", s);
+  }
+  return buf;
+}
+
+}  // namespace stu

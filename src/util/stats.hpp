@@ -1,0 +1,38 @@
+// Sample statistics for the benchmark harnesses: each figure in the paper
+// is reproduced from repeated timed runs; we report min/median/mean so the
+// tables in EXPERIMENTS.md are robust to scheduler noise on the shared host.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace stu {
+
+struct Summary {
+  std::size_t n = 0;
+  double min = 0, max = 0, mean = 0, stddev = 0, median = 0, p90 = 0;
+};
+
+class Samples {
+ public:
+  void add(double v) { values_.push_back(v); }
+  std::size_t size() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+  /// Computes the summary (sorts a copy; call once at the end of a run).
+  Summary summarize() const;
+
+  /// Best (smallest) observation -- the conventional report for timing
+  /// benchmarks since it is least polluted by preemption.
+  double best() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Formats seconds with an adaptive unit (ns/us/ms/s).
+std::string format_seconds(double s);
+
+}  // namespace stu

@@ -1,0 +1,32 @@
+// Plain-text table printer.  Every bench binary regenerating a paper table
+// or figure emits its rows through this so the output format is uniform and
+// grep-able by EXPERIMENTS.md tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stu {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the number of cells must equal the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders with column alignment and a header separator.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stu

@@ -1,0 +1,260 @@
+// Unit tests for the Figure 13 transitions, including literal replays of
+// the two "subtle cases" of Section 5.3 (restart-must-export and
+// return-must-not-free-max-E, i.e. the Figure 15 scenario).
+#include "frame/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using stf::Chain;
+using stf::Frame;
+using stf::WorkerState;
+
+// The curated traces in this file stay in the "prompt" regime (no call is
+// ever made above a retired maximal export), so both the safety and the
+// strict promptness invariants must hold at every step.
+void expect_ok(const WorkerState& w) {
+  const auto bad = w.check_invariants();
+  EXPECT_FALSE(bad.has_value()) << *bad;
+  const auto lazy = w.check_promptness();
+  EXPECT_FALSE(lazy.has_value()) << *lazy;
+}
+
+TEST(FrameModel, InitialStateIsS0) {
+  WorkerState w;
+  EXPECT_EQ(w.depth(), 1u);
+  EXPECT_EQ(w.top(), 0);
+  EXPECT_EQ(w.sp(), 0);
+  EXPECT_TRUE(w.exported().empty());
+  EXPECT_TRUE(w.retired().empty());
+  EXPECT_TRUE(w.extended().empty());
+  expect_ok(w);
+}
+
+TEST(FrameModel, CallAllocatesAtPhysicalTop) {
+  WorkerState w;
+  w.call();
+  EXPECT_EQ(w.top(), 1);
+  EXPECT_EQ(w.sp(), 1);
+  w.call();
+  EXPECT_EQ(w.top(), 2);
+  EXPECT_EQ(w.sp(), 2);
+  EXPECT_EQ(w.stack(), (Chain{2, 1, 0}));
+  expect_ok(w);
+}
+
+TEST(FrameModel, LifoReturnFreesFrames) {
+  WorkerState w;
+  w.call();
+  w.call();
+  EXPECT_EQ(w.ret(), 2);
+  EXPECT_EQ(w.sp(), 1);  // freed: SP drops just below the finished frame
+  EXPECT_EQ(w.ret(), 1);
+  EXPECT_EQ(w.sp(), 0);
+  EXPECT_TRUE(w.retired().empty());
+  expect_ok(w);
+}
+
+TEST(FrameModel, SuspendExportsDetachedLocalFrames) {
+  WorkerState w;
+  w.call();  // 1
+  w.call();  // 2
+  w.call();  // 3
+  const Chain c = w.suspend(2);
+  EXPECT_EQ(c, (Chain{3, 2}));
+  EXPECT_EQ(w.stack(), (Chain{1, 0}));
+  EXPECT_EQ(w.exported(), (std::set<Frame>{2, 3}));
+  // SP does not move: detached frames are retained in place (the core
+  // difference from the authors' previous copy-out scheme).
+  EXPECT_EQ(w.sp(), 3);
+  // The physically top frame's argument region is extended because the
+  // executing frame (1) is no longer the physical top.
+  EXPECT_TRUE(w.extended().count(3));
+  expect_ok(w);
+}
+
+TEST(FrameModel, SuspendOfWholeStackRejected) {
+  WorkerState w;
+  w.call();
+  EXPECT_THROW(w.suspend(2), std::logic_error);
+}
+
+TEST(FrameModel, RestartPrependsChain) {
+  WorkerState w;
+  w.call();  // 1
+  w.call();  // 2
+  const Chain c = w.suspend(2);
+  w.call();  // 3 allocated at t+1 = 4? No: t stayed 2, so frame 3.
+  EXPECT_EQ(w.top(), 3);
+  w.restart(c);
+  EXPECT_EQ(w.stack(), (Chain{2, 1, 3, 0}));
+  expect_ok(w);
+}
+
+TEST(FrameModel, RestartRequiresExportedChain) {
+  WorkerState w;
+  w.call();
+  EXPECT_THROW(w.restart(Chain{5}), std::logic_error);
+}
+
+TEST(FrameModel, ReturnOfNonTopPhysicalFrameRetires) {
+  WorkerState w;
+  w.call();  // 1
+  w.call();  // 2
+  const Chain c = w.suspend(1);  // detaches (2); E={2}
+  // Frame 1 now finishes while frame 2 is exported above it: retire.
+  EXPECT_EQ(w.ret(), 1);
+  EXPECT_EQ(w.sp(), 2);
+  EXPECT_EQ(w.retired(), (std::set<Frame>{1}));
+  expect_ok(w);
+  (void)c;
+}
+
+TEST(FrameModel, RemoteFinishOfStackedFrameRejected) {
+  WorkerState w;
+  w.call();
+  EXPECT_THROW(w.remote_finish(1), std::logic_error);
+}
+
+TEST(FrameModel, ShrinkReclaimsRetiredMaxima) {
+  WorkerState w;
+  w.call();                       // 1
+  w.call();                       // 2
+  const Chain c = w.suspend(2);   // E={1,2}, stack (0), t=2
+  w.remote_finish(2);             // another worker finished frame 2
+  w.remote_finish(1);
+  EXPECT_TRUE(w.shrink());        // pops 2: f1=0 <= maxE'=1 -> t=1, X+={1}
+  EXPECT_EQ(w.sp(), 1);
+  EXPECT_TRUE(w.shrink());        // pops 1: f1=0 > maxE'=0? 0>0 false -> t=maxE'=0
+  EXPECT_EQ(w.sp(), 0);
+  EXPECT_FALSE(w.shrink());       // nothing left
+  EXPECT_TRUE(w.exported().empty());
+  expect_ok(w);
+  (void)c;
+}
+
+TEST(FrameModel, ShrinkIsNoOpWhileMaxExportStillLive) {
+  WorkerState w;
+  w.call();
+  w.call();
+  const Chain c = w.suspend(1);  // E={2}, not retired
+  EXPECT_FALSE(w.shrink());
+  EXPECT_EQ(w.sp(), 2);
+  (void)c;
+}
+
+// ---- Section 5.3, first subtlety -------------------------------------
+// main forks f; f suspends; main calls g; g restarts f's context.  The
+// frame of g is physically above the frame of f, so restart must export
+// g -- otherwise f's subsequent shrink would reset SP to f's frame and
+// wrongly discard g.
+TEST(FrameModel, Sec53RestartExportsCurrentFrame) {
+  WorkerState w;                 // frame 0 = main
+  w.call();                      // frame 1 = f (ASYNC_CALL)
+  const Chain f_ctxt = w.suspend(1);  // f blocks; E={1}; stack (0)
+  w.call();                      // frame 2 = g; stack (2,0); t=2
+  w.restart(f_ctxt);             // g restarts f
+  // f1 (=2, the frame of g) > cn (=1, the frame of f): g must be exported.
+  EXPECT_TRUE(w.exported().count(2)) << "restart failed to export the current frame";
+  EXPECT_EQ(w.stack(), (Chain{1, 2, 0}));
+  expect_ok(w);
+  // f (frame 1) performs shrink: no exported maximum has retired, so SP
+  // must stay put and g's frame survives.
+  EXPECT_FALSE(w.shrink());
+  EXPECT_EQ(w.sp(), 2);
+  expect_ok(w);
+}
+
+// ---- Section 5.3, second subtlety (Figure 15) --------------------------
+// main forks f; f forks g; g suspends both itself and f (suspend .., 2);
+// main restarts g.  When g then finishes, its frame is both the physical
+// top and the maximum of the exported set; return must NOT free it,
+// because control returns to main while f's frame -- now the physical
+// top -- has no extended argument region.
+TEST(FrameModel, Sec53Figure15ReturnKeepsMaxExportedFrame) {
+  WorkerState w;                 // frame 0 = main
+  w.call();                      // frame 1 = f
+  w.call();                      // frame 2 = g
+  const Chain g_ctxt = w.suspend(2);  // unwinds g and f; E={1,2}; stack (0)
+  EXPECT_EQ(g_ctxt, (Chain{2, 1}));
+  w.restart(g_ctxt);             // main restarts g immediately
+  EXPECT_EQ(w.stack(), (Chain{2, 1, 0}));
+  expect_ok(w);
+  // g finishes.  f1 == max E == 2: the retire branch must be taken.
+  EXPECT_EQ(w.ret(), 2);
+  EXPECT_EQ(w.sp(), 2) << "return wrongly freed the maximal exported frame";
+  EXPECT_TRUE(w.retired().count(2));
+  expect_ok(w);
+  // f finishes next; then main can shrink both frames away.
+  EXPECT_EQ(w.ret(), 1);
+  expect_ok(w);
+  EXPECT_TRUE(w.shrink());
+  EXPECT_TRUE(w.shrink());
+  EXPECT_EQ(w.sp(), 0);
+  EXPECT_FALSE(w.shrink());
+  expect_ok(w);
+}
+
+// After a suspend, execution continues "as if the unwound frames had
+// finished normally": the new top is the old (n+1)-th frame.
+TEST(FrameModel, SuspendResumesNthForkPoint) {
+  WorkerState w;
+  for (int i = 0; i < 7; ++i) w.call();  // frames 1..7
+  const Chain c = w.suspend(3);          // detach 7,6,5
+  EXPECT_EQ(c, (Chain{7, 6, 5}));
+  EXPECT_EQ(w.top(), 4);
+  expect_ok(w);
+}
+
+// A restarted chain finishing in LIFO order retires (its frames are
+// exported) and is then reclaimed by shrink, not by return.
+TEST(FrameModel, RestartedChainReclaimedByShrink) {
+  WorkerState w;
+  w.call();
+  w.call();
+  const Chain c = w.suspend(2);  // E={1,2}
+  w.restart(c);                  // stack (2,1,0), f1=0 !> cn=1 -> no export
+  EXPECT_EQ(w.ret(), 2);         // 2 == maxE -> retire
+  EXPECT_EQ(w.ret(), 1);         // 1 < maxE  -> retire
+  EXPECT_EQ(w.sp(), 2);
+  EXPECT_TRUE(w.shrink());
+  EXPECT_TRUE(w.shrink());
+  EXPECT_EQ(w.sp(), 0);
+  expect_ok(w);
+}
+
+// Foreign frames (negative ids) never enter the exported set and always
+// retire on return.  Restarting a purely foreign chain exports the local
+// current frame (f1 > cn holds whenever cn is foreign).
+TEST(FrameModel, ForeignFramesRetireOnReturn) {
+  WorkerState w;
+  w.restart(Chain{-1, -2});
+  EXPECT_EQ(w.stack(), (Chain{-1, -2, 0}));
+  EXPECT_EQ(w.exported(), (std::set<Frame>{0}));
+  expect_ok(w);
+  EXPECT_EQ(w.ret(), -1);
+  EXPECT_TRUE(w.retired().count(-1));
+  EXPECT_EQ(w.sp(), 0);
+  expect_ok(w);
+}
+
+// Mixed chain: a foreign prefix above local frames.
+TEST(FrameModel, MixedChainRestart) {
+  WorkerState w;
+  w.call();                      // 1
+  const Chain c = w.suspend(1);  // E={1}
+  Chain mixed{-5};
+  mixed.insert(mixed.end(), c.begin(), c.end());  // (-5, 1)
+  w.restart(mixed);
+  EXPECT_EQ(w.stack(), (Chain{-5, 1, 0}));
+  expect_ok(w);
+  EXPECT_EQ(w.ret(), -5);
+  expect_ok(w);
+  EXPECT_EQ(w.ret(), 1);  // == maxE -> retires
+  EXPECT_TRUE(w.shrink());
+  EXPECT_EQ(w.sp(), 0);
+  expect_ok(w);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Multi-worker closure of the formal model: thread migration (Figure 9)
+// replayed as model transitions, plus randomized cross-worker traces.
+#include "frame/universe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using stf::GlobalChain;
+using stf::GlobalFrame;
+using stf::Universe;
+
+void expect_ok(const Universe& u) {
+  const auto bad = u.check_invariants();
+  EXPECT_FALSE(bad.has_value()) << *bad;
+}
+
+TEST(Universe, FrameIdentitiesAreGlobal) {
+  Universe u(2);
+  const GlobalFrame f = u.call(0);
+  EXPECT_EQ(f.owner, 0);
+  EXPECT_EQ(f.index, 1);
+  const GlobalFrame g = u.call(1);
+  EXPECT_EQ(g.owner, 1);
+  EXPECT_EQ(g.index, 1);
+  expect_ok(u);
+}
+
+// The paper's Figure 9 migration: worker A pulls thread t out of its
+// logical stack; worker B restarts it.  Frames of t stay in A's physical
+// stack; when B finishes them, A observes remote_finish and can shrink.
+TEST(Universe, Figure9Migration) {
+  Universe u(2);
+  u.call(0);  // A: frame 1 (thread t's fork point parent chain)
+  u.call(0);  // A: frame 2 (thread t)
+  u.call(0);  // A: frame 3 (t's child running on A)
+
+  // (a) A suspends frames above t, (b) then t itself.
+  const GlobalChain above = u.suspend(0, 1);  // the child
+  const GlobalChain t = u.suspend(0, 1);      // thread t
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], (GlobalFrame{0, 2}));
+
+  // (c) A restarts the frames it unwound only to reach t.
+  u.restart(0, above);
+  expect_ok(u);
+
+  // B picks up t's context and restarts it.
+  u.restart(1, t);
+  EXPECT_EQ(u.depth(1), 2u);
+  expect_ok(u);
+
+  // B finishes t: A's frame 2 retires at home via remote_finish.
+  const GlobalFrame finished = u.ret(1);
+  EXPECT_EQ(finished, (GlobalFrame{0, 2}));
+  EXPECT_TRUE(u.worker(0).retired().count(2));
+  expect_ok(u);
+
+  // A finishes its remaining frames.  Frame 3 is itself exported (it was
+  // detached once), so finishing it retires it -- SP stays put until
+  // shrink observes the retirements.
+  u.ret(0);  // child (frame 3): == maxE -> retires
+  EXPECT_EQ(u.worker(0).sp(), 3);
+  u.ret(0);  // frame 1: below maxE -> retires
+  EXPECT_EQ(u.worker(0).sp(), 3);
+  EXPECT_TRUE(u.shrink(0));  // reclaims 3
+  while (u.shrink(0)) {
+  }
+  EXPECT_EQ(u.worker(0).sp(), 0);
+  expect_ok(u);
+}
+
+// A chain hopping across three workers, each pushing its own frames on
+// top before re-suspending: exercises the foreign-frame encoding.
+TEST(Universe, ChainHopsAcrossWorkers) {
+  Universe u(3);
+  u.call(0);
+  GlobalChain c = u.suspend(0, 1);
+  for (std::size_t hop = 1; hop <= 2; ++hop) {
+    u.restart(hop, c);
+    u.call(hop);                 // grows on top of the foreign chain
+    c = u.suspend(hop, u.depth(hop) - 1);
+    expect_ok(u);
+  }
+  // Final worker drains the accumulated chain.
+  u.restart(0, c);
+  while (u.depth(0) > 1) u.ret(0);
+  for (std::size_t w = 0; w < 3; ++w) {
+    while (u.shrink(w)) {
+    }
+  }
+  expect_ok(u);
+  EXPECT_EQ(u.worker(0).sp(), 0);
+  EXPECT_EQ(u.worker(1).sp(), 0);
+  EXPECT_EQ(u.worker(2).sp(), 0);
+}
+
+class UniversePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Random cross-worker traces: calls, returns, suspends, restarts on any
+// worker, chains migrating freely; all invariants on all workers after
+// every step.
+TEST_P(UniversePropertyTest, InvariantsHoldAcrossWorkers) {
+  stu::Xoshiro256 rng(GetParam());
+  constexpr std::size_t kWorkers = 4;
+  Universe u(kWorkers);
+  std::vector<GlobalChain> pool;
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::size_t w = rng.below(kWorkers);
+    const double dice = rng.unit();
+    if (dice < 0.38) {
+      u.call(w);
+    } else if (dice < 0.60 && u.depth(w) >= 2) {
+      u.ret(w);
+    } else if (dice < 0.72 && u.depth(w) >= 2) {
+      pool.push_back(u.suspend(w, 1 + rng.below(u.depth(w) - 1)));
+    } else if (dice < 0.90 && !pool.empty()) {
+      const std::size_t k = rng.below(pool.size());
+      u.restart(w, pool[k]);
+      pool.erase(pool.begin() + static_cast<long>(k));
+    } else {
+      u.shrink(w);
+    }
+    const auto bad = u.check_invariants();
+    ASSERT_FALSE(bad.has_value()) << "step " << step << ": " << *bad;
+  }
+
+  // Drain: round-robin restarts and returns until the universe is empty.
+  std::size_t w = 0;
+  while (!pool.empty()) {
+    u.restart(w % kWorkers, pool.back());
+    pool.pop_back();
+    ++w;
+  }
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    while (u.depth(i) > 1) u.ret(i);
+  }
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    while (u.shrink(i)) {
+    }
+    EXPECT_EQ(u.worker(i).sp(), 0) << "worker " << i << " failed to reclaim its stack";
+  }
+  expect_ok(u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UniversePropertyTest, ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace

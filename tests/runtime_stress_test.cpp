@@ -1,0 +1,169 @@
+// Hardening: the native runtime under hostile configurations -- tiny
+// regions (heap-fallback path), many workers on one core, mixed
+// synchronization DAGs, worker-local storage, and rapid runtime
+// construction/destruction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "sync/channel.hpp"
+#include "sync/future.hpp"
+#include "sync/join_counter.hpp"
+#include "sync/mutex.hpp"
+#include "sync/worker_local.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+long pfib(int n) {
+  if (n < 2) return n;
+  long a = 0;
+  st::JoinCounter jc(1);
+  st::fork([&a, n, &jc] {
+    a = pfib(n - 1);
+    jc.finish();
+  });
+  const long b = pfib(n - 2);
+  jc.join();
+  return a + b;
+}
+
+TEST(RuntimeStress, TinyRegionFallsBackToHeapSafely) {
+  st::RuntimeConfig cfg;
+  cfg.workers = 2;
+  cfg.region_slots = 4;  // almost everything overflows to the heap
+  st::Runtime rt(cfg);
+  long result = 0;
+  rt.run([&] { result = pfib(16); });
+  EXPECT_EQ(result, 987);
+  EXPECT_GT(rt.stats().heap_fallbacks, 0u);
+}
+
+TEST(RuntimeStress, EightWorkersOnOneCore) {
+  st::Runtime rt(8);
+  long result = 0;
+  rt.run([&] { result = pfib(18); });
+  EXPECT_EQ(result, 2584);
+}
+
+TEST(RuntimeStress, RapidRuntimeChurn) {
+  for (int round = 0; round < 20; ++round) {
+    st::Runtime rt(1 + static_cast<unsigned>(round % 3));
+    int x = 0;
+    rt.run([&] {
+      st::fork([&] { x = round; });
+    });
+    EXPECT_EQ(x, round);
+  }
+}
+
+TEST(RuntimeStress, MixedSynchronizationDag) {
+  // Producers feed a channel; consumers take mutex-protected notes and
+  // fulfil futures; a final joiner checks global accounting.  All four
+  // sync primitives interleave on a few workers.
+  st::Runtime rt(3);
+  rt.run([&] {
+    constexpr int kItems = 400;
+    st::Channel<int> ch(8);
+    st::Mutex notes_lock;
+    std::vector<int> notes;
+    st::Future<long> total;
+    st::JoinCounter consumers_done(2);
+
+    st::fork([&] {
+      for (int i = 1; i <= kItems; ++i) ch.send(i);
+      ch.close();
+    });
+
+    std::atomic<long> sum{0};
+    for (int c = 0; c < 2; ++c) {
+      st::fork([&] {
+        while (auto v = ch.recv()) {
+          sum.fetch_add(*v, std::memory_order_relaxed);
+          if (*v % 97 == 0) {
+            st::MutexGuard g(notes_lock);
+            notes.push_back(*v);
+          }
+        }
+        consumers_done.finish();
+      });
+    }
+    consumers_done.join();
+    total.set(sum.load());
+    EXPECT_EQ(total.get(), static_cast<long>(kItems) * (kItems + 1) / 2);
+    EXPECT_EQ(notes.size(), static_cast<std::size_t>(kItems / 97));
+  });
+}
+
+class StressWorkerTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StressWorkerTest, RandomSuspendResumeStorm) {
+  // Hundreds of threads suspend; a shuffler resumes them in random order
+  // (readyq tail policy); all must complete exactly once.
+  st::Runtime rt(GetParam());
+  rt.run([&] {
+    constexpr int kThreads = 300;
+    std::vector<st::Continuation> parked(kThreads);
+    std::vector<std::atomic<int>> completed(kThreads);
+    st::JoinCounter all(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      st::fork([&, i] {
+        st::suspend(&parked[static_cast<std::size_t>(i)]);
+        completed[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+        all.finish();
+      });
+    }
+    std::vector<int> order(kThreads);
+    for (int i = 0; i < kThreads; ++i) order[static_cast<std::size_t>(i)] = i;
+    stu::Xoshiro256 rng(GetParam());
+    for (int i = kThreads - 1; i > 0; --i) {
+      std::swap(order[static_cast<std::size_t>(i)],
+                order[static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(i + 1)))]);
+    }
+    for (int i : order) st::resume(&parked[static_cast<std::size_t>(i)]);
+    all.join();
+    for (int i = 0; i < kThreads; ++i) {
+      ASSERT_EQ(completed[static_cast<std::size_t>(i)].load(), 1) << "thread " << i;
+    }
+  });
+}
+
+TEST_P(StressWorkerTest, WorkerLocalAccumulation) {
+  st::Runtime rt(GetParam());
+  st::WorkerLocal<long> counters(rt, 0);
+  constexpr int kTasks = 2000;
+  rt.run([&] {
+    st::JoinCounter jc(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+      st::fork([&] {
+        ++counters.local();  // whichever worker runs this task
+        jc.finish();
+      });
+    }
+    jc.join();
+  });
+  EXPECT_EQ(counters.combine(0L, [](long a, long b) { return a + b; }), kTasks);
+}
+
+TEST_P(StressWorkerTest, FutureFanOutFanIn) {
+  st::Runtime rt(GetParam());
+  rt.run([&] {
+    std::vector<st::Future<long>> layer1;
+    for (int i = 0; i < 32; ++i) {
+      layer1.push_back(st::spawn([i] { return static_cast<long>(i); }));
+    }
+    auto total = st::spawn([&] {
+      long sum = 0;
+      for (auto& f : layer1) sum += f.get();
+      return sum;
+    });
+    EXPECT_EQ(total.get(), 496);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, StressWorkerTest, ::testing::Values(1u, 2u, 4u));
+
+}  // namespace

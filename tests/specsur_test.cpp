@@ -1,0 +1,72 @@
+// SPEC-surrogate kernels: every build variant of every kernel must
+// produce the same checksum, the epilogue checks must demonstrably run in
+// the checked variants, and each kernel must be deterministic.
+#include "specsur/variants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "specsur/kernels.hpp"
+
+namespace {
+
+using specsur::kernels;
+using specsur::Variant;
+
+class KernelTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KernelTest, AllVariantsAgree) {
+  const auto& k = kernels()[GetParam()];
+  SCOPED_TRACE(k.surrogate);
+  constexpr long kIters = 2;
+  const std::uint64_t expect = k.run[0](kIters);
+  EXPECT_NE(expect, 0u) << "kernel reported internal corruption";
+  for (int v = 1; v < 4; ++v) {
+    EXPECT_EQ(k.run[v](kIters), expect)
+        << "variant " << specsur::variant_name(static_cast<Variant>(v));
+  }
+}
+
+TEST_P(KernelTest, Deterministic) {
+  const auto& k = kernels()[GetParam()];
+  EXPECT_EQ(k.run[0](2), k.run[0](2));
+}
+
+TEST_P(KernelTest, ScalesWithIterations) {
+  const auto& k = kernels()[GetParam()];
+  // More iterations must change the accumulated checksum (i.e. the work
+  // is not optimized away wholesale).
+  EXPECT_NE(k.run[0](1), k.run[0](3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, KernelTest,
+                         ::testing::Range<std::size_t>(0, 8));
+
+TEST(Specsur, EpilogueChecksActuallyExecute) {
+  auto& counters = specsur::epilogue_counters();
+  const auto before = counters.checks;
+  kernels()[0].run[static_cast<int>(Variant::kStInline)](1);
+  EXPECT_GT(counters.checks, before)
+      << "the st_inline variant must execute epilogue checks";
+  const auto mid = counters.checks;
+  kernels()[0].run[static_cast<int>(Variant::kDefault)](1);
+  EXPECT_EQ(counters.checks, mid)
+      << "the default variant must not execute epilogue checks";
+}
+
+TEST(Specsur, RetirePathNeverTakenSequentially) {
+  auto& counters = specsur::epilogue_counters();
+  for (const auto& k : kernels()) k.run[static_cast<int>(Variant::kSt)](1);
+  EXPECT_EQ(counters.retire_path, 0u)
+      << "with an empty exported set every sequential return frees its frame";
+}
+
+TEST(Specsur, RegistryShape) {
+  ASSERT_EQ(kernels().size(), 8u);
+  for (const auto& k : kernels()) {
+    EXPECT_FALSE(k.name.empty());
+    EXPECT_GT(k.default_iters, 0);
+    for (auto* fn : k.run) EXPECT_NE(fn, nullptr);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// STVM assembler: syntax, operand forms, labels, procedures, errors.
+#include "stvm/asm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using stvm::assemble;
+using stvm::AsmError;
+using stvm::Op;
+
+TEST(Assembler, ParsesEveryOperandForm) {
+  const auto m = assemble(R"(
+.proc p
+p:
+    li r0, 42
+    li r1, -7
+    mov r2, r0
+    add r3, r0, r1
+    addi r4, r3, 10
+    ld r5, [fp - 1]
+    ld r6, [sp + 3]
+    ld r7, [r0]
+    st r5, [sp + 0]
+    fetchadd r8, [r0 + 2], r1
+    getmaxe r9
+    call p
+    jr lr
+.endproc
+)");
+  ASSERT_EQ(m.code.size(), 13u);
+  EXPECT_EQ(m.code[0].op, Op::kLi);
+  EXPECT_EQ(m.code[0].imm, 42);
+  EXPECT_EQ(m.code[1].imm, -7);
+  EXPECT_EQ(m.code[5].op, Op::kLd);
+  EXPECT_EQ(m.code[5].ra, stvm::kFp);
+  EXPECT_EQ(m.code[5].imm, -1);
+  EXPECT_EQ(m.code[6].ra, stvm::kSp);
+  EXPECT_EQ(m.code[6].imm, 3);
+  EXPECT_EQ(m.code[7].imm, 0);
+  EXPECT_EQ(m.code[9].op, Op::kFetchAdd);
+  EXPECT_EQ(m.code[11].label, "p");
+  ASSERT_EQ(m.procs.size(), 1u);
+  EXPECT_EQ(m.procs[0].name, "p");
+}
+
+TEST(Assembler, LabelsResolveToInstructionIndices) {
+  const auto m = assemble(R"(
+start:
+    li r0, 1
+loop:
+    subi r0, r0, 1
+    bne r0, r1, loop
+    jmp start
+)");
+  EXPECT_EQ(m.labels.at("start"), 0u);
+  EXPECT_EQ(m.labels.at("loop"), 1u);
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored)
+{
+  const auto m = assemble("; nothing\n\n   ; more\n li r0, 1 ; trailing\n");
+  ASSERT_EQ(m.code.size(), 1u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("li r0, 1\nbogus r1\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line_no, 2);
+  }
+}
+
+TEST(Assembler, RejectsBadRegister) { EXPECT_THROW(assemble("li r99, 1\n"), AsmError); }
+TEST(Assembler, RejectsDuplicateLabel) {
+  EXPECT_THROW(assemble("a:\n li r0, 1\na:\n"), AsmError);
+}
+TEST(Assembler, RejectsUnterminatedProc) {
+  EXPECT_THROW(assemble(".proc x\nx: li r0, 1\n"), AsmError);
+}
+TEST(Assembler, RejectsNestedProc) {
+  EXPECT_THROW(assemble(".proc x\n.proc y\n"), AsmError);
+}
+TEST(Assembler, RejectsTrailingJunk) {
+  EXPECT_THROW(assemble("mov r0, r1, r2\n"), AsmError);
+}
+
+TEST(Assembler, DisassembleRoundTrips) {
+  const std::string src = R"(
+.proc f
+f:
+    subi sp, sp, 4
+    st lr, [sp + 3]
+    st fp, [sp + 2]
+    addi fp, sp, 4
+    ld r0, [fp + 0]
+    li r1, 2
+    blt r0, r1, out
+    call f
+out:
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+)";
+  const auto m1 = assemble(src);
+  const std::string text = stvm::disassemble(m1);
+  const auto m2 = assemble(text);
+  ASSERT_EQ(m1.code.size(), m2.code.size());
+  for (std::size_t i = 0; i < m1.code.size(); ++i) {
+    EXPECT_EQ(m1.code[i].op, m2.code[i].op) << "instr " << i;
+    EXPECT_EQ(m1.code[i].imm, m2.code[i].imm) << "instr " << i;
+    EXPECT_EQ(m1.code[i].label, m2.code[i].label) << "instr " << i;
+  }
+  EXPECT_EQ(m1.labels, m2.labels);
+}
+
+}  // namespace

@@ -1,0 +1,226 @@
+// The assembly postprocessor: frame-format extraction, fork-point
+// extraction with marker removal, epilogue augmentation, the Section 8.1
+// augmentation criterion, pure-epilogue replicas, and error detection.
+#include "stvm/postproc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stvm/asm.hpp"
+#include "stvm/programs.hpp"
+
+namespace {
+
+using namespace stvm;
+
+const ProcDescriptor& find_desc(const PostprocResult& r, const std::string& name) {
+  for (const auto& d : r.descriptors) {
+    if (d.name == name) return d;
+  }
+  throw std::runtime_error("no descriptor " + name);
+}
+
+TEST(Postproc, ExtractsFrameFormat) {
+  const auto r = postprocess(assemble(programs::fib()));
+  const auto& fib = find_desc(r, "fib");
+  EXPECT_TRUE(fib.has_frame);
+  EXPECT_EQ(fib.frame_size, 6);
+  EXPECT_EQ(fib.ra_offset, -1);   // st lr, [sp+5] with F=6
+  EXPECT_EQ(fib.pfp_offset, -2);  // st fp, [sp+4]
+  ASSERT_EQ(fib.saved_regs.size(), 1u);
+  EXPECT_EQ(fib.saved_regs[0], 4);
+  EXPECT_EQ(fib.saved_offsets[0], -3);
+}
+
+TEST(Postproc, MeasuresArgumentsRegion) {
+  const auto r = postprocess(assemble(programs::fib()));
+  // fib stores one outgoing argument at [sp+0]; the prologue's [sp+5]
+  // saves are excluded from the scan.
+  EXPECT_EQ(find_desc(r, "fib").max_sp_store, 0);
+}
+
+TEST(Postproc, SequentialProgramNeedsNoAugmentation) {
+  // fib only calls fib; main calls fib and the runtime exit.  fib itself
+  // is augmentation-free under the Section 8.1 criterion.
+  const auto r = postprocess(assemble(programs::fib()));
+  EXPECT_FALSE(find_desc(r, "fib").augmented);
+  EXPECT_TRUE(find_desc(r, "main").augmented);  // calls __st_exit (runtime)
+}
+
+TEST(Postproc, ForkPointsExtractedAndMarkersRemoved) {
+  const auto r = programs::compile(programs::pfib());
+  const auto& pfib = find_desc(r, "pfib");
+  ASSERT_EQ(pfib.fork_points.size(), 1u);
+  // The fork point is the `call pfib_task` instruction.
+  const Instr& fork = r.module.code[static_cast<std::size_t>(pfib.fork_points[0])];
+  EXPECT_EQ(fork.op, Op::kCall);
+  EXPECT_EQ(fork.label, "pfib_task");
+  // No dummy marker calls survive.
+  for (const auto& ins : r.module.code) {
+    EXPECT_NE(ins.label, kForkBegin);
+    EXPECT_NE(ins.label, kForkEnd);
+  }
+}
+
+TEST(Postproc, ForkingProcedureIsAugmented) {
+  const auto r = programs::compile(programs::pfib());
+  EXPECT_TRUE(find_desc(r, "pfib").augmented);
+  EXPECT_TRUE(find_desc(r, "pfib_task").augmented);  // calls augmented pfib
+  EXPECT_GT(r.procs_augmented, 0u);
+  EXPECT_EQ(r.fork_points, 1u);
+}
+
+TEST(Postproc, AugmentedEpilogueHasTheCheck) {
+  const auto r = programs::compile(programs::pfib());
+  // The rewritten pfib body must contain getmaxe + two unsigned branches
+  // (the paper's 1 load + two compares + two conditional branches).
+  const auto& pfib = find_desc(r, "pfib");
+  int getmaxe = 0, bgeu = 0, zero_store = 0;
+  for (Addr a = pfib.entry; a < pfib.end; ++a) {
+    const Instr& ins = r.module.code[static_cast<std::size_t>(a)];
+    if (ins.op == Op::kGetMaxE) ++getmaxe;
+    if (ins.op == Op::kBgeu) ++bgeu;
+    if (ins.op == Op::kSt && ins.ra == kFp && ins.imm == pfib.ra_offset) ++zero_store;
+  }
+  EXPECT_EQ(getmaxe, 1);
+  EXPECT_EQ(bgeu, 2);
+  EXPECT_EQ(zero_store, 1);  // the retirement mark
+}
+
+TEST(Postproc, UnaugmentedEpilogueUntouched) {
+  const auto r = postprocess(assemble(programs::fib()));
+  const auto& fib = find_desc(r, "fib");
+  for (Addr a = fib.entry; a < fib.end; ++a) {
+    EXPECT_NE(r.module.code[static_cast<std::size_t>(a)].op, Op::kGetMaxE);
+  }
+}
+
+TEST(Postproc, PureEpilogueIsPure) {
+  const auto r = programs::compile(programs::pfib());
+  const auto& pfib = find_desc(r, "pfib");
+  ASSERT_GE(pfib.pure_epilogue, 0);
+  // Replica: callee-save restores, lr load, fp load, jr -- nothing else,
+  // and in particular no write to SP (the frame is retained).
+  Addr a = pfib.pure_epilogue;
+  const auto& code = r.module.code;
+  std::size_t k = static_cast<std::size_t>(a);
+  for (std::size_t i = 0; i < pfib.saved_regs.size(); ++i, ++k) {
+    EXPECT_EQ(code[k].op, Op::kLd);
+    EXPECT_EQ(code[k].rd, pfib.saved_regs[i]);
+  }
+  EXPECT_EQ(code[k].op, Op::kLd);
+  EXPECT_EQ(code[k].rd, kLr);
+  EXPECT_EQ(code[k].imm, pfib.ra_offset);
+  ++k;
+  EXPECT_EQ(code[k].op, Op::kLd);
+  EXPECT_EQ(code[k].rd, kFp);
+  EXPECT_EQ(code[k].imm, pfib.pfp_offset);
+  ++k;
+  EXPECT_EQ(code[k].op, Op::kJr);
+  EXPECT_EQ(code[k].ra, kLr);
+}
+
+TEST(Postproc, DescriptorLookupByAnyAddress) {
+  const auto r = programs::compile(programs::pfib());
+  DescriptorTable table;
+  for (const auto& d : r.descriptors) table.add(d);
+  const auto& pfib = find_desc(r, "pfib");
+  for (Addr a = pfib.entry; a < pfib.end; ++a) {
+    const ProcDescriptor* d = table.find(a);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->name, "pfib");
+  }
+  EXPECT_EQ(table.find(-5), nullptr);
+}
+
+TEST(Postproc, MaxArgsRegionIsGlobalMax) {
+  const auto r = programs::compile(programs::pfib());
+  DescriptorTable table;
+  for (const auto& d : r.descriptors) table.add(d);
+  EXPECT_GE(table.max_args_region(), 3);  // pfib passes 3 args to pfib_task
+}
+
+TEST(Postproc, RejectsMultipleCallsInForkBlock) {
+  const std::string bad = R"(
+.proc p
+p:
+    subi sp, sp, 4
+    st lr, [sp + 3]
+    st fp, [sp + 2]
+    addi fp, sp, 4
+    call __st_fork_block_begin
+    call a
+    call b
+    call __st_fork_block_end
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+)";
+  EXPECT_THROW(postprocess(assemble(bad)), PostprocError);
+}
+
+TEST(Postproc, RejectsUnterminatedForkBlock) {
+  const std::string bad = R"(
+.proc p
+p:
+    subi sp, sp, 4
+    st lr, [sp + 3]
+    st fp, [sp + 2]
+    addi fp, sp, 4
+    call __st_fork_block_begin
+    call a
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+)";
+  EXPECT_THROW(postprocess(assemble(bad)), PostprocError);
+}
+
+TEST(Postproc, RejectsNonstandardPrologue) {
+  const std::string bad = R"(
+.proc p
+p:
+    subi sp, sp, 4
+    st lr, [sp + 3]
+    li r0, 1
+    jr lr
+.endproc
+)";
+  EXPECT_THROW(postprocess(assemble(bad)), PostprocError);
+}
+
+TEST(Postproc, RejectsFreeBeforeRaLoad) {
+  const std::string bad = R"(
+.proc p
+p:
+    subi sp, sp, 4
+    st lr, [sp + 3]
+    st fp, [sp + 2]
+    addi fp, sp, 4
+    call q
+    mov sp, fp
+    ld lr, [fp - 1]
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+)";
+  EXPECT_THROW(postprocess(assemble(bad)), PostprocError);
+}
+
+TEST(Postproc, BranchTargetsSurviveRewriting) {
+  // Labels inside augmented procedures must still resolve to the same
+  // logical positions after instruction insertion/removal.
+  const auto r = programs::compile(programs::pfib());
+  ASSERT_TRUE(r.module.labels.count("pfib_base"));
+  const std::size_t idx = r.module.labels.at("pfib_base");
+  const Instr& ins = r.module.code[idx];
+  // pfib_base starts with `ld r0, [fp + 0]`.
+  EXPECT_EQ(ins.op, Op::kLd);
+  EXPECT_EQ(ins.ra, kFp);
+  EXPECT_EQ(ins.imm, 0);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Differential fuzzing of the STC -> assembler -> postprocessor -> VM
+// pipeline: random programs are generated together with a C++ reference
+// evaluation; the compiled result must match on every seed.  Exercises
+// expression codegen (temporaries as frame slots across nested calls),
+// control flow, arrays and the calling standard end to end.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "stvm/asm.hpp"
+#include "stvm/postproc.hpp"
+#include "stvm/stc.hpp"
+#include "stvm/vm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using stvm::Word;
+
+/// A random expression over variables a, b, c plus an equal reference
+/// evaluation.  Division/modulo are guarded to avoid by-zero traps.
+struct ExprGen {
+  explicit ExprGen(std::uint64_t seed) : rng(seed) {}
+
+  std::string gen(int depth, const std::vector<Word>& env, Word& out) {
+    if (depth == 0 || rng.chance(0.3)) {
+      if (rng.chance(0.5)) {
+        const long v = rng.range(-20, 20);
+        out = v;
+        return v < 0 ? "(0 - " + std::to_string(-v) + ")" : std::to_string(v);
+      }
+      const std::size_t which = rng.below(env.size());
+      out = env[which];
+      return std::string(1, static_cast<char>('a' + which));
+    }
+    Word lhs = 0, rhs = 0;
+    const std::string ls = gen(depth - 1, env, lhs);
+    const std::string rs = gen(depth - 1, env, rhs);
+    switch (rng.below(6)) {
+      case 0:
+        out = lhs + rhs;
+        return "(" + ls + " + " + rs + ")";
+      case 1:
+        out = lhs - rhs;
+        return "(" + ls + " - " + rs + ")";
+      case 2:
+        out = lhs * rhs;
+        return "(" + ls + " * " + rs + ")";
+      case 3:
+        out = lhs < rhs ? 1 : 0;
+        return "(" + ls + " < " + rs + ")";
+      case 4:
+        out = lhs == rhs ? 1 : 0;
+        return "(" + ls + " == " + rs + ")";
+      default: {
+        // Guarded division: (ls / (1 + rs*rs)) -- the divisor is >= 1.
+        const Word divisor = 1 + rhs * rhs;
+        out = divisor != 0 ? lhs / divisor : lhs;  // rhs*rhs may overflow; mirror C++
+        return "(" + ls + " / (1 + " + rs + " * " + rs + "))";
+      }
+    }
+  }
+
+  stu::Xoshiro256 rng;
+};
+
+class StcFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StcFuzzTest, RandomExpressionsMatchReference) {
+  ExprGen gen(GetParam());
+  const std::vector<Word> env{gen.rng.range(-50, 50), gen.rng.range(-50, 50),
+                              gen.rng.range(-50, 50)};
+  for (int round = 0; round < 8; ++round) {
+    Word expect = 0;
+    const std::string expr = gen.gen(4, env, expect);
+    const std::string src = "func main(a, b, c) { exit(" + expr + "); }";
+    SCOPED_TRACE(src);
+    stvm::Vm vm(stvm::postprocess(stvm::assemble(stvm::stc::compile_to_asm(src))));
+    EXPECT_EQ(vm.run("main", env), expect);
+  }
+}
+
+TEST_P(StcFuzzTest, RandomAccumulationLoopsMatchReference) {
+  stu::Xoshiro256 rng(GetParam() * 977 + 5);
+  const long n = rng.range(1, 40);
+  const long mul = rng.range(1, 5);
+  const long add = rng.range(-3, 3);
+  const long mod = rng.range(2, 9);
+  // acc = sum over i in [0, n) of ((i*mul + add) % mod + i)
+  Word expect = 0;
+  for (long i = 0; i < n; ++i) expect += (i * mul + add) % mod + i;
+  const std::string src =
+      "func main(n) {\n"
+      "  var acc = 0;\n"
+      "  var i = 0;\n"
+      "  while (i < n) {\n"
+      "    acc = acc + (i * " + std::to_string(mul) + " + " + std::to_string(add) + ") % " +
+      std::to_string(mod) + " + i;\n"
+      "    i = i + 1;\n"
+      "  }\n"
+      "  exit(acc);\n"
+      "}";
+  SCOPED_TRACE(src);
+  stvm::Vm vm(stvm::postprocess(stvm::assemble(stvm::stc::compile_to_asm(src))));
+  EXPECT_EQ(vm.run("main", {n}), expect);
+}
+
+TEST_P(StcFuzzTest, RandomArrayShuffleMatchesReference) {
+  stu::Xoshiro256 rng(GetParam() * 31 + 7);
+  const int k = 8;
+  // Fill buf[i] = i*i, then perform random swap pairs, then checksum.
+  std::vector<Word> ref(k);
+  for (int i = 0; i < k; ++i) ref[static_cast<std::size_t>(i)] = i * i;
+  std::string swaps;
+  for (int s = 0; s < 6; ++s) {
+    const int x = static_cast<int>(rng.below(k));
+    const int y = static_cast<int>(rng.below(k));
+    std::swap(ref[static_cast<std::size_t>(x)], ref[static_cast<std::size_t>(y)]);
+    swaps += "  t = buf[" + std::to_string(x) + "];\n";
+    swaps += "  buf[" + std::to_string(x) + "] = buf[" + std::to_string(y) + "];\n";
+    swaps += "  buf[" + std::to_string(y) + "] = t;\n";
+  }
+  Word expect = 0;
+  for (int i = 0; i < k; ++i) expect = expect * 7 + ref[static_cast<std::size_t>(i)];
+  const std::string src =
+      "func main() {\n"
+      "  var buf[" + std::to_string(k) + "];\n"
+      "  var i = 0;\n"
+      "  while (i < " + std::to_string(k) + ") { buf[i] = i * i; i = i + 1; }\n"
+      "  var t;\n" + swaps +
+      "  var acc = 0;\n"
+      "  i = 0;\n"
+      "  while (i < " + std::to_string(k) + ") { acc = acc * 7 + buf[i]; i = i + 1; }\n"
+      "  exit(acc);\n"
+      "}";
+  SCOPED_TRACE(src);
+  stvm::Vm vm(stvm::postprocess(stvm::assemble(stvm::stc::compile_to_asm(src))));
+  EXPECT_EQ(vm.run("main", {}), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StcFuzzTest, ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace

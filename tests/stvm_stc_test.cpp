@@ -1,0 +1,238 @@
+// STC end-to-end: the paper's full Figure 1 pipeline -- source compiled
+// by a *sequential* compiler, postprocessed, and executed with frame
+// surgery and migration -- plus compiler unit behaviour and diagnostics.
+#include <gtest/gtest.h>
+
+#include "stvm/asm.hpp"
+#include "stvm/postproc.hpp"
+#include "stvm/programs.hpp"
+#include "stvm/stc.hpp"
+#include "stvm/vm.hpp"
+
+namespace {
+
+using namespace stvm;
+
+PostprocResult compile_stc(const std::string& src, bool with_stdlib = false) {
+  std::string asm_text = stc::compile_to_asm(src);
+  if (with_stdlib) asm_text += "\n" + programs::stdlib();
+  return postprocess(assemble(asm_text));
+}
+
+Word run_stc(const std::string& src, const std::string& entry, std::vector<Word> args,
+             bool with_stdlib = false, unsigned workers = 1, int quantum = 64) {
+  VmConfig cfg;
+  cfg.workers = workers;
+  cfg.quantum = quantum;
+  cfg.validate = true;
+  Vm vm(compile_stc(src, with_stdlib), cfg);
+  return vm.run(entry, args);
+}
+
+// ---- language basics ----------------------------------------------------
+
+TEST(Stc, ArithmeticAndPrecedence) {
+  const char* src = "func main() { exit(2 + 3 * 4 - 10 / 2); }";
+  EXPECT_EQ(run_stc(src, "main", {}), 9);
+}
+
+TEST(Stc, ModuloAndUnaryMinus) {
+  const char* src = "func main(a, b) { exit(-(a % b)); }";
+  EXPECT_EQ(run_stc(src, "main", {17, 5}), -2);
+}
+
+TEST(Stc, ComparisonsProduceBooleans) {
+  const char* src = R"(
+    func main(a, b) {
+      exit((a < b) * 32 + (a <= b) * 16 + (a > b) * 8 +
+           (a >= b) * 4 + (a == b) * 2 + (a != b));
+    }
+  )";
+  EXPECT_EQ(run_stc(src, "main", {3, 7}), 32 + 16 + 1);
+  EXPECT_EQ(run_stc(src, "main", {7, 7}), 16 + 4 + 2);
+  EXPECT_EQ(run_stc(src, "main", {9, 7}), 8 + 4 + 1);
+}
+
+TEST(Stc, NotOperator) {
+  const char* src = "func main(a) { exit(!a * 10 + !!a); }";
+  EXPECT_EQ(run_stc(src, "main", {0}), 10);
+  EXPECT_EQ(run_stc(src, "main", {5}), 1);
+}
+
+TEST(Stc, WhileLoopAndAssignment) {
+  const char* src = R"(
+    func main(n) {
+      var sum = 0;
+      var i = 1;
+      while (i <= n) {
+        sum = sum + i;
+        i = i + 1;
+      }
+      exit(sum);
+    }
+  )";
+  EXPECT_EQ(run_stc(src, "main", {100}), 5050);
+}
+
+TEST(Stc, IfElseChains) {
+  const char* src = R"(
+    func classify(x) {
+      if (x < 0) { return -1; }
+      else if (x == 0) { return 0; }
+      else { return 1; }
+    }
+    func main(x) { exit(classify(x)); }
+  )";
+  EXPECT_EQ(run_stc(src, "main", {-5}), -1);
+  EXPECT_EQ(run_stc(src, "main", {0}), 0);
+  EXPECT_EQ(run_stc(src, "main", {5}), 1);
+}
+
+TEST(Stc, ArraysAndAddressOf) {
+  const char* src = R"(
+    func main(n) {
+      var buf[10];
+      var i = 0;
+      while (i < 10) { buf[i] = i * i; i = i + 1; }
+      var p = &buf;
+      exit(buf[3] + mem[p + 4]);    // 9 + 16
+    }
+  )";
+  EXPECT_EQ(run_stc(src, "main", {0}), 25);
+}
+
+TEST(Stc, HeapAndFetchadd) {
+  const char* src = R"(
+    func main() {
+      var p = alloc(4);
+      mem[p] = 10;
+      var old = fetchadd(p, 5);
+      exit(old * 100 + mem[p]);     // 10*100 + 15
+    }
+  )";
+  EXPECT_EQ(run_stc(src, "main", {}), 1015);
+}
+
+TEST(Stc, RecursionThroughTheCallingStandard) {
+  const char* src = R"(
+    func fib(n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    func main(n) { exit(fib(n)); }
+  )";
+  EXPECT_EQ(run_stc(src, "main", {1}), 1);
+  EXPECT_EQ(run_stc(src, "main", {10}), 55);
+  EXPECT_EQ(run_stc(src, "main", {20}), 6765);
+}
+
+TEST(Stc, PrintStreamsValues) {
+  const char* src = R"(
+    func main() {
+      var i = 0;
+      while (i < 4) { print(i * 7); i = i + 1; }
+      exit(0);
+    }
+  )";
+  Vm vm(compile_stc(src), VmConfig{});
+  vm.run("main");
+  EXPECT_EQ(vm.output(), (std::vector<Word>{0, 7, 14, 21}));
+}
+
+// ---- diagnostics ----------------------------------------------------------
+
+TEST(Stc, RejectsUndeclaredVariable) {
+  EXPECT_THROW(stc::compile_to_asm("func main() { x = 1; }"), stc::CompileError);
+}
+TEST(Stc, RejectsDuplicateVariable) {
+  EXPECT_THROW(stc::compile_to_asm("func main() { var x; var x; }"), stc::CompileError);
+}
+TEST(Stc, RejectsAssignmentToArrayName) {
+  EXPECT_THROW(stc::compile_to_asm("func main() { var b[2]; b = 1; }"), stc::CompileError);
+}
+TEST(Stc, ErrorsCarryLineNumbers) {
+  try {
+    stc::compile_to_asm("func main() {\n  var ok;\n  broken +;\n}");
+    FAIL() << "expected CompileError";
+  } catch (const stc::CompileError& e) {
+    EXPECT_EQ(e.line_no, 3);
+  }
+}
+
+// ---- the full pipeline: async + suspend + migration ----------------------
+
+const char* kParallelFib = R"(
+  func pfib_task(n, result, jc) {
+    mem[result] = pfib(n);
+    jc_finish(jc);
+  }
+
+  func pfib(n) {
+    if (n < 2) { return n; }
+    poll();
+    var jc[2];
+    var a;
+    jc_init(&jc, 1);
+    async pfib_task(n - 1, &a, &jc);   // ASYNC_CALL: becomes a fork point
+    var b = pfib(n - 2);
+    jc_join(&jc);
+    return a + b;
+  }
+
+  func main(n) { exit(pfib(n)); }
+)";
+
+TEST(StcPipeline, SequentialCompilerOutputGetsForkPoints) {
+  const auto prog = compile_stc(kParallelFib, /*with_stdlib=*/true);
+  const ProcDescriptor* pfib = nullptr;
+  for (const auto& d : prog.descriptors) {
+    if (d.name == "pfib") pfib = &d;
+  }
+  ASSERT_NE(pfib, nullptr);
+  EXPECT_EQ(pfib->fork_points.size(), 1u);
+  EXPECT_TRUE(pfib->augmented);
+}
+
+TEST(StcPipeline, ParallelFibOneWorker) {
+  EXPECT_EQ(run_stc(kParallelFib, "main", {14}, true, 1), 377);
+}
+
+struct StcSchedule {
+  unsigned workers;
+  int quantum;
+};
+class StcMigrationTest : public ::testing::TestWithParam<StcSchedule> {};
+
+TEST_P(StcMigrationTest, CompiledCodeMigratesCorrectly) {
+  const auto& s = GetParam();
+  EXPECT_EQ(run_stc(kParallelFib, "main", {13}, true, s.workers, s.quantum), 233);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, StcMigrationTest,
+                         ::testing::Values(StcSchedule{2, 64}, StcSchedule{2, 7},
+                                           StcSchedule{3, 16}, StcSchedule{4, 3}));
+
+// Hand-written assembly and compiled STC must agree (differential test of
+// the whole toolchain).
+TEST(StcPipeline, MatchesHandWrittenAssembly) {
+  VmConfig cfg;
+  cfg.workers = 2;
+  cfg.quantum = 16;
+  cfg.validate = true;
+  Vm hand(programs::compile(programs::pfib()), cfg);
+  const Word expect = hand.run("pmain", {15});
+  EXPECT_EQ(run_stc(kParallelFib, "main", {15}, true, 2, 16), expect);
+}
+
+// The generated code works under forced full augmentation too.
+TEST(StcPipeline, ForcedAugmentationStillCorrect) {
+  std::string asm_text = stc::compile_to_asm(kParallelFib) + "\n" + programs::stdlib();
+  const auto forced = postprocess(assemble(asm_text), /*force_augment_all=*/true);
+  VmConfig cfg;
+  cfg.workers = 2;
+  cfg.validate = true;
+  Vm vm(forced, cfg);
+  EXPECT_EQ(vm.run("main", {12}), 144);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Extensions beyond the paper's shipped feature set: cooperative
+// abortion (the Cilk feature the paper had not implemented) and the
+// data-parallel conveniences parallel_for / parallel_reduce.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "sync/abort.hpp"
+#include "sync/join_counter.hpp"
+#include "sync/parallel_for.hpp"
+
+namespace {
+
+TEST(AbortGroup, ExactlyOneWinner) {
+  st::Runtime rt(4);
+  rt.run([&] {
+    st::AbortGroup g;
+    std::atomic<int> winners{0};
+    st::JoinCounter jc(16);
+    for (int i = 0; i < 16; ++i) {
+      st::fork([&] {
+        if (g.request_abort()) winners.fetch_add(1, std::memory_order_relaxed);
+        jc.finish();
+      });
+    }
+    jc.join();
+    EXPECT_EQ(winners.load(), 1);
+    EXPECT_TRUE(g.aborted());
+  });
+}
+
+TEST(AbortGroup, AbortedFlagStopsSpeculativeWork) {
+  st::Runtime rt(2);
+  rt.run([&] {
+    st::AbortGroup g;
+    std::atomic<long> work_after_abort{0};
+    st::JoinCounter jc(8);
+    g.request_abort();  // pre-aborted group
+    for (int i = 0; i < 8; ++i) {
+      st::fork([&] {
+        if (!g.aborted()) work_after_abort.fetch_add(1, std::memory_order_relaxed);
+        jc.finish();
+      });
+    }
+    jc.join();
+    EXPECT_EQ(work_after_abort.load(), 0);
+  });
+}
+
+TEST(AbortGroup, ResetRearmsTheGroup) {
+  st::AbortGroup g;
+  EXPECT_FALSE(g.aborted());
+  EXPECT_TRUE(g.request_abort());
+  EXPECT_FALSE(g.request_abort());  // second requester loses
+  g.reset();
+  EXPECT_FALSE(g.aborted());
+  EXPECT_TRUE(g.request_abort());
+}
+
+class ParallelForTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  st::Runtime rt(GetParam());
+  constexpr std::size_t kN = 5000;
+  std::vector<std::atomic<int>> hits(kN);
+  rt.run([&] {
+    st::parallel_for(0, kN, 64, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(ParallelForTest, EmptyAndTinyRanges) {
+  st::Runtime rt(GetParam());
+  rt.run([&] {
+    int count = 0;
+    st::parallel_for(5, 5, 8, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count, 0);
+    std::atomic<int> c2{0};
+    st::parallel_for(0, 3, 100, [&](std::size_t) { c2.fetch_add(1); });
+    EXPECT_EQ(c2.load(), 3);
+    // grain 0 is clamped to 1 instead of looping forever
+    std::atomic<int> c3{0};
+    st::parallel_for(0, 4, 0, [&](std::size_t) { c3.fetch_add(1); });
+    EXPECT_EQ(c3.load(), 4);
+  });
+}
+
+TEST_P(ParallelForTest, ReduceMatchesSequential) {
+  st::Runtime rt(GetParam());
+  constexpr std::size_t kN = 10001;
+  long expect = 0;
+  for (std::size_t i = 0; i < kN; ++i) expect += static_cast<long>(i * i % 97);
+  long got = 0;
+  rt.run([&] {
+    got = st::parallel_reduce<long>(
+        0, kN, 128, 0, [](std::size_t i) { return static_cast<long>(i * i % 97); },
+        [](long a, long b) { return a + b; });
+  });
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(ParallelForTest, ReduceIsDeterministicForDoubles) {
+  // The reduction tree's shape depends only on the range, so even
+  // non-associative combiners give schedule-independent results.
+  st::Runtime rt(GetParam());
+  auto run_once = [&] {
+    double out = 0;
+    rt.run([&] {
+      out = st::parallel_reduce<double>(
+          0, 4096, 64, 0.0, [](std::size_t i) { return 1.0 / (1.0 + static_cast<double>(i)); },
+          [](double a, double b) { return a + b; });
+    });
+    return out;
+  };
+  const double first = run_once();
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_EQ(run_once(), first) << "nondeterministic reduction tree";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ParallelForTest, ::testing::Values(1u, 2u, 4u));
+
+}  // namespace

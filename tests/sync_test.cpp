@@ -1,0 +1,255 @@
+// Synchronization primitives built purely on suspend/resume: join
+// counters (both wake policies), futures, mutex, semaphore, channel,
+// barrier -- each exercised across worker counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "sync/channel.hpp"
+#include "sync/future.hpp"
+#include "sync/join_counter.hpp"
+#include "sync/mutex.hpp"
+
+namespace {
+
+class SyncWorkerTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SyncWorkerTest, JoinCounterWaitsForAllTasks) {
+  st::Runtime rt(GetParam());
+  std::atomic<int> done{0};
+  rt.run([&] {
+    st::JoinCounter jc(8);
+    for (int i = 0; i < 8; ++i) {
+      st::fork([&] {
+        done.fetch_add(1, std::memory_order_relaxed);
+        jc.finish();
+      });
+    }
+    jc.join();
+    EXPECT_EQ(done.load(), 8);
+  });
+}
+
+TEST_P(SyncWorkerTest, JoinCounterImmediatePolicy) {
+  st::Runtime rt(GetParam());
+  std::atomic<int> done{0};
+  rt.run([&] {
+    st::JoinCounter jc(4, st::WakePolicy::kImmediate);
+    for (int i = 0; i < 4; ++i) {
+      st::fork([&] {
+        done.fetch_add(1, std::memory_order_relaxed);
+        jc.finish();
+      });
+    }
+    jc.join();
+    EXPECT_EQ(done.load(), 4);
+  });
+}
+
+TEST_P(SyncWorkerTest, JoinCounterAddAfterConstruction) {
+  st::Runtime rt(GetParam());
+  rt.run([&] {
+    st::JoinCounter jc;
+    for (int i = 0; i < 5; ++i) {
+      jc.add();
+      st::fork([&] { jc.finish(); });
+    }
+    jc.join();
+    EXPECT_EQ(jc.outstanding(), 0);
+  });
+}
+
+TEST_P(SyncWorkerTest, FutureDeliversValue) {
+  st::Runtime rt(GetParam());
+  rt.run([&] {
+    auto f = st::spawn([] { return 6 * 7; });
+    EXPECT_EQ(f.get(), 42);
+    EXPECT_TRUE(f.ready());
+  });
+}
+
+TEST_P(SyncWorkerTest, FutureChainsAndFansIn) {
+  st::Runtime rt(GetParam());
+  rt.run([&] {
+    std::vector<st::Future<int>> futures;
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(st::spawn([i] { return i * i; }));
+    }
+    int sum = 0;
+    for (auto& f : futures) sum += f.get();
+    EXPECT_EQ(sum, 1240);  // sum of squares 0..15
+  });
+}
+
+TEST_P(SyncWorkerTest, FutureMultipleWaiters) {
+  st::Runtime rt(GetParam());
+  rt.run([&] {
+    st::Future<int> cell;
+    std::atomic<int> seen{0};
+    st::JoinCounter jc(3);
+    for (int i = 0; i < 3; ++i) {
+      st::fork([&] {
+        seen.fetch_add(cell.get(), std::memory_order_relaxed);
+        jc.finish();
+      });
+    }
+    // All three waiters may be suspended now (they ran LIFO before us).
+    cell.set(7);
+    jc.join();
+    EXPECT_EQ(seen.load(), 21);
+  });
+}
+
+TEST_P(SyncWorkerTest, MutexProtectsCounter) {
+  st::Runtime rt(GetParam());
+  rt.run([&] {
+    st::Mutex m;
+    long counter = 0;
+    constexpr int kTasks = 64;
+    constexpr int kIters = 50;
+    st::JoinCounter jc(kTasks);
+    for (int t = 0; t < kTasks; ++t) {
+      st::fork([&] {
+        for (int i = 0; i < kIters; ++i) {
+          st::MutexGuard g(m);
+          ++counter;
+        }
+        jc.finish();
+      });
+    }
+    jc.join();
+    EXPECT_EQ(counter, static_cast<long>(kTasks) * kIters);
+  });
+}
+
+TEST_P(SyncWorkerTest, MutexTryLock) {
+  st::Runtime rt(GetParam());
+  rt.run([&] {
+    st::Mutex m;
+    EXPECT_TRUE(m.try_lock());
+    EXPECT_FALSE(m.try_lock());
+    m.unlock();
+    EXPECT_TRUE(m.try_lock());
+    m.unlock();
+  });
+}
+
+TEST_P(SyncWorkerTest, SemaphoreBoundsConcurrency) {
+  st::Runtime rt(GetParam());
+  rt.run([&] {
+    st::Semaphore sem(2);
+    std::atomic<int> inside{0};
+    std::atomic<int> peak{0};
+    st::JoinCounter jc(10);
+    for (int i = 0; i < 10; ++i) {
+      st::fork([&] {
+        sem.acquire();
+        const int now = inside.fetch_add(1, std::memory_order_relaxed) + 1;
+        int old = peak.load(std::memory_order_relaxed);
+        while (now > old && !peak.compare_exchange_weak(old, now)) {
+        }
+        inside.fetch_sub(1, std::memory_order_relaxed);
+        sem.release();
+        jc.finish();
+      });
+    }
+    jc.join();
+    EXPECT_LE(peak.load(), 2);
+    EXPECT_EQ(sem.available(), 2);
+  });
+}
+
+TEST_P(SyncWorkerTest, ChannelTransfersInOrderSingleProducer) {
+  st::Runtime rt(GetParam());
+  rt.run([&] {
+    st::Channel<int> ch(4);
+    std::vector<int> received;
+    st::JoinCounter jc(1);
+    st::fork([&] {
+      for (int i = 0; i < 32; ++i) ch.send(i);  // blocks when full
+      ch.close();
+      jc.finish();
+    });
+    while (auto v = ch.recv()) received.push_back(*v);
+    jc.join();
+    std::vector<int> expect(32);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(received, expect);
+  });
+}
+
+TEST_P(SyncWorkerTest, ChannelManyProducersOneConsumer) {
+  st::Runtime rt(GetParam());
+  rt.run([&] {
+    st::Channel<int> ch(2);
+    constexpr int kProducers = 6;
+    constexpr int kEach = 20;
+    st::JoinCounter producers(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      st::fork([&] {
+        for (int i = 0; i < kEach; ++i) ch.send(1);
+        producers.finish();
+      });
+    }
+    long sum = 0;
+    for (int i = 0; i < kProducers * kEach; ++i) {
+      auto v = ch.recv();
+      ASSERT_TRUE(v.has_value());
+      sum += *v;
+    }
+    producers.join();
+    EXPECT_EQ(sum, kProducers * kEach);
+  });
+}
+
+TEST_P(SyncWorkerTest, ChannelCloseWakesReceivers) {
+  st::Runtime rt(GetParam());
+  rt.run([&] {
+    st::Channel<int> ch(1);
+    std::atomic<int> nullopts{0};
+    st::JoinCounter jc(3);
+    for (int i = 0; i < 3; ++i) {
+      st::fork([&] {
+        if (!ch.recv().has_value()) nullopts.fetch_add(1, std::memory_order_relaxed);
+        jc.finish();
+      });
+    }
+    ch.close();
+    jc.join();
+    EXPECT_EQ(nullopts.load(), 3);
+  });
+}
+
+TEST_P(SyncWorkerTest, BarrierSynchronizesRounds) {
+  st::Runtime rt(GetParam());
+  rt.run([&] {
+    constexpr int kParties = 4;
+    constexpr int kRounds = 5;
+    st::Barrier barrier(kParties);
+    std::atomic<int> phase_sum{0};
+    std::atomic<int> releasers{0};
+    st::JoinCounter jc(kParties);
+    for (int p = 0; p < kParties; ++p) {
+      st::fork([&] {
+        for (int r = 0; r < kRounds; ++r) {
+          phase_sum.fetch_add(1, std::memory_order_relaxed);
+          const int before = phase_sum.load(std::memory_order_relaxed);
+          if (barrier.arrive_and_wait()) releasers.fetch_add(1, std::memory_order_relaxed);
+          // Everyone in this round arrived before anyone left it.
+          EXPECT_GE(phase_sum.load(std::memory_order_relaxed), before);
+          EXPECT_GE(phase_sum.load(std::memory_order_relaxed), (r + 1) * kParties - kParties + 1);
+        }
+        jc.finish();
+      });
+    }
+    jc.join();
+    EXPECT_EQ(releasers.load(), kRounds);  // exactly one releaser per round
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, SyncWorkerTest, ::testing::Values(1u, 2u, 4u));
+
+}  // namespace

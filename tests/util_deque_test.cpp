@@ -1,0 +1,103 @@
+// OwnerDeque: the LTC readyq (paper Figure 11/12).
+#include "util/owner_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "util/rng.hpp"
+
+namespace {
+
+TEST(OwnerDeque, PushPopHead) {
+  stu::OwnerDeque<int> d;
+  d.push_head(1);
+  d.push_head(2);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.pop_head(), 2);
+  EXPECT_EQ(d.pop_head(), 1);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(OwnerDeque, StealsComeFromTail) {
+  // LTC: forks push at the head; a steal request is served from the tail
+  // (the oldest, outermost thread).
+  stu::OwnerDeque<int> d;
+  d.push_head(1);  // oldest fork
+  d.push_head(2);
+  d.push_head(3);  // newest fork
+  EXPECT_EQ(d.pop_tail(), 1);  // thief receives the outermost
+  EXPECT_EQ(d.pop_head(), 3);  // owner continues LIFO
+  EXPECT_EQ(d.pop_tail(), 2);
+}
+
+TEST(OwnerDeque, ResumedThreadsEnterTail) {
+  // LTC_resume enqueues at the tail: a re-awakened thread must not
+  // preempt the current LIFO chain.
+  stu::OwnerDeque<int> d;
+  d.push_head(10);
+  d.push_tail(99);  // resumed thread
+  EXPECT_EQ(d.pop_head(), 10);
+  EXPECT_EQ(d.pop_head(), 99);
+}
+
+TEST(OwnerDeque, GrowthPreservesOrder) {
+  stu::OwnerDeque<int> d(2);
+  for (int i = 0; i < 100; ++i) d.push_head(i);
+  for (int i = 99; i >= 0; --i) EXPECT_EQ(d.pop_head(), i);
+}
+
+TEST(OwnerDeque, PeekIndexesFromHead) {
+  stu::OwnerDeque<int> d;
+  d.push_head(1);
+  d.push_head(2);
+  d.push_head(3);
+  EXPECT_EQ(d.peek(0), 3);
+  EXPECT_EQ(d.peek(1), 2);
+  EXPECT_EQ(d.peek(2), 1);
+}
+
+TEST(OwnerDeque, ClearEmpties) {
+  stu::OwnerDeque<int> d;
+  d.push_head(1);
+  d.clear();
+  EXPECT_TRUE(d.empty());
+}
+
+class DequeOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DequeOracleTest, MatchesStdDeque) {
+  stu::Xoshiro256 rng(GetParam());
+  stu::OwnerDeque<long> mine(4);
+  std::deque<long> oracle;
+  for (int step = 0; step < 20000; ++step) {
+    switch (oracle.empty() ? rng.below(2) : rng.below(4)) {
+      case 0:
+        mine.push_head(step);
+        oracle.push_front(step);
+        break;
+      case 1:
+        mine.push_tail(step);
+        oracle.push_back(step);
+        break;
+      case 2:
+        ASSERT_EQ(mine.pop_head(), oracle.front());
+        oracle.pop_front();
+        break;
+      default:
+        ASSERT_EQ(mine.pop_tail(), oracle.back());
+        oracle.pop_back();
+        break;
+    }
+    ASSERT_EQ(mine.size(), oracle.size());
+    if (!oracle.empty()) {
+      const std::size_t probe = rng.below(oracle.size());
+      ASSERT_EQ(mine.peek(probe), oracle[probe]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DequeOracleTest,
+                         ::testing::Values(1u, 7u, 42u, 1000u, 0xabcdefu));
+
+}  // namespace

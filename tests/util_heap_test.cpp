@@ -1,0 +1,97 @@
+// MaxHeap: the exported-set data structure (paper Section 5.2).
+// Verified against a sorted-multiset oracle under parameterized sweeps.
+#include "util/max_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace {
+
+TEST(MaxHeap, EmptyAndSize) {
+  stu::MaxHeap<long> h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  h.push(3);
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.max(), 3);
+  EXPECT_EQ(h.pop_max(), 3);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(MaxHeap, OrderedDrain) {
+  stu::MaxHeap<int> h;
+  for (int v : {5, 1, 9, 9, -4, 0, 7}) h.push(v);
+  std::vector<int> drained;
+  while (!h.empty()) drained.push_back(h.pop_max());
+  EXPECT_EQ(drained, (std::vector<int>{9, 9, 7, 5, 1, 0, -4}));
+}
+
+TEST(MaxHeap, MaxIsO1Stable) {
+  stu::MaxHeap<long> h;
+  h.push(10);
+  for (long v = 0; v < 10; ++v) {
+    h.push(v);
+    EXPECT_EQ(h.max(), 10);
+  }
+}
+
+TEST(MaxHeap, DuplicatesSurvive) {
+  stu::MaxHeap<int> h;
+  for (int i = 0; i < 100; ++i) h.push(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(h.pop_max(), 42);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(MaxHeap, ClearResets) {
+  stu::MaxHeap<int> h;
+  h.push(1);
+  h.push(2);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  h.push(7);
+  EXPECT_EQ(h.max(), 7);
+}
+
+TEST(MaxHeap, CustomComparatorMakesMinHeap) {
+  stu::MaxHeap<int, std::greater<int>> h;  // inverted: max() is the minimum
+  for (int v : {4, 2, 9}) h.push(v);
+  EXPECT_EQ(h.pop_max(), 2);
+  EXPECT_EQ(h.pop_max(), 4);
+  EXPECT_EQ(h.pop_max(), 9);
+}
+
+// Property sweep: random interleavings of push/pop-max match a multiset
+// oracle.  Exercises the exact operation mix the stack manager performs
+// (inserts from suspend/restart, pop-max bursts from shrink).
+class HeapOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeapOracleTest, MatchesMultisetOracle) {
+  stu::Xoshiro256 rng(GetParam());
+  stu::MaxHeap<long> heap;
+  std::multiset<long> oracle;
+  for (int step = 0; step < 5000; ++step) {
+    if (oracle.empty() || rng.chance(0.6)) {
+      const long v = rng.range(-1000, 1000);
+      heap.push(v);
+      oracle.insert(v);
+    } else {
+      ASSERT_EQ(heap.max(), *oracle.rbegin());
+      const long popped = heap.pop_max();
+      ASSERT_EQ(popped, *oracle.rbegin());
+      oracle.erase(std::prev(oracle.end()));
+    }
+    ASSERT_EQ(heap.size(), oracle.size());
+    if (!oracle.empty()) {
+      ASSERT_EQ(heap.max(), *oracle.rbegin());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapOracleTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u, 0xdeadbeefu));
+
+}  // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_abort.dir/bench_ablation_abort.cpp.o"
+  "CMakeFiles/bench_ablation_abort.dir/bench_ablation_abort.cpp.o.d"
+  "bench_ablation_abort"
+  "bench_ablation_abort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_abort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig21_uniproc.cpp" "bench/CMakeFiles/bench_fig21_uniproc.dir/bench_fig21_uniproc.cpp.o" "gcc" "bench/CMakeFiles/bench_fig21_uniproc.dir/bench_fig21_uniproc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/stapps.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stu.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/stmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cilk/CMakeFiles/cilkstyle.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

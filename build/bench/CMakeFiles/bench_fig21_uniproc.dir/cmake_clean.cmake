@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_uniproc.dir/bench_fig21_uniproc.cpp.o"
+  "CMakeFiles/bench_fig21_uniproc.dir/bench_fig21_uniproc.cpp.o.d"
+  "bench_fig21_uniproc"
+  "bench_fig21_uniproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_uniproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stvm_postproc.dir/bench_stvm_postproc.cpp.o"
+  "CMakeFiles/bench_stvm_postproc.dir/bench_stvm_postproc.cpp.o.d"
+  "bench_stvm_postproc"
+  "bench_stvm_postproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stvm_postproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

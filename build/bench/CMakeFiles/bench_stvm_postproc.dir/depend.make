@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_stvm_postproc.
+# This may be replaced when dependencies are built.

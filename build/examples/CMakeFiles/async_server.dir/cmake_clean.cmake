@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_server.dir/async_server.cpp.o"
+  "CMakeFiles/async_server.dir/async_server.cpp.o.d"
+  "async_server"
+  "async_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_pipeline.dir/stc_pipeline.cpp.o"
+  "CMakeFiles/stc_pipeline.dir/stc_pipeline.cpp.o.d"
+  "stc_pipeline"
+  "stc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

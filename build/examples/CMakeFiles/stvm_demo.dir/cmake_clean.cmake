@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stvm_demo.dir/stvm_demo.cpp.o"
+  "CMakeFiles/stvm_demo.dir/stvm_demo.cpp.o.d"
+  "stvm_demo"
+  "stvm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stvm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_search.dir/tree_search.cpp.o"
+  "CMakeFiles/tree_search.dir/tree_search.cpp.o.d"
+  "tree_search"
+  "tree_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cilksort.cpp" "src/apps/CMakeFiles/stapps.dir/cilksort.cpp.o" "gcc" "src/apps/CMakeFiles/stapps.dir/cilksort.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/stapps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/stapps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/fib.cpp" "src/apps/CMakeFiles/stapps.dir/fib.cpp.o" "gcc" "src/apps/CMakeFiles/stapps.dir/fib.cpp.o.d"
+  "/root/repo/src/apps/heat.cpp" "src/apps/CMakeFiles/stapps.dir/heat.cpp.o" "gcc" "src/apps/CMakeFiles/stapps.dir/heat.cpp.o.d"
+  "/root/repo/src/apps/knapsack.cpp" "src/apps/CMakeFiles/stapps.dir/knapsack.cpp.o" "gcc" "src/apps/CMakeFiles/stapps.dir/knapsack.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/stapps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/stapps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/magic.cpp" "src/apps/CMakeFiles/stapps.dir/magic.cpp.o" "gcc" "src/apps/CMakeFiles/stapps.dir/magic.cpp.o.d"
+  "/root/repo/src/apps/matmul.cpp" "src/apps/CMakeFiles/stapps.dir/matmul.cpp.o" "gcc" "src/apps/CMakeFiles/stapps.dir/matmul.cpp.o.d"
+  "/root/repo/src/apps/nqueens.cpp" "src/apps/CMakeFiles/stapps.dir/nqueens.cpp.o" "gcc" "src/apps/CMakeFiles/stapps.dir/nqueens.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/stapps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/stapps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/strassen.cpp" "src/apps/CMakeFiles/stapps.dir/strassen.cpp.o" "gcc" "src/apps/CMakeFiles/stapps.dir/strassen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/stmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cilk/CMakeFiles/cilkstyle.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

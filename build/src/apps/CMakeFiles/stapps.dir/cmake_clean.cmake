@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stapps.dir/cilksort.cpp.o"
+  "CMakeFiles/stapps.dir/cilksort.cpp.o.d"
+  "CMakeFiles/stapps.dir/fft.cpp.o"
+  "CMakeFiles/stapps.dir/fft.cpp.o.d"
+  "CMakeFiles/stapps.dir/fib.cpp.o"
+  "CMakeFiles/stapps.dir/fib.cpp.o.d"
+  "CMakeFiles/stapps.dir/heat.cpp.o"
+  "CMakeFiles/stapps.dir/heat.cpp.o.d"
+  "CMakeFiles/stapps.dir/knapsack.cpp.o"
+  "CMakeFiles/stapps.dir/knapsack.cpp.o.d"
+  "CMakeFiles/stapps.dir/lu.cpp.o"
+  "CMakeFiles/stapps.dir/lu.cpp.o.d"
+  "CMakeFiles/stapps.dir/magic.cpp.o"
+  "CMakeFiles/stapps.dir/magic.cpp.o.d"
+  "CMakeFiles/stapps.dir/matmul.cpp.o"
+  "CMakeFiles/stapps.dir/matmul.cpp.o.d"
+  "CMakeFiles/stapps.dir/nqueens.cpp.o"
+  "CMakeFiles/stapps.dir/nqueens.cpp.o.d"
+  "CMakeFiles/stapps.dir/registry.cpp.o"
+  "CMakeFiles/stapps.dir/registry.cpp.o.d"
+  "CMakeFiles/stapps.dir/strassen.cpp.o"
+  "CMakeFiles/stapps.dir/strassen.cpp.o.d"
+  "libstapps.a"
+  "libstapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cilkstyle.dir/cilkstyle.cpp.o"
+  "CMakeFiles/cilkstyle.dir/cilkstyle.cpp.o.d"
+  "libcilkstyle.a"
+  "libcilkstyle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cilkstyle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

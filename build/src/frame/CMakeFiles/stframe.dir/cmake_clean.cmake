@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stframe.dir/model.cpp.o"
+  "CMakeFiles/stframe.dir/model.cpp.o.d"
+  "CMakeFiles/stframe.dir/universe.cpp.o"
+  "CMakeFiles/stframe.dir/universe.cpp.o.d"
+  "libstframe.a"
+  "libstframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

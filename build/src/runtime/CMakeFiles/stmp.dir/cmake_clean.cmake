@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stmp.dir/context.cpp.o"
+  "CMakeFiles/stmp.dir/context.cpp.o.d"
+  "CMakeFiles/stmp.dir/context_x86_64.S.o"
+  "CMakeFiles/stmp.dir/runtime.cpp.o"
+  "CMakeFiles/stmp.dir/runtime.cpp.o.d"
+  "CMakeFiles/stmp.dir/stacklet.cpp.o"
+  "CMakeFiles/stmp.dir/stacklet.cpp.o.d"
+  "libstmp.a"
+  "libstmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/stmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/specsur/kernels.cpp" "src/specsur/CMakeFiles/specsur.dir/kernels.cpp.o" "gcc" "src/specsur/CMakeFiles/specsur.dir/kernels.cpp.o.d"
+  "/root/repo/src/specsur/variant_default.cpp" "src/specsur/CMakeFiles/specsur.dir/variant_default.cpp.o" "gcc" "src/specsur/CMakeFiles/specsur.dir/variant_default.cpp.o.d"
+  "/root/repo/src/specsur/variant_st.cpp" "src/specsur/CMakeFiles/specsur.dir/variant_st.cpp.o" "gcc" "src/specsur/CMakeFiles/specsur.dir/variant_st.cpp.o.d"
+  "/root/repo/src/specsur/variant_st_inline.cpp" "src/specsur/CMakeFiles/specsur.dir/variant_st_inline.cpp.o" "gcc" "src/specsur/CMakeFiles/specsur.dir/variant_st_inline.cpp.o.d"
+  "/root/repo/src/specsur/variant_thread.cpp" "src/specsur/CMakeFiles/specsur.dir/variant_thread.cpp.o" "gcc" "src/specsur/CMakeFiles/specsur.dir/variant_thread.cpp.o.d"
+  "/root/repo/src/specsur/variants.cpp" "src/specsur/CMakeFiles/specsur.dir/variants.cpp.o" "gcc" "src/specsur/CMakeFiles/specsur.dir/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

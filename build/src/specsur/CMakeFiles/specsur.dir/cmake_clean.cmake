@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specsur.dir/kernels.cpp.o"
+  "CMakeFiles/specsur.dir/kernels.cpp.o.d"
+  "CMakeFiles/specsur.dir/variant_default.cpp.o"
+  "CMakeFiles/specsur.dir/variant_default.cpp.o.d"
+  "CMakeFiles/specsur.dir/variant_st.cpp.o"
+  "CMakeFiles/specsur.dir/variant_st.cpp.o.d"
+  "CMakeFiles/specsur.dir/variant_st_inline.cpp.o"
+  "CMakeFiles/specsur.dir/variant_st_inline.cpp.o.d"
+  "CMakeFiles/specsur.dir/variant_thread.cpp.o"
+  "CMakeFiles/specsur.dir/variant_thread.cpp.o.d"
+  "CMakeFiles/specsur.dir/variants.cpp.o"
+  "CMakeFiles/specsur.dir/variants.cpp.o.d"
+  "libspecsur.a"
+  "libspecsur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specsur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

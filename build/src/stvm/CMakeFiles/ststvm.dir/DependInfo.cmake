@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stvm/asm.cpp" "src/stvm/CMakeFiles/ststvm.dir/asm.cpp.o" "gcc" "src/stvm/CMakeFiles/ststvm.dir/asm.cpp.o.d"
+  "/root/repo/src/stvm/isa.cpp" "src/stvm/CMakeFiles/ststvm.dir/isa.cpp.o" "gcc" "src/stvm/CMakeFiles/ststvm.dir/isa.cpp.o.d"
+  "/root/repo/src/stvm/postproc.cpp" "src/stvm/CMakeFiles/ststvm.dir/postproc.cpp.o" "gcc" "src/stvm/CMakeFiles/ststvm.dir/postproc.cpp.o.d"
+  "/root/repo/src/stvm/programs.cpp" "src/stvm/CMakeFiles/ststvm.dir/programs.cpp.o" "gcc" "src/stvm/CMakeFiles/ststvm.dir/programs.cpp.o.d"
+  "/root/repo/src/stvm/stc.cpp" "src/stvm/CMakeFiles/ststvm.dir/stc.cpp.o" "gcc" "src/stvm/CMakeFiles/ststvm.dir/stc.cpp.o.d"
+  "/root/repo/src/stvm/vm.cpp" "src/stvm/CMakeFiles/ststvm.dir/vm.cpp.o" "gcc" "src/stvm/CMakeFiles/ststvm.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ststvm.dir/asm.cpp.o"
+  "CMakeFiles/ststvm.dir/asm.cpp.o.d"
+  "CMakeFiles/ststvm.dir/isa.cpp.o"
+  "CMakeFiles/ststvm.dir/isa.cpp.o.d"
+  "CMakeFiles/ststvm.dir/postproc.cpp.o"
+  "CMakeFiles/ststvm.dir/postproc.cpp.o.d"
+  "CMakeFiles/ststvm.dir/programs.cpp.o"
+  "CMakeFiles/ststvm.dir/programs.cpp.o.d"
+  "CMakeFiles/ststvm.dir/stc.cpp.o"
+  "CMakeFiles/ststvm.dir/stc.cpp.o.d"
+  "CMakeFiles/ststvm.dir/vm.cpp.o"
+  "CMakeFiles/ststvm.dir/vm.cpp.o.d"
+  "libststvm.a"
+  "libststvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ststvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stu.dir/env.cpp.o"
+  "CMakeFiles/stu.dir/env.cpp.o.d"
+  "CMakeFiles/stu.dir/stats.cpp.o"
+  "CMakeFiles/stu.dir/stats.cpp.o.d"
+  "CMakeFiles/stu.dir/table.cpp.o"
+  "CMakeFiles/stu.dir/table.cpp.o.d"
+  "libstu.a"
+  "libstu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cilk_test.dir/cilk_test.cpp.o"
+  "CMakeFiles/cilk_test.dir/cilk_test.cpp.o.d"
+  "cilk_test"
+  "cilk_test.pdb"
+  "cilk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cilk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

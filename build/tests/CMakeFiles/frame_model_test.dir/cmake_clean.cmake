@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_model_test.dir/frame_model_test.cpp.o"
+  "CMakeFiles/frame_model_test.dir/frame_model_test.cpp.o.d"
+  "frame_model_test"
+  "frame_model_test.pdb"
+  "frame_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

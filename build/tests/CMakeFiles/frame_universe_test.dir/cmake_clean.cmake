@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_universe_test.dir/frame_universe_test.cpp.o"
+  "CMakeFiles/frame_universe_test.dir/frame_universe_test.cpp.o.d"
+  "frame_universe_test"
+  "frame_universe_test.pdb"
+  "frame_universe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_universe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_context_test.dir/runtime_context_test.cpp.o"
+  "CMakeFiles/runtime_context_test.dir/runtime_context_test.cpp.o.d"
+  "runtime_context_test"
+  "runtime_context_test.pdb"
+  "runtime_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

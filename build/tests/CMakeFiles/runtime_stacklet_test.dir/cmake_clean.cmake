@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_stacklet_test.dir/runtime_stacklet_test.cpp.o"
+  "CMakeFiles/runtime_stacklet_test.dir/runtime_stacklet_test.cpp.o.d"
+  "runtime_stacklet_test"
+  "runtime_stacklet_test.pdb"
+  "runtime_stacklet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_stacklet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specsur_test.dir/specsur_test.cpp.o"
+  "CMakeFiles/specsur_test.dir/specsur_test.cpp.o.d"
+  "specsur_test"
+  "specsur_test.pdb"
+  "specsur_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specsur_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stvm_asm_test.dir/stvm_asm_test.cpp.o"
+  "CMakeFiles/stvm_asm_test.dir/stvm_asm_test.cpp.o.d"
+  "stvm_asm_test"
+  "stvm_asm_test.pdb"
+  "stvm_asm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stvm_asm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stvm_migrate_test.dir/stvm_migrate_test.cpp.o"
+  "CMakeFiles/stvm_migrate_test.dir/stvm_migrate_test.cpp.o.d"
+  "stvm_migrate_test"
+  "stvm_migrate_test.pdb"
+  "stvm_migrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stvm_migrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

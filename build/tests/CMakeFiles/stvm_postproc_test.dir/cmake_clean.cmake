@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stvm_postproc_test.dir/stvm_postproc_test.cpp.o"
+  "CMakeFiles/stvm_postproc_test.dir/stvm_postproc_test.cpp.o.d"
+  "stvm_postproc_test"
+  "stvm_postproc_test.pdb"
+  "stvm_postproc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stvm_postproc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stvm_stc_test.dir/stvm_stc_test.cpp.o"
+  "CMakeFiles/stvm_stc_test.dir/stvm_stc_test.cpp.o.d"
+  "stvm_stc_test"
+  "stvm_stc_test.pdb"
+  "stvm_stc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stvm_stc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stvm_vm_test.dir/stvm_vm_test.cpp.o"
+  "CMakeFiles/stvm_vm_test.dir/stvm_vm_test.cpp.o.d"
+  "stvm_vm_test"
+  "stvm_vm_test.pdb"
+  "stvm_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stvm_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_ext_test.dir/sync_ext_test.cpp.o"
+  "CMakeFiles/sync_ext_test.dir/sync_ext_test.cpp.o.d"
+  "sync_ext_test"
+  "sync_ext_test.pdb"
+  "sync_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

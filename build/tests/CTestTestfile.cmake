@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_heap_test[1]_include.cmake")
+include("/root/repo/build/tests/util_deque_test[1]_include.cmake")
+include("/root/repo/build/tests/util_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/frame_model_test[1]_include.cmake")
+include("/root/repo/build/tests/frame_model_property_test[1]_include.cmake")
+include("/root/repo/build/tests/frame_universe_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_context_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_stacklet_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_core_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_test[1]_include.cmake")
+include("/root/repo/build/tests/cilk_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/stvm_asm_test[1]_include.cmake")
+include("/root/repo/build/tests/stvm_postproc_test[1]_include.cmake")
+include("/root/repo/build/tests/stvm_vm_test[1]_include.cmake")
+include("/root/repo/build/tests/stvm_migrate_test[1]_include.cmake")
+include("/root/repo/build/tests/specsur_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/stvm_stc_test[1]_include.cmake")
+include("/root/repo/build/tests/stvm_stc_fuzz_test[1]_include.cmake")

@@ -17,6 +17,8 @@
 #include "sync/join_counter.hpp"
 #include "util/max_heap.hpp"
 #include "util/owner_deque.hpp"
+#include "util/trace_export.hpp"
+#include "util/trace_ring.hpp"
 
 namespace {
 
@@ -57,6 +59,9 @@ void BM_ContextSwitchRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_ContextSwitchRoundTrip);
 
 // -- fork fast path (empty child, never stolen) ---------------------------
+// Tracing is compiled in but disabled here: each hook is a relaxed mask
+// load + predictable branch, so this must stay within noise of a build
+// without the tracing layer (the acceptance gate for the tracing PR).
 void BM_ForkFastPath(benchmark::State& state) {
   st::Runtime rt(1);
   rt.run([&] {
@@ -66,6 +71,38 @@ void BM_ForkFastPath(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_ForkFastPath);
+
+// -- the disabled trace hook in isolation ----------------------------------
+// Prices exactly what every instrumentation site pays when ST_TRACE is
+// unset: one relaxed load of the global event mask plus a bit test.
+void BM_TraceFlagCheck(benchmark::State& state) {
+  bool any = false;
+  for (auto _ : state) {
+    any |= stu::trace_enabled(stu::kTraceFork);
+    benchmark::DoNotOptimize(any);
+  }
+}
+BENCHMARK(BM_TraceFlagCheck);
+
+// -- fork fast path with tracing ON ----------------------------------------
+// The enabled-path price: mask test taken + a 32-byte ring-buffer record
+// per fork/stacklet event.  Compare against BM_ForkFastPath for the
+// perturbation a traced run accepts.
+void BM_ForkFastPathTraced(benchmark::State& state) {
+  const std::uint64_t saved = stu::trace_mask();
+  stu::trace_set_mask(stu::kTraceAll);
+  {
+    st::Runtime rt(1);
+    rt.run([&] {
+      for (auto _ : state) {
+        st::fork([] {});
+      }
+    });
+    stu::trace_set_mask(saved);
+  }  // ~Runtime flushes with the mask already restored
+  stu::trace_sink_clear();  // keep benchmark traffic out of ST_TRACE output
+}
+BENCHMARK(BM_ForkFastPathTraced);
 
 // -- fork + join-counter round trip ---------------------------------------
 void BM_ForkJoinCounter(benchmark::State& state) {

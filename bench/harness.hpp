@@ -5,6 +5,14 @@
 //                    use 1.0+ to approach paper-sized problems)
 //   STMP_BENCH_REPS  timed repetitions per cell (default 2; best is kept)
 //   STMP_MAX_WORKERS cap for the Figure 22 worker sweep
+//
+// Observability (docs/OBSERVABILITY.md): every benchmark can be run with
+// scheduler tracing on --
+//   ST_TRACE=out.json <bench>      merged Chrome-trace JSON at exit
+//   ST_TRACE_EVENTS=steal,vm ...   restrict the recorded events
+//   ST_STATS=1 <bench>             end-of-run counter table on stderr
+// print_header() announces an active trace so a saved log records how
+// the numbers were produced (tracing perturbs the hot paths).
 #pragma once
 
 #include <cstdio>
@@ -16,6 +24,7 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "util/trace_export.hpp"
 
 namespace bench {
 
@@ -34,10 +43,17 @@ inline double time_best(const std::function<void()>& fn) {
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {
+  stu::trace_configure_from_env();
   std::printf("\n==============================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());
   std::printf("scale=%.3g reps=%ld\n", scale(), reps());
+  if (stu::trace_mask() != 0) {
+    std::printf("tracing: mask=0x%llx%s%s  (timings are perturbed!)\n",
+                static_cast<unsigned long long>(stu::trace_mask()),
+                stu::trace_path().empty() ? "" : " -> ",
+                stu::trace_path().c_str());
+  }
   std::printf("==============================================================\n");
 }
 

@@ -1,0 +1,25 @@
+# Traced smoke run (ctest `trace_smoke`): run the quickstart example with
+# ST_TRACE pointed at a scratch file, then fail unless the output is valid
+# Chrome trace JSON.  Parameters: -DQUICKSTART=..., -DTRACE_LINT=...,
+# -DOUT=... (see tests/CMakeLists.txt).
+if(NOT QUICKSTART OR NOT TRACE_LINT OR NOT OUT)
+  message(FATAL_ERROR "trace_smoke.cmake needs -DQUICKSTART, -DTRACE_LINT, -DOUT")
+endif()
+
+file(REMOVE "${OUT}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "ST_TRACE=${OUT}" "ST_STATS=1" "${QUICKSTART}" 18
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "traced quickstart run failed (rc=${run_rc})")
+endif()
+
+if(NOT EXISTS "${OUT}")
+  message(FATAL_ERROR "ST_TRACE=${OUT} produced no trace file")
+endif()
+
+execute_process(COMMAND "${TRACE_LINT}" "${OUT}" RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "trace file ${OUT} is not valid Chrome trace JSON (rc=${lint_rc})")
+endif()

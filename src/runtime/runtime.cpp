@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <semaphore>
 
+#include "util/trace_export.hpp"
+
 namespace st {
 
 thread_local Worker* tl_worker = nullptr;
@@ -23,6 +25,7 @@ void child_entry(void* raw_msg, void* arg) {
   // Completed.  tl_worker is re-read: the computation may have migrated.
   Worker* w = tl_worker;
   w->stats().bump(w->stats().tasks_completed);
+  w->trace(stu::kTraceTaskComplete, reinterpret_cast<std::uintptr_t>(s));
   // The stacklet must outlive this stack; the destination context releases
   // it (the msg lives on this dying stack, which stays mapped and
   // unreusable until the release actually runs).
@@ -50,6 +53,7 @@ namespace detail {
 void fork_impl(void (*invoke)(void*), void* closure, Stacklet* s) {
   Worker* w = tl_worker;
   w->stats().bump(w->stats().forks);
+  w->trace(stu::kTraceFork, reinterpret_cast<std::uintptr_t>(s));
   s->invoke = invoke;
   s->closure = closure;
   void* child_sp = st_ctx_prepare(s->stack_base(), s->stack_bytes(), &child_entry, s);
@@ -65,7 +69,13 @@ Stacklet* allocate_stacklet() {
   Worker* w = tl_worker;
   assert(w != nullptr && "st::fork must be called on a worker");
   w->serve_steal_request();  // every fork point is a poll point
-  return w->region().allocate();
+  Stacklet* s = w->region().allocate();
+  if (s->region != nullptr) {
+    w->trace(stu::kTraceStackletAlloc, reinterpret_cast<std::uintptr_t>(s), s->slot);
+  } else {
+    w->trace(stu::kTraceHeapFallback, reinterpret_cast<std::uintptr_t>(s));
+  }
+  return s;
 }
 
 [[noreturn]] void report_escaped_exception() noexcept {
@@ -82,6 +92,7 @@ void suspend(Continuation* c, void (*after)(void*), void* arg) {
   Worker* w = tl_worker;
   assert(w != nullptr && "st::suspend must be called on a worker");
   w->stats().bump(w->stats().suspends);
+  w->trace(stu::kTraceSuspend, reinterpret_cast<std::uintptr_t>(c));
   SwitchMsg m{after, arg};
   SwitchMsg* mp = after != nullptr ? &m : nullptr;
   void* target = !w->fork_deque().empty() ? w->fork_deque().pop_head()->sp
@@ -95,12 +106,14 @@ void resume(Continuation* c) {
   Worker* w = tl_worker;
   assert(w != nullptr && "st::resume must be called on a worker");
   w->stats().bump(w->stats().resumes);
+  w->trace(stu::kTraceResume, reinterpret_cast<std::uintptr_t>(c));
   w->readyq().push_tail(c);
 }
 
 void restart(Continuation* c) {
   Worker* w = tl_worker;
   assert(w != nullptr && "st::restart must be called on a worker");
+  w->trace(stu::kTraceRestart, reinterpret_cast<std::uintptr_t>(c));
   Continuation parent;
   w->fork_deque().push_head(&parent);
   auto* back = static_cast<SwitchMsg*>(st_ctx_swap(&parent.sp, c->sp, nullptr));
@@ -129,6 +142,10 @@ Worker::Worker(Runtime& rt, unsigned id, std::size_t stacklet_bytes, std::size_t
       region_(stacklet_bytes, region_slots),
       rng_(0x5157'1ead'0000'0000ULL + id) {}
 
+void Worker::trace_record(stu::TraceEvent ev, std::uint64_t a, std::uint64_t b) noexcept {
+  trace_.emit(ev, static_cast<std::uint16_t>(id_), stu::kTraceSrcRuntime, a, b);
+}
+
 void Worker::serve_steal_request() {
   if (port_.load(std::memory_order_relaxed) == nullptr) return;
   StealRequest* r = port_.exchange(nullptr, std::memory_order_acq_rel);
@@ -138,15 +155,21 @@ void Worker::serve_steal_request() {
   Continuation* task = nullptr;
   if (!readyq_.empty()) {
     task = readyq_.pop_tail();
+    // The stolen readyq tail leaves this worker's queue: close the
+    // resume edge here; the thief's side is the steal flow.
+    trace(stu::kTraceResumeRun, reinterpret_cast<std::uintptr_t>(task));
   } else if (!fork_deque_.empty()) {
     task = fork_deque_.pop_tail();
   }
   if (task != nullptr) {
     r->reply = *task;
     stats_.bump(stats_.steals_served);
+    trace(stu::kTraceStealServed, reinterpret_cast<std::uintptr_t>(r),
+          reinterpret_cast<std::uintptr_t>(task));
     r->state.store(StealRequest::kServed, std::memory_order_release);
   } else {
     stats_.bump(stats_.steals_rejected);
+    trace(stu::kTraceStealRejected, reinterpret_cast<std::uintptr_t>(r));
     r->state.store(StealRequest::kRejected, std::memory_order_release);
   }
 }
@@ -161,6 +184,7 @@ bool Worker::try_steal_and_run() {
   if (!victim->port().compare_exchange_strong(expected, &req, std::memory_order_acq_rel)) {
     return false;  // someone else is already negotiating with this victim
   }
+  trace(stu::kTraceStealPosted, reinterpret_cast<std::uintptr_t>(&req), victim->id());
 
   int spins = 0;
   bool cancel_tried = false;
@@ -170,6 +194,7 @@ bool Worker::try_steal_and_run() {
       cancel_tried = true;
       StealRequest* me = &req;
       if (victim->port().compare_exchange_strong(me, nullptr, std::memory_order_acq_rel)) {
+        trace(stu::kTraceStealCancelled, reinterpret_cast<std::uintptr_t>(&req), victim->id());
         return false;  // cancelled before the victim saw it
       }
       // The victim claimed the request; it will store a final state soon.
@@ -179,6 +204,7 @@ bool Worker::try_steal_and_run() {
 
   if (req.state.load(std::memory_order_acquire) != StealRequest::kServed) return false;
   stats_.bump(stats_.steals_received);
+  trace(stu::kTraceStealReceived, reinterpret_cast<std::uintptr_t>(&req), victim->id());
   attach_and_run(req.reply);
   return true;
 }
@@ -195,12 +221,18 @@ void Worker::scheduler_loop() {
     if (!readyq_.empty()) {
       // Figure 12: schedule the head of readyq when the chain is empty.
       Continuation* c = readyq_.pop_head();
+      trace(stu::kTraceResumeRun, reinterpret_cast<std::uintptr_t>(c));
       attach_and_run(*c);
       continue;
     }
     std::function<void()> root;
     if (rt_.pop_injected(root)) {
       Stacklet* s = region_.allocate();
+      if (s->region != nullptr) {
+        trace(stu::kTraceStackletAlloc, reinterpret_cast<std::uintptr_t>(s), s->slot);
+      } else {
+        trace(stu::kTraceHeapFallback, reinterpret_cast<std::uintptr_t>(s));
+      }
       using Root = std::function<void()>;
       static_assert(sizeof(Root) <= Stacklet::kClosureBytes);
       s->closure = new (s->closure_area()) Root(std::move(root));
@@ -223,6 +255,7 @@ void Worker::scheduler_loop() {
 // ---------------------------------------------------------------------
 
 Runtime::Runtime(RuntimeConfig cfg) {
+  stu::trace_configure_from_env();  // first-runtime process configuration
   if (cfg.workers == 0) cfg.workers = 1;
   workers_.reserve(cfg.workers);
   for (unsigned i = 0; i < cfg.workers; ++i) {
@@ -237,6 +270,28 @@ Runtime::Runtime(RuntimeConfig cfg) {
 Runtime::~Runtime() {
   done_.store(true, std::memory_order_release);
   for (auto& t : threads_) t.join();
+  // Workers are quiescent: drain their trace rings into the process
+  // sink (written at exit when ST_TRACE is set) and honour ST_STATS.
+  for (auto& w : workers_) {
+    if (!w->trace_ring().empty()) stu::trace_flush(w->trace_ring());
+  }
+  if (stu::trace_stats_enabled()) {
+    const RuntimeStats s = stats();
+    std::fprintf(stderr,
+                 "[st-stats runtime workers=%u] forks=%llu suspends=%llu resumes=%llu "
+                 "tasks=%llu steal{attempts=%llu served=%llu received=%llu rejected=%llu} "
+                 "region{high_water=%llu heap_fallbacks=%llu}\n",
+                 num_workers(), static_cast<unsigned long long>(s.forks),
+                 static_cast<unsigned long long>(s.suspends),
+                 static_cast<unsigned long long>(s.resumes),
+                 static_cast<unsigned long long>(s.tasks_completed),
+                 static_cast<unsigned long long>(s.steal_attempts),
+                 static_cast<unsigned long long>(s.steals_served),
+                 static_cast<unsigned long long>(s.steals_received),
+                 static_cast<unsigned long long>(s.steals_rejected),
+                 static_cast<unsigned long long>(s.region_high_water),
+                 static_cast<unsigned long long>(s.heap_fallbacks));
+  }
 }
 
 void Runtime::inject(std::function<void()> fn) {

@@ -25,6 +25,7 @@
 #include "util/cache.hpp"
 #include "util/owner_deque.hpp"
 #include "util/rng.hpp"
+#include "util/trace_ring.hpp"
 
 namespace st {
 
@@ -84,6 +85,14 @@ class alignas(stu::kCacheLine) Worker {
 
   StackRegion& region() noexcept { return region_; }
   WorkerStats& stats() noexcept { return stats_; }
+
+  /// Scheduler event tracing (docs/OBSERVABILITY.md).  Disabled cost is
+  /// one relaxed load + predictable branch; the record write is out of
+  /// line so the hook inlines to almost nothing at every call site.
+  void trace(stu::TraceEvent ev, std::uint64_t a = 0, std::uint64_t b = 0) noexcept {
+    if (stu::trace_enabled(ev)) [[unlikely]] trace_record(ev, a, b);
+  }
+  stu::TraceRing& trace_ring() noexcept { return trace_; }
   unsigned id() const noexcept { return id_; }
   Runtime& runtime() noexcept { return rt_; }
 
@@ -98,6 +107,8 @@ class alignas(stu::kCacheLine) Worker {
   std::atomic<StealRequest*>& port() noexcept { return port_; }
 
  private:
+  void trace_record(stu::TraceEvent ev, std::uint64_t a, std::uint64_t b) noexcept;
+
   Runtime& rt_;
   unsigned id_;
   stu::OwnerDeque<Continuation*> fork_deque_;
@@ -106,6 +117,7 @@ class alignas(stu::kCacheLine) Worker {
   MachineContext sched_ctx_;
   stu::Xoshiro256 rng_;
   WorkerStats stats_;
+  stu::TraceRing trace_;
   alignas(stu::kCacheLine) std::atomic<StealRequest*> port_{nullptr};
 };
 

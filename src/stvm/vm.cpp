@@ -1,8 +1,11 @@
 #include "stvm/vm.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <sstream>
+
+#include "util/trace_export.hpp"
 
 namespace stvm {
 
@@ -24,6 +27,7 @@ bool is_fork_point(const ProcDescriptor* d, Addr call_addr) {
 
 Vm::Vm(const PostprocResult& program, VmConfig cfg)
     : code_(program.module.code), cfg_(cfg), rng_(cfg.steal_seed) {
+  stu::trace_configure_from_env();
   if (cfg_.workers == 0) cfg_.workers = 1;
   for (const auto& d : program.descriptors) table_.add(d);
   max_args_ = table_.max_args_region();
@@ -70,6 +74,27 @@ Vm::Vm(const PostprocResult& program, VmConfig cfg)
     W.stack_lo = heap_end_ + static_cast<Addr>(w) * static_cast<Addr>(cfg_.stack_words);
     W.stack_hi = W.stack_lo + static_cast<Addr>(cfg_.stack_words);
     W.regs[kSp] = W.stack_hi;
+  }
+}
+
+Vm::~Vm() {
+  if (!trace_.empty()) stu::trace_flush(trace_);
+  if (stu::trace_stats_enabled()) {
+    std::fprintf(stderr,
+                 "[st-stats stvm workers=%u] instructions=%llu suspends=%llu "
+                 "restarts=%llu resumes=%llu steal{served=%llu rejected=%llu} "
+                 "frames_unwound=%llu shrink_reclaimed=%llu retired_marks=%llu "
+                 "trampolines=%llu\n",
+                 cfg_.workers, static_cast<unsigned long long>(stats_.instructions),
+                 static_cast<unsigned long long>(stats_.suspends),
+                 static_cast<unsigned long long>(stats_.restarts),
+                 static_cast<unsigned long long>(stats_.resumes),
+                 static_cast<unsigned long long>(stats_.steals_served),
+                 static_cast<unsigned long long>(stats_.steals_rejected),
+                 static_cast<unsigned long long>(stats_.frames_unwound),
+                 static_cast<unsigned long long>(stats_.shrink_reclaimed),
+                 static_cast<unsigned long long>(stats_.retired_marks_seen),
+                 static_cast<unsigned long long>(stats_.trampolines_taken));
   }
 }
 
@@ -374,6 +399,8 @@ void Vm::do_builtin(unsigned w, int id) {
       const Word n = read_mem(sp + 1);
       if (n < 1) fail(w, "suspend with n < 1");
       ++stats_.suspends;
+      trace(stu::kTraceVmSuspend, w, static_cast<std::uint64_t>(ctx),
+            static_cast<std::uint64_t>(n));
       const UnwindResult r = unwind(w, ctx, W.regs[kLr], W.regs[kFp], n);
       apply_unwind(w, r);
       break;
@@ -385,6 +412,7 @@ void Vm::do_builtin(unsigned w, int id) {
       const Addr ctx = read_mem(sp + 0);
       const Addr slot = read_mem(sp + 1);
       ++stats_.suspends;
+      trace(stu::kTraceVmSuspend, w, static_cast<std::uint64_t>(ctx), 1);
       const UnwindResult r = unwind(w, ctx, W.regs[kLr], W.regs[kFp], 1);
       mem(slot) = ctx;
       apply_unwind(w, r);
@@ -503,6 +531,8 @@ void Vm::apply_unwind(unsigned w, const UnwindResult& r) {
 
 void Vm::do_restart(unsigned w, Addr ctx, Addr ret_pc, Addr f_fp, bool from_scheduler) {
   auto& W = workers_[w];
+  trace(stu::kTraceVmRestart, w, static_cast<std::uint64_t>(ctx),
+        from_scheduler ? 1 : 0);
   const Addr bottom_fp = read_mem(ctx + kCtxBottomFp);
   const Addr ra_slot = read_mem(ctx + kCtxBottomRaSlot);
   const Addr pfp_slot = read_mem(ctx + kCtxBottomPfpSlot);
@@ -569,6 +599,8 @@ bool Vm::serve_steal(unsigned w, Addr resume_pc, Addr fp, bool running) {
       T.steal_reply = c2;
       ++stats_.steals_served;
       ++stats_.restarts;
+      trace(stu::kTraceVmMigrate, w, static_cast<std::uint64_t>(c2),
+            static_cast<std::uint64_t>(thief));
       do_restart(w, c1, s2.resume_pc, s2.fp, s2.reached_scheduler);
       return true;
     }
@@ -606,13 +638,14 @@ Word Vm::count_forks(Addr resume_pc, Addr fp) const {
 
 void Vm::shrink(unsigned w, Addr cur_pc) {
   auto& W = workers_[w];
-  bool popped = false;
+  std::uint64_t popped_count = 0;
   while (!W.exported.empty() && read_mem(W.exported.max().ra_slot) == 0) {
     W.exported.pop_max();
     ++stats_.shrink_reclaimed;
-    popped = true;
+    ++popped_count;
   }
-  if (!popped) return;
+  if (popped_count == 0) return;
+  trace(stu::kTraceVmShrink, w, popped_count);
 
   const bool have_f1 = !W.idle && cur_pc >= 0 && is_local(w, W.regs[kFp]);
   const Addr max_e_fp = W.exported.empty() ? kAddrMax : W.exported.max().fp;

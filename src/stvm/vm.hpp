@@ -38,6 +38,7 @@
 #include "util/max_heap.hpp"
 #include "util/owner_deque.hpp"
 #include "util/rng.hpp"
+#include "util/trace_ring.hpp"
 
 namespace stvm {
 
@@ -77,6 +78,10 @@ class Vm {
   /// labels and runtime entry points, installs the descriptor table.
   Vm(const PostprocResult& program, VmConfig cfg = {});
 
+  /// Flushes the frame-surgery trace ring into the process sink and
+  /// honours ST_STATS (docs/OBSERVABILITY.md).
+  ~Vm();
+
   /// Runs `entry(args...)` on worker 0 (other workers start idle and pull
   /// work via the steal protocol).  Returns the entry's r0.
   Word run(const std::string& entry, const std::vector<Word>& args = {});
@@ -86,6 +91,11 @@ class Vm {
 
   const VmStats& stats() const { return stats_; }
   const DescriptorTable& descriptors() const { return table_; }
+
+  /// Frame-surgery event ring (suspend patch / restart patch / shrink /
+  /// migrate); the VM is single-threaded, so one ring serves all virtual
+  /// workers and records carry the worker index.
+  const stu::TraceRing& trace_ring() const { return trace_; }
 
   /// Exported-set size of a worker (tests/diagnostics).
   std::size_t exported_count(unsigned w) const { return workers_[w].exported.size(); }
@@ -174,6 +184,12 @@ class Vm {
   Word count_forks(Addr resume_pc, Addr fp) const;
 
   // ---- helpers ----------------------------------------------------------
+  void trace(stu::TraceEvent ev, unsigned w, std::uint64_t a = 0,
+             std::uint64_t b = 0) noexcept {
+    if (stu::trace_enabled(ev)) [[unlikely]] {
+      trace_.emit(ev, static_cast<std::uint16_t>(w), stu::kTraceSrcStvm, a, b);
+    }
+  }
   Word& mem(Addr a);
   Word read_mem(Addr a) const;
   void validate_worker(unsigned w) const;
@@ -195,6 +211,7 @@ class Vm {
   Addr next_tramp_ = kTrampBase;
   std::vector<Word> output_;
   VmStats stats_;
+  stu::TraceRing trace_;
   stu::Xoshiro256 rng_;
   std::optional<Word> result_;
 };

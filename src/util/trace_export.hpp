@@ -1,0 +1,86 @@
+// Per-worker trace rings -> one Chrome trace_event JSON: the export half
+// of the tracing layer (recording half: util/trace_ring.hpp).
+//
+// Process-wide flow:
+//   1. trace_configure_from_env() (idempotent; called by the Runtime and
+//      Vm constructors) reads the ST_* variables:
+//        ST_TRACE=path.json   enable tracing; write merged JSON at exit
+//        ST_TRACE_EVENTS=mask restrict events (names, groups, or number;
+//                             default: all, when ST_TRACE is set)
+//        ST_TRACE_BUF=n       per-worker ring capacity in records
+//        ST_STATS=1           end-of-run counter table on stderr
+//   2. Hooks record into per-worker rings while workers run.
+//   3. On Runtime/Vm destruction each non-empty ring is flushed into a
+//      process-global sink (mutex-guarded; destruction is rare), so a
+//      bench that constructs many runtimes accumulates one merged trace.
+//   4. At process exit (or an explicit trace_write call) the sink is
+//      merge-sorted by timestamp and emitted as Chrome trace JSON: one
+//      row (tid) per worker, one process group (pid) per source
+//      (runtime / STVM), flow arrows for steal negotiations
+//      (posted -> served -> received) and resume edges
+//      (resume -> dispatch).  Load it in chrome://tracing or
+//      https://ui.perfetto.dev -- worked example in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/trace_ring.hpp"
+
+namespace stu {
+
+/// Reads ST_TRACE / ST_TRACE_EVENTS / ST_TRACE_BUF / ST_STATS once per
+/// process (subsequent calls are no-ops) and, when a trace path is set,
+/// registers an atexit writer.  Also takes the first timestamp
+/// calibration sample.
+void trace_configure_from_env();
+
+/// True when ST_STATS=1: runtimes print their counter table on stderr at
+/// destruction.
+bool trace_stats_enabled();
+
+/// The ST_TRACE output path ("" when unset).
+const std::string& trace_path();
+
+/// Programmatic enable/disable (tests, benches): sets the global event
+/// mask.  0 disables every hook.
+void trace_set_mask(std::uint64_t mask);
+std::uint64_t trace_mask();
+
+/// Bit for one event / all bits set.
+constexpr std::uint64_t trace_bit(TraceEvent ev) { return std::uint64_t{1} << ev; }
+constexpr std::uint64_t kTraceAll = (std::uint64_t{1} << kTraceEventCount) - 1;
+
+/// Parses an ST_TRACE_EVENTS spec: a number (any strtoull base-0 form,
+/// e.g. "0x3f"), or a comma list of event names ("fork", "steal-posted")
+/// and group names ("steal", "stacklet", "vm", "all").  Unknown names are
+/// ignored.  Empty spec = all events.
+std::uint64_t trace_parse_mask(const std::string& spec);
+
+/// Stable lowercase name of an event ("fork", "steal-posted", ...).
+const char* trace_event_name(TraceEvent ev);
+
+/// Appends a quiesced ring's retained records to the process-global sink
+/// (records carry their own worker id and source).  Thread-safe.
+void trace_flush(const TraceRing& ring);
+
+/// Sink maintenance (tests).
+void trace_sink_clear();
+std::vector<TraceRecord> trace_sink_snapshot();
+
+/// Merge-sorts `records` by timestamp and renders Chrome trace_event
+/// JSON (the {"traceEvents": [...]} object form).
+std::string trace_to_json(std::vector<TraceRecord> records);
+
+/// Renders the sink to `path`.  Returns false (with a perror-style note
+/// on stderr) when the file cannot be written.
+bool trace_write(const std::string& path);
+
+/// Minimal strict JSON validator (objects/arrays/strings/numbers/
+/// true/false/null, UTF-8 agnostic).  Used by the trace tests and the
+/// tools/trace_lint CI smoke check.  On failure returns false and, when
+/// err != nullptr, stores a byte-offset diagnostic.
+bool trace_json_lint(const std::string& text, std::string* err);
+
+}  // namespace stu

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "runtime/runtime.hpp"
@@ -15,6 +16,8 @@
 #include "sync/mutex.hpp"
 #include "sync/worker_local.hpp"
 #include "util/rng.hpp"
+#include "util/trace_export.hpp"
+#include "util/trace_ring.hpp"
 
 namespace {
 
@@ -58,6 +61,44 @@ TEST(RuntimeStress, RapidRuntimeChurn) {
     });
     EXPECT_EQ(x, round);
   }
+}
+
+TEST(RuntimeStress, StealServedEventsBalanceReceivedCounters) {
+  // Every Figure 10 negotiation the victim serves must be observed by
+  // exactly one thief: the steal-served trace events (and counter) must
+  // balance the steals-received counter once in-flight replies settle.
+  const std::uint64_t saved_mask = stu::trace_mask();
+  stu::trace_set_mask(stu::trace_bit(stu::kTraceStealServed) |
+                      stu::trace_bit(stu::kTraceStealReceived));
+  {
+    st::Runtime rt(4);
+    long result = 0;
+    rt.run([&] { result = pfib(20); });
+    EXPECT_EQ(result, 6765);
+    // A served reply is consumed by its thief within a bounded spin; give
+    // the last in-flight negotiation a moment to settle.
+    for (int spin = 0; spin < 100000; ++spin) {
+      if (rt.stats().steals_served == rt.stats().steals_received) break;
+      std::this_thread::yield();
+    }
+    const auto stats = rt.stats();
+    EXPECT_EQ(stats.steals_served, stats.steals_received)
+        << "a served steal vanished: victim handed out a task no thief ran";
+    // The trace rings agree with the aggregate counters, record for
+    // record (rings are far larger than the steal count here, no wrap).
+    std::uint64_t served_events = 0, received_events = 0;
+    for (unsigned w = 0; w < rt.num_workers(); ++w) {
+      ASSERT_EQ(rt.worker(w).trace_ring().dropped(), 0u);
+      for (const stu::TraceRecord& r : rt.worker(w).trace_ring().snapshot()) {
+        served_events += r.event == stu::kTraceStealServed ? 1 : 0;
+        received_events += r.event == stu::kTraceStealReceived ? 1 : 0;
+      }
+    }
+    EXPECT_EQ(served_events, stats.steals_served);
+    EXPECT_EQ(received_events, stats.steals_received);
+    stu::trace_set_mask(saved_mask);
+  }
+  stu::trace_sink_clear();  // drop this test's records from the global sink
 }
 
 TEST(RuntimeStress, MixedSynchronizationDag) {

@@ -1,0 +1,217 @@
+// Tracing layer (util/trace_ring.hpp + util/trace_export.{hpp,cpp}):
+// ring wrap-around and ordering, the event-mask grammar, cross-worker
+// merge, JSON well-formedness (via the exporter's own strict linter,
+// which is itself tested against malformed inputs).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/trace_export.hpp"
+#include "util/trace_ring.hpp"
+
+namespace {
+
+using stu::TraceRecord;
+using stu::TraceRing;
+
+TEST(TraceRing, StartsEmptyAndLazy) {
+  TraceRing ring(64);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.capacity(), 0u);  // storage deferred to first emit
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(TraceRing, RecordsInEmissionOrder) {
+  TraceRing ring(64);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.emit(stu::kTraceFork, /*worker=*/3, stu::kTraceSrcRuntime, i, i * 2);
+  }
+  EXPECT_EQ(ring.emitted(), 10u);
+  EXPECT_EQ(ring.size(), 10u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const std::vector<TraceRecord> recs = ring.snapshot();
+  ASSERT_EQ(recs.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(recs[i].a, i);
+    EXPECT_EQ(recs[i].b, i * 2);
+    EXPECT_EQ(recs[i].event, stu::kTraceFork);
+    EXPECT_EQ(recs[i].worker, 3u);
+    EXPECT_EQ(recs[i].src, stu::kTraceSrcRuntime);
+    if (i > 0) {
+      EXPECT_GE(recs[i].tsc, recs[i - 1].tsc) << "timestamps must not go backwards";
+    }
+  }
+}
+
+TEST(TraceRing, WrapAroundKeepsNewestAndCountsDrops) {
+  TraceRing ring(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ring.emit(stu::kTraceSuspend, 0, stu::kTraceSrcRuntime, i);
+  }
+  EXPECT_EQ(ring.emitted(), 20u);
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  const std::vector<TraceRecord> recs = ring.snapshot();
+  ASSERT_EQ(recs.size(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(recs[i].a, 12 + i) << "oldest records are overwritten first";
+  }
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  TraceRing ring(10);
+  ring.emit(stu::kTraceFork, 0, stu::kTraceSrcRuntime);
+  EXPECT_EQ(ring.capacity(), 16u);
+}
+
+TEST(TraceMask, ParseGrammar) {
+  EXPECT_EQ(stu::trace_parse_mask(""), stu::kTraceAll);
+  EXPECT_EQ(stu::trace_parse_mask("all"), stu::kTraceAll);
+  EXPECT_EQ(stu::trace_parse_mask("0x5"), 0x5u);
+  EXPECT_EQ(stu::trace_parse_mask("7"), 0x7u);
+  EXPECT_EQ(stu::trace_parse_mask("fork"), stu::trace_bit(stu::kTraceFork));
+  EXPECT_EQ(stu::trace_parse_mask("fork,suspend"),
+            stu::trace_bit(stu::kTraceFork) | stu::trace_bit(stu::kTraceSuspend));
+  const std::uint64_t steal = stu::trace_parse_mask("steal");
+  EXPECT_TRUE(steal & stu::trace_bit(stu::kTraceStealPosted));
+  EXPECT_TRUE(steal & stu::trace_bit(stu::kTraceStealServed));
+  EXPECT_TRUE(steal & stu::trace_bit(stu::kTraceStealRejected));
+  EXPECT_TRUE(steal & stu::trace_bit(stu::kTraceStealReceived));
+  EXPECT_TRUE(steal & stu::trace_bit(stu::kTraceStealCancelled));
+  EXPECT_FALSE(steal & stu::trace_bit(stu::kTraceFork));
+  const std::uint64_t vm = stu::trace_parse_mask("vm");
+  EXPECT_TRUE(vm & stu::trace_bit(stu::kTraceVmSuspend));
+  EXPECT_TRUE(vm & stu::trace_bit(stu::kTraceVmShrink));
+  // Unknown names are ignored, not fatal.
+  EXPECT_EQ(stu::trace_parse_mask("nonsense"), 0u);
+  EXPECT_EQ(stu::trace_parse_mask("nonsense,fork"), stu::trace_bit(stu::kTraceFork));
+}
+
+TEST(TraceMask, EnablesAndDisablesHooks) {
+  const std::uint64_t saved = stu::trace_mask();
+  stu::trace_set_mask(0);
+  EXPECT_FALSE(stu::trace_enabled(stu::kTraceFork));
+  stu::trace_set_mask(stu::trace_bit(stu::kTraceFork));
+  EXPECT_TRUE(stu::trace_enabled(stu::kTraceFork));
+  EXPECT_FALSE(stu::trace_enabled(stu::kTraceSuspend));
+  stu::trace_set_mask(saved);
+}
+
+TEST(TraceMask, EveryEventHasAUniqueName) {
+  for (int e = 0; e < stu::kTraceEventCount; ++e) {
+    const char* name = stu::trace_event_name(static_cast<stu::TraceEvent>(e));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "unknown");
+    // The name must round-trip through the mask parser onto its own bit.
+    EXPECT_TRUE(stu::trace_parse_mask(name) & (std::uint64_t{1} << e))
+        << "unparsable event name: " << name;
+    for (int f = 0; f < e; ++f) {
+      EXPECT_STRNE(name, stu::trace_event_name(static_cast<stu::TraceEvent>(f)));
+    }
+  }
+}
+
+TEST(TraceExport, MergesAcrossWorkersSortedByTime) {
+  TraceRing w0(64), w1(64);
+  // Interleave emissions so per-ring order differs from global order.
+  w0.emit(stu::kTraceFork, 0, stu::kTraceSrcRuntime, 1);
+  w1.emit(stu::kTraceFork, 1, stu::kTraceSrcRuntime, 2);
+  w0.emit(stu::kTraceSuspend, 0, stu::kTraceSrcRuntime, 3);
+  w1.emit(stu::kTraceResume, 1, stu::kTraceSrcRuntime, 3);
+
+  stu::trace_sink_clear();
+  stu::trace_flush(w0);
+  stu::trace_flush(w1);
+  const std::vector<TraceRecord> merged = stu::trace_sink_snapshot();
+  ASSERT_EQ(merged.size(), 4u);
+
+  const std::string json = stu::trace_to_json(merged);
+  std::string err;
+  EXPECT_TRUE(stu::trace_json_lint(json, &err)) << err;
+  // One thread_name row per worker.
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  stu::trace_sink_clear();
+}
+
+TEST(TraceExport, StealNegotiationGetsFlowArrows) {
+  TraceRing thief(64), victim(64);
+  const std::uint64_t req = 0xdead;
+  thief.emit(stu::kTraceStealPosted, 1, stu::kTraceSrcRuntime, req, 0);
+  victim.emit(stu::kTraceStealServed, 0, stu::kTraceSrcRuntime, req, 0x77);
+  thief.emit(stu::kTraceStealReceived, 1, stu::kTraceSrcRuntime, req, 0);
+
+  stu::trace_sink_clear();
+  stu::trace_flush(thief);
+  stu::trace_flush(victim);
+  const std::string json = stu::trace_to_json(stu::trace_sink_snapshot());
+  std::string err;
+  ASSERT_TRUE(stu::trace_json_lint(json, &err)) << err;
+  // Flow start, step, finish with a shared id.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"steal\""), std::string::npos);
+  stu::trace_sink_clear();
+}
+
+TEST(TraceExport, ResumeEdgeGetsFlowArrow) {
+  TraceRing w(64);
+  w.emit(stu::kTraceResume, 0, stu::kTraceSrcRuntime, 0xabc);
+  w.emit(stu::kTraceResumeRun, 0, stu::kTraceSrcRuntime, 0xabc);
+  stu::trace_sink_clear();
+  stu::trace_flush(w);
+  const std::string json = stu::trace_to_json(stu::trace_sink_snapshot());
+  std::string err;
+  ASSERT_TRUE(stu::trace_json_lint(json, &err)) << err;
+  EXPECT_NE(json.find("\"cat\":\"resume\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  stu::trace_sink_clear();
+}
+
+TEST(TraceExport, EmptySinkStillRendersValidJson) {
+  const std::string json = stu::trace_to_json({});
+  std::string err;
+  EXPECT_TRUE(stu::trace_json_lint(json, &err)) << err;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceExport, RuntimeAndVmSourcesGetSeparateProcessGroups) {
+  TraceRing rt(64), vm(64);
+  rt.emit(stu::kTraceFork, 0, stu::kTraceSrcRuntime, 1);
+  vm.emit(stu::kTraceVmSuspend, 0, stu::kTraceSrcStvm, 2, 1);
+  stu::trace_sink_clear();
+  stu::trace_flush(rt);
+  stu::trace_flush(vm);
+  const std::string json = stu::trace_to_json(stu::trace_sink_snapshot());
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("stvm"), std::string::npos);
+  stu::trace_sink_clear();
+}
+
+TEST(JsonLint, AcceptsValidDocuments) {
+  std::string err;
+  EXPECT_TRUE(stu::trace_json_lint("{}", &err)) << err;
+  EXPECT_TRUE(stu::trace_json_lint("[]", &err)) << err;
+  EXPECT_TRUE(stu::trace_json_lint("  {\"a\": [1, 2.5, -3e4, \"x\\n\", true, false, null]} ", &err))
+      << err;
+  EXPECT_TRUE(stu::trace_json_lint("\"lone string\"", &err)) << err;
+  EXPECT_TRUE(stu::trace_json_lint("42", &err)) << err;
+}
+
+TEST(JsonLint, RejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "{'a':1}", "[1 2]", "{\"a\":1,}",
+                          "nul", "01a", "\"unterminated", "{}extra", "[\"\\q\"]"}) {
+    std::string err;
+    EXPECT_FALSE(stu::trace_json_lint(bad, &err)) << "accepted: " << bad;
+    EXPECT_FALSE(err.empty());
+  }
+}
+
+}  // namespace

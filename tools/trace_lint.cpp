@@ -1,0 +1,47 @@
+// trace_lint <file.json> -- CI gate for the tracing layer.
+//
+// Validates that a file produced via ST_TRACE is (a) well-formed JSON and
+// (b) a Chrome trace_event object with a non-empty "traceEvents" array.
+// Exit 0 on success; exit 1 with a diagnostic otherwise.  Used by the
+// `trace_smoke` ctest (cmake/trace_smoke.cmake) and usable by hand:
+//
+//   $ ST_TRACE=/tmp/t.json ./build/examples/quickstart 20
+//   $ ./build/tools/trace_lint /tmp/t.json
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/trace_export.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_lint <trace.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_lint: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::string err;
+  if (!stu::trace_json_lint(text, &err)) {
+    std::fprintf(stderr, "trace_lint: %s: invalid JSON: %s\n", argv[1], err.c_str());
+    return 1;
+  }
+  if (text.find("\"traceEvents\"") == std::string::npos) {
+    std::fprintf(stderr, "trace_lint: %s: no \"traceEvents\" key\n", argv[1]);
+    return 1;
+  }
+  // A traced run must have recorded something beyond the metadata rows.
+  if (text.find("\"ph\":\"X\"") == std::string::npos) {
+    std::fprintf(stderr, "trace_lint: %s: traceEvents contains no event records\n", argv[1]);
+    return 1;
+  }
+  std::printf("trace_lint: %s ok (%zu bytes)\n", argv[1], text.size());
+  return 0;
+}

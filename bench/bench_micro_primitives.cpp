@@ -16,6 +16,7 @@
 #include "runtime/stacklet.hpp"
 #include "sync/join_counter.hpp"
 #include "util/max_heap.hpp"
+#include "util/metrics.hpp"
 #include "util/owner_deque.hpp"
 #include "util/trace_export.hpp"
 #include "util/trace_ring.hpp"
@@ -103,6 +104,51 @@ void BM_ForkFastPathTraced(benchmark::State& state) {
   stu::trace_sink_clear();  // keep benchmark traffic out of ST_TRACE output
 }
 BENCHMARK(BM_ForkFastPathTraced);
+
+// -- the disabled metrics gate in isolation --------------------------------
+// Prices what every timed metrics site (steal latency, suspend->restart,
+// deque-depth sample) pays when ST_METRICS is unset: one relaxed load of
+// the global enable flag plus a predictable branch.
+void BM_MetricsFlagCheck(benchmark::State& state) {
+  bool any = false;
+  for (auto _ : state) {
+    any |= stu::metrics_enabled();
+    benchmark::DoNotOptimize(any);
+  }
+}
+BENCHMARK(BM_MetricsFlagCheck);
+
+// -- one histogram record ---------------------------------------------------
+// The enabled-path price of a latency sample: bucket_of (clz + shifts)
+// plus a handful of relaxed atomic load/stores on owner-local lines.
+void BM_HistogramRecord(benchmark::State& state) {
+  stu::LogHistogram h;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = (v * 2862933555777941757ULL + 3037000493ULL) >> 16;  // vary buckets
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+// -- fork fast path with metrics ON -----------------------------------------
+// The metered fork adds one deque-depth histogram record per fork plus
+// the timestamp stamp at suspension sites; compare against
+// BM_ForkFastPath for the perturbation a metered run accepts.
+void BM_ForkFastPathMetered(benchmark::State& state) {
+  stu::metrics_set_enabled(true);
+  {
+    st::Runtime rt(1);
+    rt.run([&] {
+      for (auto _ : state) {
+        st::fork([] {});
+      }
+    });
+    stu::metrics_set_enabled(false);
+  }
+}
+BENCHMARK(BM_ForkFastPathMetered);
 
 // -- fork + join-counter round trip ---------------------------------------
 void BM_ForkJoinCounter(benchmark::State& state) {

@@ -209,4 +209,31 @@ std::optional<std::string> WorkerState::check_promptness() const {
   return std::nullopt;
 }
 
+std::string WorkerState::describe() const {
+  std::ostringstream os;
+  auto set_str = [&](const std::set<Frame>& s) {
+    os << '{';
+    bool first = true;
+    for (Frame f : s) {
+      if (!first) os << ' ';
+      first = false;
+      os << f;
+    }
+    os << '}';
+  };
+  os << "S = (s=[";
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << stack_[i];
+  }
+  os << "], t=" << t_ << ", E=";
+  set_str(exported_);
+  os << ", R=";
+  set_str(retired_);
+  os << ", X=";
+  set_str(extended_);
+  os << ")";
+  return os.str();
+}
+
 }  // namespace stf

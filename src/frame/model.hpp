@@ -120,6 +120,11 @@ class WorkerState {
   /// See check_invariants() for why these are separated.
   std::optional<std::string> check_promptness() const;
 
+  /// One-line rendering of the five-tuple, "S = (s=[f1 ...], t=.., E={..},
+  /// R={..}, X={..})" -- the model's contribution to introspection dumps
+  /// and test-failure diagnostics.
+  std::string describe() const;
+
  private:
   Chain stack_;
   Frame t_ = 0;

@@ -3,8 +3,12 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <semaphore>
+#include <sstream>
 
+#include "runtime/monitor.hpp"
+#include "util/metrics.hpp"
 #include "util/trace_export.hpp"
 
 namespace st {
@@ -16,6 +20,42 @@ namespace {
 constexpr int kStealSpinLimit = 512;
 
 void release_stacklet_cb(void* p) { StackRegion::release(static_cast<Stacklet*>(p)); }
+
+// -- crash-dump registry of live runtimes ------------------------------
+// The fatal-signal hook (util/metrics.hpp) walks this to print each live
+// runtime's logical-stack dump.  try_lock: the fault may have happened
+// under this mutex.
+std::mutex& live_runtimes_lock() {
+  static std::mutex m;
+  return m;
+}
+std::vector<Runtime*>& live_runtimes() {
+  static std::vector<Runtime*> v;
+  return v;
+}
+
+void crash_dump_runtimes() {
+  std::unique_lock<std::mutex> hold(live_runtimes_lock(), std::try_to_lock);
+  if (!hold.owns_lock()) return;
+  for (Runtime* rt : live_runtimes()) {
+    const std::string dump = dump_runtime_state(*rt);
+    std::fwrite(dump.data(), 1, dump.size(), stderr);
+  }
+}
+
+/// Consume a continuation's suspension timestamp into the dispatching
+/// worker's suspend->restart latency histogram.
+inline void record_resume_latency(Worker* w, Continuation* c) noexcept {
+  if (c->t_suspend != 0) {
+    if (stu::metrics_enabled()) {
+      const std::uint64_t now = stu::trace_clock();
+      if (now > c->t_suspend) {
+        w->metrics().suspend_to_restart.record(now - c->t_suspend);
+      }
+    }
+    c->t_suspend = 0;
+  }
+}
 
 /// Entry point of every forked computation (reached through st_ctx_boot).
 void child_entry(void* raw_msg, void* arg) {
@@ -53,7 +93,11 @@ namespace detail {
 void fork_impl(void (*invoke)(void*), void* closure, Stacklet* s) {
   Worker* w = tl_worker;
   w->stats().bump(w->stats().forks);
+  w->heartbeat();
   w->trace(stu::kTraceFork, reinterpret_cast<std::uintptr_t>(s));
+  if (stu::metrics_enabled()) [[unlikely]] {
+    w->metrics().deque_depth.record(w->fork_deque().size());
+  }
   s->invoke = invoke;
   s->closure = closure;
   void* child_sp = st_ctx_prepare(s->stack_base(), s->stack_bytes(), &child_entry, s);
@@ -92,7 +136,9 @@ void suspend(Continuation* c, void (*after)(void*), void* arg) {
   Worker* w = tl_worker;
   assert(w != nullptr && "st::suspend must be called on a worker");
   w->stats().bump(w->stats().suspends);
+  w->heartbeat();
   w->trace(stu::kTraceSuspend, reinterpret_cast<std::uintptr_t>(c));
+  c->t_suspend = stu::metrics_enabled() ? stu::trace_clock() : 0;
   SwitchMsg m{after, arg};
   SwitchMsg* mp = after != nullptr ? &m : nullptr;
   void* target = !w->fork_deque().empty() ? w->fork_deque().pop_head()->sp
@@ -106,6 +152,7 @@ void resume(Continuation* c) {
   Worker* w = tl_worker;
   assert(w != nullptr && "st::resume must be called on a worker");
   w->stats().bump(w->stats().resumes);
+  w->heartbeat();
   w->trace(stu::kTraceResume, reinterpret_cast<std::uintptr_t>(c));
   w->readyq().push_tail(c);
 }
@@ -113,7 +160,9 @@ void resume(Continuation* c) {
 void restart(Continuation* c) {
   Worker* w = tl_worker;
   assert(w != nullptr && "st::restart must be called on a worker");
+  w->heartbeat();
   w->trace(stu::kTraceRestart, reinterpret_cast<std::uintptr_t>(c));
+  record_resume_latency(w, c);
   Continuation parent;
   w->fork_deque().push_head(&parent);
   auto* back = static_cast<SwitchMsg*>(st_ctx_swap(&parent.sp, c->sp, nullptr));
@@ -147,6 +196,7 @@ void Worker::trace_record(stu::TraceEvent ev, std::uint64_t a, std::uint64_t b) 
 }
 
 void Worker::serve_steal_request() {
+  heartbeat();  // every poll point is a liveness signal
   if (port_.load(std::memory_order_relaxed) == nullptr) return;
   StealRequest* r = port_.exchange(nullptr, std::memory_order_acq_rel);
   if (r == nullptr) return;
@@ -178,10 +228,14 @@ bool Worker::try_steal_and_run() {
   Worker* victim = rt_.random_victim(rng_, id_);
   if (victim == nullptr) return false;
   stats_.bump(stats_.steal_attempts);
+  set_phase(WorkerPhase::kStealing);
+  const bool timed = stu::metrics_enabled();
+  const std::uint64_t t0 = timed ? stu::trace_clock() : 0;
 
   StealRequest req;
   StealRequest* expected = nullptr;
   if (!victim->port().compare_exchange_strong(expected, &req, std::memory_order_acq_rel)) {
+    set_phase(WorkerPhase::kIdle);
     return false;  // someone else is already negotiating with this victim
   }
   trace(stu::kTraceStealPosted, reinterpret_cast<std::uintptr_t>(&req), victim->id());
@@ -195,17 +249,29 @@ bool Worker::try_steal_and_run() {
       StealRequest* me = &req;
       if (victim->port().compare_exchange_strong(me, nullptr, std::memory_order_acq_rel)) {
         trace(stu::kTraceStealCancelled, reinterpret_cast<std::uintptr_t>(&req), victim->id());
+        if (timed) metrics_.steal_latency.record(stu::trace_clock() - t0);
+        set_phase(WorkerPhase::kIdle);
         return false;  // cancelled before the victim saw it
       }
       // The victim claimed the request; it will store a final state soon.
     }
     std::this_thread::yield();
   }
+  // The negotiation resolved (served or rejected): its full post->resolve
+  // time is the steal latency.
+  if (timed) metrics_.steal_latency.record(stu::trace_clock() - t0);
 
-  if (req.state.load(std::memory_order_acquire) != StealRequest::kServed) return false;
+  if (req.state.load(std::memory_order_acquire) != StealRequest::kServed) {
+    set_phase(WorkerPhase::kIdle);
+    return false;
+  }
   stats_.bump(stats_.steals_received);
+  heartbeat();
   trace(stu::kTraceStealReceived, reinterpret_cast<std::uintptr_t>(&req), victim->id());
+  record_resume_latency(this, &req.reply);
+  set_phase(WorkerPhase::kWorking);
   attach_and_run(req.reply);
+  set_phase(WorkerPhase::kIdle);
   return true;
 }
 
@@ -222,7 +288,10 @@ void Worker::scheduler_loop() {
       // Figure 12: schedule the head of readyq when the chain is empty.
       Continuation* c = readyq_.pop_head();
       trace(stu::kTraceResumeRun, reinterpret_cast<std::uintptr_t>(c));
+      record_resume_latency(this, c);
+      set_phase(WorkerPhase::kWorking);
       attach_and_run(*c);
+      set_phase(WorkerPhase::kIdle);
       continue;
     }
     std::function<void()> root;
@@ -238,7 +307,9 @@ void Worker::scheduler_loop() {
       s->closure = new (s->closure_area()) Root(std::move(root));
       s->invoke = &detail::invoke_closure<Root>;
       void* sp = st_ctx_prepare(s->stack_base(), s->stack_bytes(), &child_entry, s);
+      set_phase(WorkerPhase::kWorking);
       attach_and_run(Continuation{sp});
+      set_phase(WorkerPhase::kIdle);
       continue;
     }
     if (!try_steal_and_run()) std::this_thread::yield();
@@ -256,10 +327,31 @@ void Worker::scheduler_loop() {
 
 Runtime::Runtime(RuntimeConfig cfg) {
   stu::trace_configure_from_env();  // first-runtime process configuration
+  stu::metrics_configure_from_env();
   if (cfg.workers == 0) cfg.workers = 1;
   workers_.reserve(cfg.workers);
   for (unsigned i = 0; i < cfg.workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(*this, i, cfg.stacklet_bytes, cfg.region_slots));
+  }
+  // Observability wiring before the workers start: crash/stall dumps must
+  // be able to reach the rings and this runtime from the first event on.
+  for (auto& w : workers_) stu::trace_ring_register(&w->trace_ring());
+  {
+    std::lock_guard<std::mutex> hold(live_runtimes_lock());
+    live_runtimes().push_back(this);
+  }
+  stu::crash_add_hook(&crash_dump_runtimes);
+  metrics_provider_ =
+      stu::MetricsRegistry::instance().add_provider([this] { return metrics_json(); });
+  const long stall_ms = cfg.stall_ms >= 0 ? cfg.stall_ms : stu::metrics_stall_ms();
+  const long period_ms =
+      cfg.metrics_period_ms >= 0 ? cfg.metrics_period_ms : stu::metrics_period_ms();
+  if (stall_ms > 0 || period_ms > 0) {
+    MonitorConfig mc;
+    mc.stall_ms = stall_ms;
+    mc.snapshot_period_ms = period_ms;
+    mc.snapshot_path = stu::metrics_path();
+    monitor_ = std::make_unique<Monitor>(*this, std::move(mc));
   }
   threads_.reserve(cfg.workers);
   for (unsigned i = 0; i < cfg.workers; ++i) {
@@ -268,12 +360,24 @@ Runtime::Runtime(RuntimeConfig cfg) {
 }
 
 Runtime::~Runtime() {
+  monitor_.reset();  // stop sampling before teardown
   done_.store(true, std::memory_order_release);
   for (auto& t : threads_) t.join();
+  {
+    std::lock_guard<std::mutex> hold(live_runtimes_lock());
+    auto& v = live_runtimes();
+    std::erase(v, this);
+  }
   // Workers are quiescent: drain their trace rings into the process
   // sink (written at exit when ST_TRACE is set) and honour ST_STATS.
   for (auto& w : workers_) {
     if (!w->trace_ring().empty()) stu::trace_flush(w->trace_ring());
+    stu::trace_ring_unregister(&w->trace_ring());
+  }
+  // Final counters are in: let the registry retain this runtime's last
+  // render for the atexit ST_METRICS snapshot.
+  if (metrics_provider_ >= 0) {
+    stu::MetricsRegistry::instance().remove_provider(metrics_provider_);
   }
   if (stu::trace_stats_enabled()) {
     const RuntimeStats s = stats();
@@ -291,6 +395,33 @@ Runtime::~Runtime() {
                  static_cast<unsigned long long>(s.steals_rejected),
                  static_cast<unsigned long long>(s.region_high_water),
                  static_cast<unsigned long long>(s.heap_fallbacks));
+    if (stu::metrics_enabled()) {
+      // ST_STATS grows latency percentile tables when metrics were on.
+      const double ns = stu::trace_ns_per_tick();
+      struct Row {
+        const char* name;
+        double scale;
+        stu::LogHistogram WorkerMetrics::*h;
+      };
+      const Row rows[] = {
+          {"steal_latency_ns", ns, &WorkerMetrics::steal_latency},
+          {"suspend_to_restart_ns", ns, &WorkerMetrics::suspend_to_restart},
+          {"fork_deque_depth", 1.0, &WorkerMetrics::deque_depth},
+      };
+      for (const Row& row : rows) {
+        stu::HistogramSnapshot merged;
+        for (const auto& w : workers_) merged.merge((w->metrics().*row.h).snapshot());
+        if (merged.count == 0) continue;
+        const stu::Summary sum = merged.summarize();
+        std::fprintf(stderr,
+                     "[st-stats histogram %s] count=%llu min=%.0f p50=%.0f "
+                     "p90=%.0f p99=%.0f max=%.0f mean=%.1f\n",
+                     row.name, static_cast<unsigned long long>(merged.count),
+                     sum.min * row.scale, sum.median * row.scale,
+                     sum.p90 * row.scale, sum.p99 * row.scale,
+                     sum.max * row.scale, sum.mean * row.scale);
+      }
+    }
   }
 }
 
@@ -346,6 +477,70 @@ RuntimeStats Runtime::stats() const {
     out.heap_fallbacks += const_cast<Worker&>(*w).region().heap_fallbacks();
   }
   return out;
+}
+
+std::string Runtime::metrics_json() const {
+  const char* phase_names[] = {"idle", "working", "stealing"};
+  const RuntimeStats agg = stats();
+  std::ostringstream os;
+  os << "{\"kind\":\"runtime\",\"workers\":" << workers_.size() << ","
+     << "\"counters\":{"
+     << "\"forks\":" << agg.forks << ",\"suspends\":" << agg.suspends
+     << ",\"resumes\":" << agg.resumes << ",\"tasks_completed\":" << agg.tasks_completed
+     << ",\"steal_attempts\":" << agg.steal_attempts
+     << ",\"steals_served\":" << agg.steals_served
+     << ",\"steals_received\":" << agg.steals_received
+     << ",\"steals_rejected\":" << agg.steals_rejected
+     << ",\"region_high_water\":" << agg.region_high_water
+     << ",\"heap_fallbacks\":" << agg.heap_fallbacks << "},";
+  os << "\"per_worker\":[";
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Worker& w = *workers_[i];
+    StackRegion& r = w.region();
+    // Section-5 set sizes at stacklet granularity: E = live (exported)
+    // slots, R = retired slots below the bump pointer, X = the extended
+    // extent (the bump pointer itself).
+    const std::size_t top = r.top();
+    std::size_t e = 0, ret = 0;
+    for (std::size_t s = 0; s < top; ++s) {
+      const auto st = r.slot_state(s);
+      if (st == StackRegion::kLive) ++e;
+      else if (st == StackRegion::kRetired) ++ret;
+    }
+    const unsigned phase = static_cast<unsigned>(w.phase());
+    os << (i ? "," : "") << "{\"id\":" << w.id()
+       << ",\"phase\":\"" << (phase < 3 ? phase_names[phase] : "?") << "\""
+       << ",\"heartbeat\":" << w.heartbeat_count()
+       << ",\"fork_deque\":" << w.fork_deque().size()
+       << ",\"readyq\":" << w.readyq().size()
+       << ",\"sets\":{\"E\":" << e << ",\"R\":" << ret << ",\"X\":" << top << "}"
+       << ",\"region\":{\"top\":" << top << ",\"high_water\":" << r.high_water()
+       << ",\"capacity\":" << r.capacity()
+       << ",\"heap_fallbacks\":" << r.heap_fallbacks() << "}}";
+  }
+  os << "],";
+  const double ns = stu::trace_ns_per_tick();
+  struct Row {
+    const char* name;
+    const char* unit;
+    double scale;
+    stu::LogHistogram WorkerMetrics::*h;
+  };
+  const Row rows[] = {
+      {"steal_latency", "ns", ns, &WorkerMetrics::steal_latency},
+      {"suspend_to_restart", "ns", ns, &WorkerMetrics::suspend_to_restart},
+      {"fork_deque_depth", "tasks", 1.0, &WorkerMetrics::deque_depth},
+  };
+  os << "\"histograms\":[";
+  bool first = true;
+  for (const Row& row : rows) {
+    stu::HistogramSnapshot merged;
+    for (const auto& w : workers_) merged.merge((w->metrics().*row.h).snapshot());
+    os << (first ? "" : ",") << merged.to_json(row.name, row.unit, row.scale);
+    first = false;
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace st

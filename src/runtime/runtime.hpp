@@ -57,10 +57,17 @@
 
 namespace st {
 
+class Monitor;
+
 struct RuntimeConfig {
   unsigned workers = 1;
   std::size_t stacklet_bytes = 64 * 1024;
   std::size_t region_slots = 2048;
+  /// Stall-watchdog threshold in ms; -1 = take ST_STALL_MS from the
+  /// environment, 0 = off.  (Tests set it directly.)
+  long stall_ms = -1;
+  /// Periodic metrics-snapshot cadence in ms; -1 = ST_METRICS_PERIOD_MS.
+  long metrics_period_ms = -1;
 };
 
 /// Aggregated counters over all workers (see WorkerStats).
@@ -91,6 +98,16 @@ class Runtime {
 
   RuntimeStats stats() const;
 
+  /// This runtime's section of the ST_METRICS snapshot: one JSON object
+  /// with aggregated counters, per-worker state (phase, heartbeat, deque
+  /// depths, region occupancy, E/R/X sizes) and merged latency
+  /// histograms.  Also installed as a MetricsRegistry provider.
+  std::string metrics_json() const;
+
+  /// The monitor thread, when one is running (ST_STALL_MS /
+  /// ST_METRICS_PERIOD_MS or the RuntimeConfig equivalents); else null.
+  Monitor* monitor() noexcept { return monitor_.get(); }
+
   // -- internal (used by workers) ----------------------------------------
   bool pop_injected(std::function<void()>& out);
   Worker* random_victim(stu::Xoshiro256& rng, unsigned self);
@@ -101,6 +118,8 @@ class Runtime {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
   std::atomic<bool> done_{false};
+  std::unique_ptr<Monitor> monitor_;
+  int metrics_provider_ = -1;
 
   stu::Spinlock inject_lock_;
   std::vector<std::function<void()>> injected_;

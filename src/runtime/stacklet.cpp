@@ -31,9 +31,13 @@ Stacklet* StackRegion::header_of(std::size_t slot) noexcept {
 
 Stacklet* StackRegion::allocate() {
   reclaim_top();
-  if (top_ < slots_) {
-    const std::size_t slot = top_++;
-    if (top_ > high_water_) high_water_ = top_;
+  const std::size_t t = top();
+  if (t < slots_) {
+    const std::size_t slot = t;
+    set_top(t + 1);
+    if (t + 1 > high_water()) {
+      high_water_.store(t + 1, std::memory_order_relaxed);
+    }
     state_[slot].store(kLive, std::memory_order_relaxed);
     Stacklet* s = header_of(slot);
     s->region = this;
@@ -43,7 +47,7 @@ Stacklet* StackRegion::allocate() {
   }
   // Region exhausted: heap fallback (the paper's multiple-physical-stacks
   // alternative), reclaimed eagerly on release.
-  ++heap_fallbacks_;
+  heap_fallbacks_.store(heap_fallbacks() + 1, std::memory_order_relaxed);
   char* mem = static_cast<char*>(::operator new(slot_bytes_, std::align_val_t{16}));
   auto* s = reinterpret_cast<Stacklet*>(mem);
   s->region = nullptr;
@@ -65,10 +69,10 @@ void StackRegion::release(Stacklet* s) noexcept {
 
 std::size_t StackRegion::reclaim_top() noexcept {
   std::size_t reclaimed = 0;
-  while (top_ > 0 &&
-         state_[top_ - 1].load(std::memory_order_acquire) == kRetired) {
-    state_[top_ - 1].store(kFree, std::memory_order_relaxed);
-    --top_;
+  std::size_t t = top();
+  while (t > 0 && state_[t - 1].load(std::memory_order_acquire) == kRetired) {
+    state_[t - 1].store(kFree, std::memory_order_relaxed);
+    set_top(--t);
     ++reclaimed;
   }
   return reclaimed;
@@ -76,7 +80,8 @@ std::size_t StackRegion::reclaim_top() noexcept {
 
 std::size_t StackRegion::live_slots() const noexcept {
   std::size_t live = 0;
-  for (std::size_t i = 0; i < top_; ++i) {
+  const std::size_t t = top();
+  for (std::size_t i = 0; i < t; ++i) {
     if (state_[i].load(std::memory_order_relaxed) == kLive) ++live;
   }
   return live;

@@ -84,24 +84,39 @@ class StackRegion {
   /// Returns the number of slots reclaimed.
   std::size_t reclaim_top() noexcept;
 
-  // -- observability (benchmarks / tests) --------------------------------
-  std::size_t top() const noexcept { return top_; }
-  std::size_t high_water() const noexcept { return high_water_; }
-  std::size_t heap_fallbacks() const noexcept { return heap_fallbacks_; }
+  // -- observability (benchmarks / tests / monitor) ----------------------
+  // Counters are relaxed atomics so the monitor thread can sample them
+  // while the owner allocates; the owner-side update discipline is the
+  // usual single-writer relaxed load+store.
+  enum SlotState : std::uint8_t { kFree = 0, kLive = 1, kRetired = 2 };
+
+  std::size_t top() const noexcept { return top_.load(std::memory_order_relaxed); }
+  std::size_t high_water() const noexcept {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  std::size_t heap_fallbacks() const noexcept {
+    return heap_fallbacks_.load(std::memory_order_relaxed);
+  }
   std::size_t live_slots() const noexcept;
   std::size_t capacity() const noexcept { return slots_; }
 
- private:
-  enum SlotState : std::uint8_t { kFree = 0, kLive = 1, kRetired = 2 };
+  /// Slot state below the bump pointer (any thread; introspection dumps
+  /// classify kLive slots as Exported and kRetired as Retired frames).
+  SlotState slot_state(std::size_t slot) const noexcept {
+    return static_cast<SlotState>(state_[slot].load(std::memory_order_relaxed));
+  }
 
+ private:
   Stacklet* header_of(std::size_t slot) noexcept;
+
+  void set_top(std::size_t t) noexcept { top_.store(t, std::memory_order_relaxed); }
 
   std::size_t slot_bytes_;
   std::size_t slots_;
-  char* base_ = nullptr;       // mmap'd arena
-  std::size_t top_ = 0;        // bump pointer: next slot to carve
-  std::size_t high_water_ = 0;
-  std::size_t heap_fallbacks_ = 0;
+  char* base_ = nullptr;                   // mmap'd arena
+  std::atomic<std::size_t> top_{0};        // bump pointer: next slot to carve
+  std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::size_t> heap_fallbacks_{0};
   std::vector<std::atomic<std::uint8_t>> state_;
 };
 

@@ -23,6 +23,7 @@
 #include "runtime/context.hpp"
 #include "runtime/stacklet.hpp"
 #include "util/cache.hpp"
+#include "util/metrics.hpp"
 #include "util/owner_deque.hpp"
 #include "util/rng.hpp"
 #include "util/trace_ring.hpp"
@@ -37,6 +38,11 @@ class Runtime;
 /// thread is suspended.
 struct Continuation {
   void* sp = nullptr;
+  /// Suspension timestamp (trace_clock ticks), stamped by suspend() when
+  /// metrics are enabled; 0 for fork-parent continuations.  Consumed (and
+  /// zeroed) by whoever dispatches the continuation to record the
+  /// suspend->restart latency histogram.
+  std::uint64_t t_suspend = 0;
 };
 
 /// One in-flight steal negotiation.  Owned by the thief (stack-allocated
@@ -62,6 +68,23 @@ struct WorkerStats {
   void bump(std::atomic<std::uint64_t>& c) noexcept {
     c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
   }
+};
+
+/// What the worker is doing right now, for the monitor's classification
+/// (working / stealing / idle) and the stall watchdog: a stall is a
+/// *working* worker whose heartbeat stops advancing.
+enum class WorkerPhase : std::uint32_t {
+  kIdle = 0,      ///< scheduler loop, nothing to run
+  kWorking = 1,   ///< executing application code
+  kStealing = 2,  ///< negotiating with a victim
+};
+
+/// Per-worker latency/depth instruments (owner-writes, monitor-reads).
+/// All histograms record trace_clock() ticks except deque_depth (counts).
+struct WorkerMetrics {
+  stu::LogHistogram steal_latency;       ///< post -> served/rejected, ticks
+  stu::LogHistogram suspend_to_restart;  ///< suspend() -> dispatch, ticks
+  stu::LogHistogram deque_depth;         ///< fork-deque depth sampled at fork
 };
 
 class alignas(stu::kCacheLine) Worker {
@@ -96,6 +119,26 @@ class alignas(stu::kCacheLine) Worker {
   unsigned id() const noexcept { return id_; }
   Runtime& runtime() noexcept { return rt_; }
 
+  /// Liveness signal for the monitor: bumped at every scheduling event
+  /// (fork, suspend, resume, poll, steal, scheduler-loop iteration).  A
+  /// working worker whose heartbeat freezes for ST_STALL_MS is stalled.
+  void heartbeat() noexcept {
+    heartbeat_.store(heartbeat_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+  }
+  std::uint64_t heartbeat_count() const noexcept {
+    return heartbeat_.load(std::memory_order_relaxed);
+  }
+  void set_phase(WorkerPhase p) noexcept {
+    phase_.store(static_cast<std::uint32_t>(p), std::memory_order_relaxed);
+  }
+  WorkerPhase phase() const noexcept {
+    return static_cast<WorkerPhase>(phase_.load(std::memory_order_relaxed));
+  }
+
+  WorkerMetrics& metrics() noexcept { return metrics_; }
+  const WorkerMetrics& metrics() const noexcept { return metrics_; }
+
   /// Run a continuation to its next suspension/completion, with this
   /// worker's scheduler context as the fallback parent.
   void attach_and_run(Continuation target, SwitchMsg* msg = nullptr);
@@ -118,6 +161,9 @@ class alignas(stu::kCacheLine) Worker {
   stu::Xoshiro256 rng_;
   WorkerStats stats_;
   stu::TraceRing trace_;
+  WorkerMetrics metrics_;
+  std::atomic<std::uint64_t> heartbeat_{0};
+  std::atomic<std::uint32_t> phase_{0};  // WorkerPhase::kIdle
   alignas(stu::kCacheLine) std::atomic<StealRequest*> port_{nullptr};
 };
 

@@ -28,6 +28,10 @@ bool is_fork_point(const ProcDescriptor* d, Addr call_addr) {
 Vm::Vm(const PostprocResult& program, VmConfig cfg)
     : code_(program.module.code), cfg_(cfg), rng_(cfg.steal_seed) {
   stu::trace_configure_from_env();
+  stu::metrics_configure_from_env();
+  stu::trace_ring_register(&trace_);
+  metrics_provider_ =
+      stu::MetricsRegistry::instance().add_provider([this] { return metrics_json(); });
   if (cfg_.workers == 0) cfg_.workers = 1;
   for (const auto& d : program.descriptors) table_.add(d);
   max_args_ = table_.max_args_region();
@@ -79,6 +83,10 @@ Vm::Vm(const PostprocResult& program, VmConfig cfg)
 
 Vm::~Vm() {
   if (!trace_.empty()) stu::trace_flush(trace_);
+  stu::trace_ring_unregister(&trace_);
+  if (metrics_provider_ >= 0) {
+    stu::MetricsRegistry::instance().remove_provider(metrics_provider_);
+  }
   if (stu::trace_stats_enabled()) {
     std::fprintf(stderr,
                  "[st-stats stvm workers=%u] instructions=%llu suspends=%llu "
@@ -186,7 +194,9 @@ Word Vm::run(const std::string& entry, const std::vector<Word>& args) {
     }
     quiet_rounds = quiet ? quiet_rounds + 1 : 0;
     if (quiet_rounds >= 4) {
-      throw VmError("deadlock: all workers idle with no runnable work and no __st_exit");
+      throw VmError(
+          "deadlock: all workers idle with no runnable work and no __st_exit\n" +
+          dump_logical_stacks());
     }
   }
   return *result_;
@@ -493,6 +503,7 @@ Vm::UnwindResult Vm::unwind(unsigned w, Addr ctx, Addr resume_pc, Addr fp, Word 
         if (was_fork) ++forks;
         if (forks >= n) {
           r.reached_scheduler = true;
+          if (stu::metrics_enabled()) exported_depth_.record(W.exported.size());
           return r;
         }
         fail(w, "suspend unwound past the scheduler");
@@ -513,6 +524,7 @@ Vm::UnwindResult Vm::unwind(unsigned w, Addr ctx, Addr resume_pc, Addr fp, Word 
   }
   r.resume_pc = cur_pc;
   r.fp = cur_fp;
+  if (stu::metrics_enabled()) exported_depth_.record(W.exported.size());
   return r;
 }
 
@@ -683,6 +695,151 @@ void Vm::extend_if_needed(unsigned w, Addr cur_pc) {
   if (max_args_ <= 0) return;
   W.regs[kSp] = sp - max_args_;
   W.extended_sps.insert(W.regs[kSp]);
+}
+
+// ---------------------------------------------------------------------
+// Introspection / metrics
+// ---------------------------------------------------------------------
+
+std::string Vm::dump_logical_stacks() const {
+  constexpr int kMaxFrames = 64;
+  std::ostringstream os;
+  os << "== stvm logical-stack dump: " << cfg_.workers << " worker(s) ==\n";
+
+  // Frame chain walk via the descriptor table -- the introspective twin
+  // of count_forks().  Read-only and bounds-checked: a corrupted chain
+  // ends the walk instead of faulting.
+  auto walk = [&](unsigned w, Addr pc, Addr fp, const char* label) {
+    const auto& W = workers_[w];
+    os << "  " << label << " chain (newest first):\n";
+    int depth = 0;
+    for (;;) {
+      if (++depth > kMaxFrames) {
+        os << "    ... (truncated at " << kMaxFrames << " frames)\n";
+        return;
+      }
+      const ProcDescriptor* d = table_.find(pc);
+      if (d == nullptr) {
+        os << "    <no descriptor for pc=" << pc << ">\n";
+        return;
+      }
+      if (!d->has_frame) {
+        os << "    " << d->name << " (frameless) pc=" << pc << "\n";
+        return;
+      }
+      if (fp < 1 || fp + std::max(d->ra_offset, d->pfp_offset) >=
+                        static_cast<Addr>(memory_.size())) {
+        os << "    " << d->name << " fp=" << fp << " <fp out of range>\n";
+        return;
+      }
+      const Addr ra = read_mem(fp + d->ra_offset);
+      // Section-5 classification of this frame.
+      const char* cls = "active";
+      if (ra == 0) {
+        cls = "R (retired)";
+      } else {
+        for (const auto& e : W.exported.raw()) {
+          if (e.fp == fp) {
+            cls = "E (exported)";
+            break;
+          }
+        }
+      }
+      os << "    " << d->name << " fp=" << fp << " [" << cls << "]";
+      if (ra >= kTrampBase) {
+        auto it = trampolines_.find(ra);
+        if (it == trampolines_.end()) {
+          os << " -> <dead trampoline>\n";
+          return;
+        }
+        const Trampoline& t = it->second;
+        if (t.is_fork) os << " <- fork point";
+        if (t.kind == Trampoline::Kind::kScheduler) {
+          os << " <- scheduler (thread root)\n";
+          return;
+        }
+        if (t.kind == Trampoline::Kind::kHalt) {
+          os << " <- main (halt)\n";
+          return;
+        }
+        os << "\n";
+        pc = t.ret_pc;
+      } else {
+        if (ra == 0) {
+          os << "\n";
+          return;  // retired: the chain ends here for the walk
+        }
+        const ProcDescriptor* pd = table_.find(ra);
+        if (is_fork_point(pd, ra - 1)) os << " <- fork point";
+        os << "\n";
+        pc = ra;
+      }
+      fp = read_mem(fp + d->pfp_offset);
+    }
+  };
+
+  for (unsigned w = 0; w < cfg_.workers; ++w) {
+    const auto& W = workers_[w];
+    std::size_t retired = 0;
+    for (const auto& e : W.exported.raw()) {
+      if (e.ra_slot < static_cast<Addr>(memory_.size()) && read_mem(e.ra_slot) == 0) {
+        ++retired;
+      }
+    }
+    os << "worker " << w << ": " << (W.halted ? "halted" : W.idle ? "idle" : "running")
+       << " pc=" << W.pc << " sp=" << W.regs[kSp] << " fp=" << W.regs[kFp]
+       << " E=" << (W.exported.size() - retired) << " R=" << retired
+       << " X=" << W.extended_sps.size() << " readyq=" << W.readyq.size() << "\n";
+    if (!W.idle && !W.halted) walk(w, W.pc, W.regs[kFp], "running");
+    for (std::size_t i = 0; i < W.readyq.size(); ++i) {
+      const Addr ctx = W.readyq.peek(i);
+      if (ctx + kCtxWords >= static_cast<Addr>(memory_.size())) continue;
+      os << "  ready[" << i << "] ctx=" << ctx << ":\n";
+      walk(w, read_mem(ctx + kCtxPc), read_mem(ctx + kCtxFp), "suspended");
+    }
+    for (const auto& e : W.exported.raw()) {
+      const bool ret = e.ra_slot < static_cast<Addr>(memory_.size()) &&
+                       read_mem(e.ra_slot) == 0;
+      os << "  exported frame fp=" << e.fp << " top=" << e.top
+         << " [" << (ret ? "R (retired, awaiting shrink)" : "E (exported/live)")
+         << "]\n";
+    }
+  }
+  return os.str();
+}
+
+std::string Vm::metrics_json() const {
+  std::ostringstream os;
+  os << "{\"kind\":\"stvm\",\"workers\":" << cfg_.workers << ","
+     << "\"counters\":{"
+     << "\"instructions\":" << stats_.instructions
+     << ",\"suspends\":" << stats_.suspends << ",\"restarts\":" << stats_.restarts
+     << ",\"resumes\":" << stats_.resumes
+     << ",\"steals_served\":" << stats_.steals_served
+     << ",\"steals_rejected\":" << stats_.steals_rejected
+     << ",\"frames_unwound\":" << stats_.frames_unwound
+     << ",\"shrink_reclaimed\":" << stats_.shrink_reclaimed
+     << ",\"retired_marks_seen\":" << stats_.retired_marks_seen
+     << ",\"trampolines_taken\":" << stats_.trampolines_taken << "},";
+  os << "\"per_worker\":[";
+  for (unsigned w = 0; w < cfg_.workers; ++w) {
+    const auto& W = workers_[w];
+    std::size_t retired = 0;
+    for (const auto& e : W.exported.raw()) {
+      if (e.ra_slot < static_cast<Addr>(memory_.size()) && read_mem(e.ra_slot) == 0) {
+        ++retired;
+      }
+    }
+    os << (w ? "," : "") << "{\"id\":" << w << ",\"state\":\""
+       << (W.halted ? "halted" : W.idle ? "idle" : "running") << "\""
+       << ",\"sets\":{\"E\":" << (W.exported.size() - retired) << ",\"R\":" << retired
+       << ",\"X\":" << W.extended_sps.size() << "}"
+       << ",\"readyq\":" << W.readyq.size() << "}";
+  }
+  os << "],";
+  os << "\"histograms\":["
+     << exported_depth_.snapshot().to_json("exported_depth", "frames") << "]}";
+  return os.str();
 }
 
 }  // namespace stvm

@@ -36,6 +36,7 @@
 #include "stvm/module.hpp"
 #include "stvm/postproc.hpp"
 #include "util/max_heap.hpp"
+#include "util/metrics.hpp"
 #include "util/owner_deque.hpp"
 #include "util/rng.hpp"
 #include "util/trace_ring.hpp"
@@ -99,6 +100,18 @@ class Vm {
 
   /// Exported-set size of a worker (tests/diagnostics).
   std::size_t exported_count(unsigned w) const { return workers_[w].exported.size(); }
+
+  /// Logical-stack introspection: walks every worker's frame chain via
+  /// the procedure-descriptor table (the same walk count_forks uses) and
+  /// renders the logical thread tree with the Section-5 classification --
+  /// E = exported frame (live, continuable from elsewhere), R = retired
+  /// (return-address slot zeroed, awaiting shrink), X = extended SP
+  /// extents.  Appended to deadlock errors and available to crash dumps.
+  std::string dump_logical_stacks() const;
+
+  /// This VM's section of the ST_METRICS snapshot (VmStats counters,
+  /// per-worker E/R/X set sizes, unwind-depth histogram).
+  std::string metrics_json() const;
 
  private:
   // ---- structure -------------------------------------------------------
@@ -212,6 +225,8 @@ class Vm {
   std::vector<Word> output_;
   VmStats stats_;
   stu::TraceRing trace_;
+  stu::LogHistogram exported_depth_;  ///< exported-set size after each unwind
+  int metrics_provider_ = -1;
   stu::Xoshiro256 rng_;
   std::optional<Word> result_;
 };

@@ -8,11 +8,17 @@
 // THE protocol.  (The Cilk-style baseline in src/cilk uses a locked deque
 // instead; see cilk/deque.hpp.)
 //
-// Implemented as a growable ring buffer.
+// Implemented as a growable ring buffer.  The element count is a relaxed
+// atomic -- not for the owner (still the only mutator), but so the
+// runtime monitor thread can sample size() as a depth gauge without a
+// data race.  Relaxed load+store on the owner side compiles to the same
+// plain moves as before on x86-64.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace stu {
@@ -23,49 +29,66 @@ class OwnerDeque {
   explicit OwnerDeque(std::size_t initial_capacity = 16)
       : buf_(round_up(initial_capacity)) {}
 
-  bool empty() const noexcept { return count_ == 0; }
-  std::size_t size() const noexcept { return count_; }
+  // Moves are setup-time only (e.g. vector<WorkerState>::resize); the
+  // atomic count forces them to be spelled out.
+  OwnerDeque(OwnerDeque&& o) noexcept
+      : buf_(std::move(o.buf_)), head_(o.head_), count_(o.size()) {
+    o.clear();
+  }
+  OwnerDeque& operator=(OwnerDeque&& o) noexcept {
+    if (this != &o) {
+      buf_ = std::move(o.buf_);
+      head_ = o.head_;
+      set_count(o.size());
+      o.clear();
+    }
+    return *this;
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+  std::size_t size() const noexcept { return count_.load(std::memory_order_relaxed); }
 
   /// Push at the head (the logical stack top side; newest fork record).
   void push_head(T v) {
     grow_if_full();
     head_ = (head_ + mask()) & mask();  // head_ - 1 mod capacity
     buf_[head_] = std::move(v);
-    ++count_;
+    set_count(size() + 1);
   }
 
   /// Push at the tail (oldest side; where resumed threads enter under LTC).
   void push_tail(T v) {
     grow_if_full();
-    buf_[(head_ + count_) & mask()] = std::move(v);
-    ++count_;
+    buf_[(head_ + size()) & mask()] = std::move(v);
+    set_count(size() + 1);
   }
 
   /// Pop the newest entry. Precondition: !empty().
   T pop_head() {
-    assert(count_ > 0);
+    assert(size() > 0);
     T v = std::move(buf_[head_]);
     head_ = (head_ + 1) & mask();
-    --count_;
+    set_count(size() - 1);
     return v;
   }
 
   /// Pop the oldest entry (what a steal hands out). Precondition: !empty().
   T pop_tail() {
-    assert(count_ > 0);
-    --count_;
-    return std::move(buf_[(head_ + count_) & mask()]);
+    assert(size() > 0);
+    const std::size_t n = size() - 1;
+    set_count(n);
+    return std::move(buf_[(head_ + n) & mask()]);
   }
 
   /// Peek without removal; index 0 is the head (newest).
   const T& peek(std::size_t i) const noexcept {
-    assert(i < count_);
+    assert(i < size());
     return buf_[(head_ + i) & mask()];
   }
 
   void clear() noexcept {
     head_ = 0;
-    count_ = 0;
+    set_count(0);
   }
 
  private:
@@ -77,17 +100,20 @@ class OwnerDeque {
     return c;
   }
 
+  void set_count(std::size_t n) noexcept { count_.store(n, std::memory_order_relaxed); }
+
   void grow_if_full() {
-    if (count_ < buf_.size()) return;
+    const std::size_t n = size();
+    if (n < buf_.size()) return;
     std::vector<T> bigger(buf_.size() * 2);
-    for (std::size_t i = 0; i < count_; ++i) bigger[i] = std::move(buf_[(head_ + i) & mask()]);
+    for (std::size_t i = 0; i < n; ++i) bigger[i] = std::move(buf_[(head_ + i) & mask()]);
     buf_ = std::move(bigger);
     head_ = 0;
   }
 
   std::vector<T> buf_;
   std::size_t head_ = 0;
-  std::size_t count_ = 0;
+  std::atomic<std::size_t> count_{0};
 };
 
 }  // namespace stu

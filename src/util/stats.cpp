@@ -7,30 +7,57 @@
 
 namespace stu {
 
-Summary Samples::summarize() const {
+Summary summarize_weighted(const std::vector<double>& sorted_values,
+                           const std::vector<std::uint64_t>& weights) {
   Summary s;
-  s.n = values_.size();
-  if (s.n == 0) return s;
-  std::vector<double> sorted = values_;
-  std::sort(sorted.begin(), sorted.end());
-  s.min = sorted.front();
-  s.max = sorted.back();
+  if (sorted_values.empty()) return s;
+  const bool unit = weights.empty();
+  std::uint64_t total = 0;
   double sum = 0;
-  for (double v : sorted) sum += v;
-  s.mean = sum / static_cast<double>(s.n);
+  for (std::size_t i = 0; i < sorted_values.size(); ++i) {
+    const std::uint64_t w = unit ? 1 : weights[i];
+    total += w;
+    sum += sorted_values[i] * static_cast<double>(w);
+  }
+  if (total == 0) return s;
+  s.n = static_cast<std::size_t>(total);
+  s.min = sorted_values.front();
+  s.max = sorted_values.back();
+  s.mean = sum / static_cast<double>(total);
   double var = 0;
-  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
-  s.stddev = s.n > 1 ? std::sqrt(var / static_cast<double>(s.n - 1)) : 0.0;
+  for (std::size_t i = 0; i < sorted_values.size(); ++i) {
+    const std::uint64_t w = unit ? 1 : weights[i];
+    const double d = sorted_values[i] - s.mean;
+    var += static_cast<double>(w) * d * d;
+  }
+  s.stddev = total > 1 ? std::sqrt(var / static_cast<double>(total - 1)) : 0.0;
+
+  // Value of the j-th expanded sample (0-based), j < total.
+  auto value_at = [&](std::uint64_t j) {
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < sorted_values.size(); ++i) {
+      seen += unit ? 1 : weights[i];
+      if (j < seen) return sorted_values[i];
+    }
+    return sorted_values.back();
+  };
   auto quantile = [&](double q) {
-    const double pos = q * static_cast<double>(s.n - 1);
-    const std::size_t lo = static_cast<std::size_t>(pos);
-    const std::size_t hi = std::min(lo + 1, s.n - 1);
+    const double pos = q * static_cast<double>(total - 1);
+    const std::uint64_t lo = static_cast<std::uint64_t>(pos);
+    const std::uint64_t hi = std::min<std::uint64_t>(lo + 1, total - 1);
     const double frac = pos - static_cast<double>(lo);
-    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+    return value_at(lo) * (1 - frac) + value_at(hi) * frac;
   };
   s.median = quantile(0.5);
   s.p90 = quantile(0.9);
+  s.p99 = quantile(0.99);
   return s;
+}
+
+Summary Samples::summarize() const {
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  return summarize_weighted(sorted);
 }
 
 double Samples::best() const {

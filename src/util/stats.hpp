@@ -1,9 +1,16 @@
-// Sample statistics for the benchmark harnesses: each figure in the paper
-// is reproduced from repeated timed runs; we report min/median/mean so the
-// tables in EXPERIMENTS.md are robust to scheduler noise on the shared host.
+// Sample statistics for the benchmark harnesses and the metrics layer.
+//
+// Each figure in the paper is reproduced from repeated timed runs; we
+// report min/median/mean so the tables in EXPERIMENTS.md are robust to
+// scheduler noise on the shared host.  The metrics histograms
+// (util/metrics.hpp) report p50/p90/p99 of latency distributions.  Both
+// go through ONE quantile implementation, summarize_weighted(), so a
+// percentile printed by a bench table and one printed by an ST_METRICS
+// snapshot mean exactly the same thing.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -11,8 +18,18 @@ namespace stu {
 
 struct Summary {
   std::size_t n = 0;
-  double min = 0, max = 0, mean = 0, stddev = 0, median = 0, p90 = 0;
+  double min = 0, max = 0, mean = 0, stddev = 0, median = 0, p90 = 0, p99 = 0;
 };
+
+/// The repo's single quantile/summary implementation.  `sorted_values[i]`
+/// occurs `weights[i]` times (an empty `weights` means every value occurs
+/// once); values must be ascending.  Quantiles use linear interpolation
+/// over the expanded sample index q * (N - 1) -- the classic sample
+/// quantile, so with unit weights this is bit-identical to sorting the
+/// raw samples and interpolating.  Histograms pass bucket midpoints with
+/// bucket counts as weights.
+Summary summarize_weighted(const std::vector<double>& sorted_values,
+                           const std::vector<std::uint64_t>& weights = {});
 
 class Samples {
  public:

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "util/env.hpp"
+#include "util/metrics.hpp"
 
 namespace stu {
 
@@ -26,6 +27,10 @@ struct TraceGlobals {
   std::vector<TraceRecord> sink;
   std::string path;
   bool stats = false;
+  // Live rings (registered by workers/VMs) -> per-ring flush watermark:
+  // the `emitted()` count already copied into the sink, so a crash/stall
+  // flush followed by the destructor flush appends each record once.
+  std::map<const TraceRing*, std::uint64_t> live_rings;
   // Timestamp calibration: one (raw clock, wall ns) sample at configure
   // time and one at export time give the tick -> ns scale.
   std::uint64_t cal_tsc = 0;
@@ -153,7 +158,13 @@ void trace_configure_from_env() {
     if (!g.path.empty() || !events.empty()) {
       g_trace_mask.store(trace_parse_mask(events), std::memory_order_relaxed);
     }
-    if (!g.path.empty()) std::atexit(&atexit_writer);
+    if (!g.path.empty()) {
+      std::atexit(&atexit_writer);
+      // Crashes must not lose the trace: flush live rings and write the
+      // file from the fatal-signal handler too.
+      crash_add_hook([] { trace_crash_dump(); });
+      crash_handlers_install();
+    }
   });
 }
 
@@ -182,12 +193,81 @@ void trace_set_mask(std::uint64_t mask) {
 
 std::uint64_t trace_mask() { return g_trace_mask.load(std::memory_order_relaxed); }
 
-void trace_flush(const TraceRing& ring) {
+namespace {
+
+/// Appends `ring`'s retained records past its watermark.  Caller holds
+/// g.lock.
+void flush_locked(TraceGlobals& g, const TraceRing& ring) {
   if (ring.empty()) return;
   std::vector<TraceRecord> records = ring.snapshot();
+  const std::uint64_t h = ring.emitted();
+  std::size_t skip = 0;
+  auto it = g.live_rings.find(&ring);
+  if (it != g.live_rings.end()) {
+    const std::uint64_t base = h - records.size();
+    if (it->second > base) {
+      skip = static_cast<std::size_t>(
+          std::min<std::uint64_t>(it->second - base, records.size()));
+    }
+    it->second = h;
+  }
+  g.sink.insert(g.sink.end(), records.begin() + static_cast<std::ptrdiff_t>(skip),
+                records.end());
+}
+
+}  // namespace
+
+void trace_flush(const TraceRing& ring) {
+  if (ring.empty()) return;
   TraceGlobals& g = globals();
   std::lock_guard<std::mutex> hold(g.lock);
-  g.sink.insert(g.sink.end(), records.begin(), records.end());
+  flush_locked(g, ring);
+}
+
+void trace_ring_register(const TraceRing* ring) {
+  TraceGlobals& g = globals();
+  std::lock_guard<std::mutex> hold(g.lock);
+  g.live_rings.emplace(ring, 0);
+}
+
+void trace_ring_unregister(const TraceRing* ring) {
+  TraceGlobals& g = globals();
+  std::lock_guard<std::mutex> hold(g.lock);
+  g.live_rings.erase(ring);
+}
+
+void trace_flush_live() {
+  TraceGlobals& g = globals();
+  std::lock_guard<std::mutex> hold(g.lock);
+  for (auto& [ring, watermark] : g.live_rings) flush_locked(g, *ring);
+}
+
+bool trace_crash_dump() {
+  TraceGlobals& g = globals();
+  std::string path;
+  {
+    // try_lock: if the fault happened while this thread held the sink
+    // lock, a blocking flush would deadlock the signal handler.
+    std::unique_lock<std::mutex> hold(g.lock, std::try_to_lock);
+    if (!hold.owns_lock()) return false;
+    path = g.path;
+    if (path.empty()) return false;
+    for (auto& [ring, watermark] : g.live_rings) flush_locked(g, *ring);
+  }
+  return trace_write(path);
+}
+
+double trace_ns_per_tick() {
+  TraceGlobals& g = globals();
+  std::lock_guard<std::mutex> hold(g.lock);
+  ensure_calibrated(g);
+  const std::uint64_t now_tsc = trace_clock();
+  const std::uint64_t now_ns = wall_ns();
+  if (now_tsc > g.cal_tsc && now_ns > g.cal_ns) {
+    return static_cast<double>(now_ns - g.cal_ns) /
+           static_cast<double>(now_tsc - g.cal_tsc);
+  }
+  return 1.0;
 }
 
 void trace_sink_clear() {

@@ -62,8 +62,34 @@ std::uint64_t trace_parse_mask(const std::string& spec);
 const char* trace_event_name(TraceEvent ev);
 
 /// Appends a quiesced ring's retained records to the process-global sink
-/// (records carry their own worker id and source).  Thread-safe.
+/// (records carry their own worker id and source).  Thread-safe.  For a
+/// ring registered via trace_ring_register, only records newer than the
+/// ring's flush watermark are appended (so a mid-run crash/stall flush
+/// followed by the normal destructor flush does not duplicate records).
 void trace_flush(const TraceRing& ring);
+
+/// Live-ring registry: workers/VMs register their rings at construction
+/// and unregister (after a final flush) at destruction, so crash and
+/// stall dumps can reach rings that have not been flushed yet.
+void trace_ring_register(const TraceRing* ring);
+void trace_ring_unregister(const TraceRing* ring);
+
+/// Flushes every registered ring into the sink (watermark-aware).  The
+/// writers may still be running: the read is racy-but-bounded (a ring's
+/// head counter is released on each emit, so the reader sees a coherent
+/// prefix; records mid-overwrite may be torn).  Crash/stall paths only.
+void trace_flush_live();
+
+/// Best-effort crash-path write: flush live rings and write the ST_TRACE
+/// file, skipping (returning false) if the sink lock is unavailable
+/// (e.g. the fault happened inside the exporter).  No-op when ST_TRACE
+/// is unset.  Installed as a crash hook by trace_configure_from_env.
+bool trace_crash_dump();
+
+/// Tick -> nanosecond scale of trace_clock(), from the process's
+/// wall-clock calibration samples (1.0 until two samples exist).  Used
+/// to render metrics histograms recorded in ticks as nanoseconds.
+double trace_ns_per_tick();
 
 /// Sink maintenance (tests).
 void trace_sink_clear();

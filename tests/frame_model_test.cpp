@@ -257,4 +257,13 @@ TEST(FrameModel, MixedChainRestart) {
   expect_ok(w);
 }
 
+TEST(FrameModel, DescribeRendersFiveTuple) {
+  WorkerState w;
+  EXPECT_EQ(w.describe(), "S = (s=[0], t=0, E={}, R={}, X={})");
+  w.call();
+  w.call();
+  w.suspend(1);  // detach the top frame: exported, argument region extended
+  EXPECT_EQ(w.describe(), "S = (s=[1 0], t=2, E={2}, R={}, X={2})");
+}
+
 }  // namespace

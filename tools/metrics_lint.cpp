@@ -1,0 +1,71 @@
+// metrics_lint <snapshot.json> -- CI gate for the metrics layer.
+//
+// Validates that a file produced via ST_METRICS is (a) well-formed JSON,
+// (b) the stmp-metrics-v1 schema, and (c) structurally complete: a
+// "sections" array whose runtime/stvm sections carry "counters",
+// "per_worker" (with E/R/X set sizes) and "histograms" keys.  Exit 0 on
+// success; exit 1 with a diagnostic otherwise.  Used by the
+// `metrics_smoke` ctest (cmake/metrics_smoke.cmake) and usable by hand:
+//
+//   $ ST_METRICS=/tmp/m.json ./build/examples/quickstart 20
+//   $ ./build/tools/metrics_lint /tmp/m.json
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/trace_export.hpp"
+
+namespace {
+
+int fail(const char* path, const char* what) {
+  std::fprintf(stderr, "metrics_lint: %s: %s\n", path, what);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: metrics_lint <snapshot.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) return fail(argv[1], "cannot open");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::string err;
+  if (!stu::trace_json_lint(text, &err)) {
+    std::fprintf(stderr, "metrics_lint: %s: invalid JSON: %s\n", argv[1], err.c_str());
+    return 1;
+  }
+  if (text.find("\"schema\":\"stmp-metrics-v1\"") == std::string::npos) {
+    return fail(argv[1], "missing or wrong \"schema\" (want stmp-metrics-v1)");
+  }
+  if (text.find("\"wall_ns\":") == std::string::npos) {
+    return fail(argv[1], "missing \"wall_ns\"");
+  }
+  if (text.find("\"sections\":[") == std::string::npos) {
+    return fail(argv[1], "missing \"sections\" array");
+  }
+  // At least one subsystem must have rendered a section.
+  const bool has_runtime = text.find("\"kind\":\"runtime\"") != std::string::npos;
+  const bool has_stvm = text.find("\"kind\":\"stvm\"") != std::string::npos;
+  if (!has_runtime && !has_stvm) {
+    return fail(argv[1], "sections contain neither a runtime nor an stvm entry");
+  }
+  for (const char* key : {"\"counters\":{", "\"per_worker\":[", "\"histograms\":["}) {
+    if (text.find(key) == std::string::npos) {
+      std::fprintf(stderr, "metrics_lint: %s: section missing %s...}\n", argv[1], key);
+      return 1;
+    }
+  }
+  // E/R/X set sizes are part of the stable schema.
+  if (text.find("\"sets\":{\"E\":") == std::string::npos) {
+    return fail(argv[1], "per_worker entries missing \"sets\" (E/R/X)");
+  }
+  std::printf("metrics_lint: %s ok (%zu bytes)\n", argv[1], text.size());
+  return 0;
+}

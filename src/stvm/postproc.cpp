@@ -39,7 +39,7 @@ ProcAnalysis analyze(const Module& m, const Module::ProcSpan& span) {
   a.name = span.name;
   a.begin = span.begin;
   a.end = span.end;
-  if (span.begin >= span.end) throw PostprocError("empty procedure " + span.name);
+  if (span.begin >= span.end) throw PostprocError(span.name, -1, "empty procedure");
 
   // ---- prologue ---------------------------------------------------------
   std::size_t i = span.begin;
@@ -70,8 +70,8 @@ ProcAnalysis analyze(const Module& m, const Module::ProcSpan& span) {
       ++i;
     }
     if (!saw_ra || !saw_pfp || !saw_fp_setup) {
-      throw PostprocError("procedure " + span.name +
-                          " allocates a frame but has a nonstandard prologue");
+      throw PostprocError(span.name, static_cast<Addr>(span.begin),
+                          "allocates a frame but has a nonstandard prologue");
     }
   }
   a.prologue_end = i;
@@ -87,22 +87,28 @@ ProcAnalysis analyze(const Module& m, const Module::ProcSpan& span) {
     if (ins.op == Op::kCallr) a.calls_unknown = true;
     if (ins.op == Op::kCall) {
       if (ins.label == kForkBegin) {
-        if (in_fork_block) throw PostprocError("nested fork block in " + span.name);
+        if (in_fork_block) {
+          throw PostprocError(span.name, static_cast<Addr>(k), "nested fork block");
+        }
         in_fork_block = true;
         fork_seen_in_block = false;
         a.marker_deletions.push_back(k);
       } else if (ins.label == kForkEnd) {
-        if (!in_fork_block) throw PostprocError("stray fork-block end in " + span.name);
+        if (!in_fork_block) {
+          throw PostprocError(span.name, static_cast<Addr>(k), "stray fork-block end");
+        }
         if (!fork_seen_in_block) {
-          throw PostprocError("fork block without a call in " + span.name);
+          throw PostprocError(span.name, static_cast<Addr>(k), "fork block without a call");
         }
         in_fork_block = false;
         a.marker_deletions.push_back(k);
       } else {
         if (in_fork_block) {
           if (fork_seen_in_block) {
-            throw PostprocError("multiple calls in one fork block in " + span.name +
-                                " (no nested calls in ASYNC_CALL argument positions)");
+            throw PostprocError(
+                span.name, static_cast<Addr>(k),
+                "multiple calls in one fork block (no nested calls in ASYNC_CALL "
+                "argument positions)");
           }
           a.fork_calls.push_back(k);
           fork_seen_in_block = true;
@@ -116,7 +122,7 @@ ProcAnalysis analyze(const Module& m, const Module::ProcSpan& span) {
     }
     if (is_mov_sp_fp(ins)) a.frame_frees.push_back(k);
   }
-  if (in_fork_block) throw PostprocError("unterminated fork block in " + span.name);
+  if (in_fork_block) throw PostprocError(span.name, -1, "unterminated fork block");
 
   // ---- epilogue sanity: the RA load must precede every frame free -------
   for (std::size_t f : a.frame_frees) {
@@ -128,7 +134,8 @@ ProcAnalysis analyze(const Module& m, const Module::ProcSpan& span) {
       }
     }
     if (!ra_loaded_before) {
-      throw PostprocError("frame free before return-address load in " + span.name);
+      throw PostprocError(span.name, static_cast<Addr>(f),
+                          "frame free before return-address load");
     }
   }
   return a;

@@ -42,8 +42,25 @@
 
 namespace stvm {
 
+/// Postprocessor diagnostic.  Every throw site names the procedure and,
+/// when one is at fault, the instruction index, rendered in the same
+/// "proc 'name' @instr: message" format the static verifier
+/// (stvm/verify.hpp) uses, so both toolchain stages read alike.
 struct PostprocError : std::runtime_error {
-  explicit PostprocError(const std::string& m) : std::runtime_error(m) {}
+  PostprocError(std::string proc, Addr instr, const std::string& m)
+      : std::runtime_error(render(proc, instr, m)),
+        proc_name(std::move(proc)),
+        instr_index(instr) {}
+
+  std::string proc_name;  ///< offending procedure ("" = module-level)
+  Addr instr_index = -1;  ///< offending instruction index (-1 = whole proc)
+
+ private:
+  static std::string render(const std::string& proc, Addr instr, const std::string& m) {
+    std::string out = proc.empty() ? "module" : "proc '" + proc + "'";
+    if (instr >= 0) out += " @" + std::to_string(instr);
+    return out + ": " + m;
+  }
 };
 
 struct PostprocResult {

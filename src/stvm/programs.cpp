@@ -1,6 +1,7 @@
 #include "stvm/programs.hpp"
 
 #include "stvm/asm.hpp"
+#include "stvm/verify.hpp"
 
 namespace stvm::programs {
 
@@ -532,7 +533,11 @@ fill_done:
 PostprocResult compile(const std::string& source, bool with_stdlib) {
   std::string full = source;
   if (with_stdlib) full += "\n" + stdlib();
-  return postprocess(assemble(full));
+  PostprocResult result = postprocess(assemble(full));
+  // Opt-in ST_VERIFY=1 gate, mirrored in the Vm constructor for modules
+  // that do not come through this helper.
+  if (verify_enabled()) verify_or_throw(result);
+  return result;
 }
 
 }  // namespace stvm::programs

@@ -1,0 +1,972 @@
+#include "stvm/verify.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "util/env.hpp"
+
+namespace stvm {
+
+// ---------------------------------------------------------------------
+// Diagnostic format (shared with PostprocError)
+// ---------------------------------------------------------------------
+
+std::string VerifyIssue::format() const {
+  std::ostringstream out;
+  if (proc.empty()) {
+    out << "module";
+  } else {
+    out << "proc '" << proc << "'";
+    if (instr >= 0) out << " @" << instr;
+  }
+  out << " [" << property << "]: " << message;
+  return out.str();
+}
+
+bool VerifyReport::ok() const { return issue_count() == 0; }
+
+std::size_t VerifyReport::issue_count() const {
+  std::size_t n = module_issues.size();
+  for (const auto& p : procs) n += p.issues.size();
+  return n;
+}
+
+std::vector<VerifyIssue> VerifyReport::all_issues() const {
+  std::vector<VerifyIssue> out = module_issues;
+  for (const auto& p : procs) out.insert(out.end(), p.issues.begin(), p.issues.end());
+  return out;
+}
+
+std::string VerifyReport::summary() const {
+  std::ostringstream out;
+  for (const auto& p : procs) {
+    out << "proc '" << p.name << "'";
+    if (p.has_frame) {
+      out << " frame=" << p.frame_size << " ra=" << p.ra_offset << " pfp=" << p.pfp_offset
+          << " maxsp=" << p.max_sp_store << " saved=" << p.saved_regs;
+    } else {
+      out << " frameless";
+    }
+    out << (p.augmented ? " augmented" : " plain") << " forks=" << p.fork_points
+        << " instrs=" << p.instructions << " -- " << (p.ok() ? "OK" : "REJECTED") << "\n";
+    for (const auto& issue : p.issues) out << "  " << issue.format() << "\n";
+  }
+  for (const auto& issue : module_issues) out << issue.format() << "\n";
+  return out.str();
+}
+
+VerifyError::VerifyError(const VerifyReport& report)
+    : std::runtime_error("static verifier rejected module (" +
+                         std::to_string(report.issue_count()) + " issue(s)):\n" +
+                         report.summary()),
+      issues(report.issue_count()) {}
+
+bool verify_enabled() {
+  static const bool enabled = stu::env_long("ST_VERIFY", 0) != 0;
+  return enabled;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Abstract domain
+// ---------------------------------------------------------------------
+//
+// Values are tracked relative to S0, the SP at procedure entry (== the
+// FP the prologue establishes, == the caller's SP).  The lattice is flat:
+// a value is either precisely known or Top.
+
+struct AbsVal {
+  enum class Kind : std::uint8_t {
+    kTop,    ///< anything
+    kInit,   ///< the value register `reg` held at procedure entry
+    kFrame,  ///< the address S0 + v (stack grows down: v < 0 is in-frame)
+    kConst,  ///< the integer v
+  };
+  Kind kind = Kind::kTop;
+  int reg = 0;
+  Word v = 0;
+
+  bool operator==(const AbsVal&) const = default;
+
+  static AbsVal top() { return {}; }
+  static AbsVal init(int r) { return {Kind::kInit, r, 0}; }
+  static AbsVal frame(Word d) { return {Kind::kFrame, 0, d}; }
+  static AbsVal cst(Word c) { return {Kind::kConst, 0, c}; }
+
+  bool is_frame() const { return kind == Kind::kFrame; }
+  bool is_const() const { return kind == Kind::kConst; }
+  bool is_init(int r) const { return kind == Kind::kInit && reg == r; }
+};
+
+AbsVal join(const AbsVal& a, const AbsVal& b) { return a == b ? a : AbsVal::top(); }
+
+/// Abstract machine state at one program point: register file plus the
+/// known contents of frame slots (S0-relative; absent key == Top).
+struct AbsState {
+  bool reachable = false;
+  std::array<AbsVal, kNumRegs> regs{};
+  std::map<Word, AbsVal> slots;
+};
+
+/// Joins `from` into `into`; returns true when `into` changed.
+bool join_into(AbsState& into, const AbsState& from) {
+  if (!from.reachable) return false;
+  if (!into.reachable) {
+    into = from;
+    return true;
+  }
+  bool changed = false;
+  for (int r = 0; r < kNumRegs; ++r) {
+    const AbsVal j = join(into.regs[r], from.regs[r]);
+    if (!(j == into.regs[r])) {
+      into.regs[r] = j;
+      changed = true;
+    }
+  }
+  for (auto it = into.slots.begin(); it != into.slots.end();) {
+    auto f = from.slots.find(it->first);
+    if (f == from.slots.end() || !(f->second == it->second)) {
+      it = into.slots.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  return changed;
+}
+
+bool is_mov_sp_fp(const Instr& i) { return i.op == Op::kMov && i.rd == kSp && i.ra == kFp; }
+
+bool writes_reg(const Instr& i, int r) {
+  switch (i.op) {
+    case Op::kLi:
+    case Op::kMov:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kAddi:
+    case Op::kSubi:
+    case Op::kLd:
+    case Op::kFetchAdd:
+    case Op::kGetMaxE:
+      return i.rd == r;
+    case Op::kCall:
+    case Op::kCallr:
+      return r == kLr;
+    default:
+      return false;
+  }
+}
+
+bool is_callee_saved_gpr(int r) { return r >= kFirstCalleeSaved && r <= kLastCalleeSaved; }
+
+/// Facts recovered from the actual prologue instructions (ground truth the
+/// descriptor is compared against).
+struct PrologueFacts {
+  bool has_frame = false;
+  Word frame_size = 0;
+  Word ra_offset = 0;
+  Word pfp_offset = 0;
+  bool complete = false;  ///< saw RA save, PFP save and FP setup
+  std::size_t end = 0;    ///< first instruction index past the prologue
+  std::vector<int> saved_regs;
+  std::vector<Word> saved_offsets;
+};
+
+// ---------------------------------------------------------------------
+// Per-procedure verifier
+// ---------------------------------------------------------------------
+
+class ProcVerifier {
+ public:
+  ProcVerifier(const PostprocResult& prog, const Module::ProcSpan& span,
+               const ProcDescriptor* desc, const DescriptorTable& table,
+               Word module_caller_write_bound, ProcVerifyReport& report)
+      : prog_(prog),
+        code_(prog.module.code),
+        span_(span),
+        desc_(desc),
+        table_(table),
+        caller_write_bound_(module_caller_write_bound),
+        report_(report) {}
+
+  void run() {
+    report_.name = span_.name;
+    report_.instructions = span_.end - span_.begin;
+    if (span_.begin >= span_.end) {
+      issue(-1, "descriptor", "empty procedure");
+      return;
+    }
+    scan_prologue();
+    report_.has_frame = pro_.has_frame;
+    if (desc_ != nullptr) {
+      report_.augmented = desc_->augmented;
+      report_.frame_size = desc_->frame_size;
+      report_.ra_offset = desc_->ra_offset;
+      report_.pfp_offset = desc_->pfp_offset;
+      report_.max_sp_store = desc_->max_sp_store;
+      report_.saved_regs = desc_->saved_regs.size();
+      report_.fork_points = desc_->fork_points.size();
+    }
+    check_descriptor();
+    check_augmentation();
+    check_criterion();
+    check_replica();
+    build_cfg();
+    if (run_fixpoint()) check_states();
+  }
+
+ private:
+  void issue(Addr instr, const char* property, const std::string& msg) {
+    report_.issues.push_back({span_.name, instr, property, msg});
+  }
+
+  std::size_t resolve_label(const std::string& label) const {
+    auto it = prog_.module.labels.find(label);
+    return it == prog_.module.labels.end() ? SIZE_MAX : it->second;
+  }
+
+  bool in_span(std::size_t idx) const { return idx >= span_.begin && idx < span_.end; }
+
+  // ---- prologue extraction (ground truth for descriptor checks) --------
+
+  void scan_prologue() {
+    std::size_t i = span_.begin;
+    const Instr& first = code_[i];
+    if (first.op == Op::kSubi && first.rd == kSp && first.ra == kSp) {
+      pro_.has_frame = true;
+      pro_.frame_size = first.imm;
+      ++i;
+      bool saw_ra = false, saw_pfp = false, saw_fp = false;
+      while (i < span_.end) {
+        const Instr& ins = code_[i];
+        if (ins.op == Op::kSt && ins.rd == kLr && ins.ra == kSp && !saw_ra) {
+          pro_.ra_offset = ins.imm - pro_.frame_size;
+          saw_ra = true;
+        } else if (ins.op == Op::kSt && ins.rd == kFp && ins.ra == kSp && !saw_pfp) {
+          pro_.pfp_offset = ins.imm - pro_.frame_size;
+          saw_pfp = true;
+        } else if (ins.op == Op::kAddi && ins.rd == kFp && ins.ra == kSp &&
+                   ins.imm == pro_.frame_size) {
+          saw_fp = true;
+        } else if (ins.op == Op::kSt && ins.ra == kFp && is_callee_saved_gpr(ins.rd) &&
+                   saw_fp) {
+          pro_.saved_regs.push_back(ins.rd);
+          pro_.saved_offsets.push_back(ins.imm);
+        } else {
+          break;
+        }
+        ++i;
+      }
+      pro_.complete = saw_ra && saw_pfp && saw_fp;
+      if (!pro_.complete) {
+        issue(static_cast<Addr>(span_.begin), "descriptor",
+              "allocates a frame but the prologue does not save RA, parent FP and set up FP");
+      }
+    }
+    pro_.end = i;
+  }
+
+  // ---- (a) descriptor fidelity ----------------------------------------
+
+  void check_descriptor() {
+    if (desc_ == nullptr) {
+      issue(-1, "descriptor", "no descriptor for this procedure");
+      return;
+    }
+    const ProcDescriptor& d = *desc_;
+    if (d.entry != static_cast<Addr>(span_.begin) || d.end != static_cast<Addr>(span_.end)) {
+      issue(d.entry, "descriptor",
+            "descriptor entry/end [" + std::to_string(d.entry) + "," + std::to_string(d.end) +
+                ") does not match the procedure span [" + std::to_string(span_.begin) + "," +
+                std::to_string(span_.end) + ")");
+    }
+    if (d.has_frame != pro_.has_frame) {
+      issue(-1, "descriptor",
+            std::string("descriptor says ") + (d.has_frame ? "frame" : "frameless") +
+                " but the prologue says otherwise");
+      return;  // the remaining frame-format fields are meaningless
+    }
+    if (!pro_.has_frame) return;
+    if (d.frame_size != pro_.frame_size) {
+      issue(static_cast<Addr>(span_.begin), "descriptor",
+            "descriptor frame size " + std::to_string(d.frame_size) +
+                " != prologue allocation " + std::to_string(pro_.frame_size));
+    }
+    if (pro_.complete && d.ra_offset != pro_.ra_offset) {
+      issue(static_cast<Addr>(span_.begin), "descriptor",
+            "descriptor RA-slot offset " + std::to_string(d.ra_offset) +
+                " != prologue save offset " + std::to_string(pro_.ra_offset));
+    }
+    if (pro_.complete && d.pfp_offset != pro_.pfp_offset) {
+      issue(static_cast<Addr>(span_.begin), "descriptor",
+            "descriptor parent-FP-slot offset " + std::to_string(d.pfp_offset) +
+                " != prologue save offset " + std::to_string(pro_.pfp_offset));
+    }
+    if (d.saved_regs != pro_.saved_regs || d.saved_offsets != pro_.saved_offsets) {
+      issue(static_cast<Addr>(span_.begin), "descriptor",
+            "descriptor callee-save spill list does not match the prologue");
+    }
+    for (Addr f : d.fork_points) {
+      if (!in_span(static_cast<std::size_t>(f))) {
+        issue(f, "descriptor", "fork point lies outside the procedure");
+        continue;
+      }
+      const Instr& ins = code_[static_cast<std::size_t>(f)];
+      if (ins.op != Op::kCall) {
+        issue(f, "descriptor", "fork point is not a call instruction");
+        continue;
+      }
+      const std::size_t target = resolve_label(ins.label);
+      if (target == SIZE_MAX || table_.find(static_cast<Addr>(target)) == nullptr) {
+        issue(f, "descriptor", "fork point calls '" + ins.label +
+                                   "' which is not a module procedure");
+      }
+    }
+  }
+
+  // ---- (c) epilogue augmentation --------------------------------------
+
+  /// The exact Section 5.2 sequence the postprocessor emits for a frame
+  /// free inside an augmented procedure, anchored at the `mov sp, fp`:
+  ///
+  ///     k-3: getmaxe rX
+  ///     k-2: bgeu fp, rX, retire
+  ///     k-1: bgeu sp, fp, retire
+  ///     k  : mov  sp, fp
+  ///     k+1: jmp  join
+  ///     k+2: li   rX, 0          <- retire
+  ///     k+3: st   rX, [fp + ra]  <- the retirement mark
+  ///     k+4:                     <- join
+  void check_augmented_free(std::size_t k) {
+    const Addr at = static_cast<Addr>(k);
+    if (k < pro_.end + 3 || k + 4 > span_.end) {
+      issue(at, "epilogue", "frame free without the Section 5.2 exported-set check");
+      return;
+    }
+    const Instr& getmax = code_[k - 3];
+    const Instr& b1 = code_[k - 2];
+    const Instr& b2 = code_[k - 1];
+    const Instr& jmp = code_[k + 1];
+    const Instr& zero = code_[k + 2];
+    const Instr& mark = code_[k + 3];
+    if (getmax.op != Op::kGetMaxE) {
+      issue(at, "epilogue", "frame free is not preceded by a maxE load (getmaxe)");
+      return;
+    }
+    const int scratch = getmax.rd;
+    if (is_callee_saved_gpr(scratch) || scratch == kSp || scratch == kFp || scratch == kLr) {
+      issue(at, "epilogue",
+            "exported-set check uses " + reg_name(scratch) + " as scratch, which is not a "
+            "caller-saved register");
+    }
+    if (b1.op != Op::kBgeu || b1.ra != kFp || b1.rb != scratch) {
+      issue(at, "epilogue", "missing or malformed FP < maxE check (expected bgeu fp, " +
+                                reg_name(scratch) + ", retire)");
+    }
+    if (b2.op != Op::kBgeu || b2.ra != kSp || b2.rb != kFp) {
+      issue(at, "epilogue", "missing or malformed SP < FP check (expected bgeu sp, fp, retire)");
+    }
+    const std::size_t retire1 = resolve_label(b1.label);
+    const std::size_t retire2 = resolve_label(b2.label);
+    if (retire1 != k + 2 || retire2 != k + 2) {
+      issue(at, "epilogue", "retire branches do not target the retirement path");
+    }
+    if (jmp.op != Op::kJmp || resolve_label(jmp.label) != k + 4) {
+      issue(at, "epilogue", "frame-free path does not rejoin past the retirement mark");
+    }
+    if (zero.op != Op::kLi || zero.rd != scratch || zero.imm != 0) {
+      issue(at + 2, "epilogue", "retirement path does not zero the scratch register");
+    }
+    if (mark.op != Op::kSt || mark.rd != scratch || mark.ra != kFp ||
+        mark.imm != pro_.ra_offset) {
+      issue(at + 3, "epilogue",
+            "retirement mark missing or malformed (expected st " + reg_name(scratch) +
+                ", [fp + " + std::to_string(pro_.ra_offset) + "], the RA-slot zeroing)");
+    }
+  }
+
+  void check_augmentation() {
+    if (desc_ == nullptr) return;
+    for (std::size_t k = pro_.end; k < span_.end; ++k) {
+      if (is_mov_sp_fp(code_[k])) {
+        if (desc_->augmented) {
+          check_augmented_free(k);
+        }
+      } else if (code_[k].op == Op::kGetMaxE && !desc_->augmented) {
+        issue(static_cast<Addr>(k), "epilogue",
+              "unaugmented procedure contains an exported-set check");
+      }
+    }
+  }
+
+  /// Section 8.1: a frame-owning procedure may keep its original epilogue
+  /// only when nothing in its (direct) call behaviour can lead to a
+  /// suspension: no fork points, no indirect calls, no runtime calls, and
+  /// every direct callee is a module procedure that is itself unaugmented.
+  void check_criterion() {
+    if (desc_ == nullptr || !pro_.has_frame || desc_->augmented) return;
+    if (!desc_->fork_points.empty()) {
+      issue(desc_->fork_points.front(), "epilogue",
+            "unaugmented procedure has fork points (fails the Section 8.1 criterion)");
+    }
+    for (std::size_t k = pro_.end; k < span_.end; ++k) {
+      const Instr& ins = code_[k];
+      if (ins.op == Op::kCallr) {
+        issue(static_cast<Addr>(k), "epilogue",
+              "unaugmented procedure makes an indirect call (fails the Section 8.1 criterion)");
+      } else if (ins.op == Op::kCall) {
+        if (is_runtime_entry(ins.label)) {
+          issue(static_cast<Addr>(k), "epilogue",
+                "unaugmented procedure calls runtime entry '" + ins.label +
+                    "' (fails the Section 8.1 criterion)");
+          continue;
+        }
+        const std::size_t target = resolve_label(ins.label);
+        const ProcDescriptor* callee =
+            target == SIZE_MAX ? nullptr : table_.find(static_cast<Addr>(target));
+        if (callee == nullptr) {
+          issue(static_cast<Addr>(k), "epilogue",
+                "unaugmented procedure calls external '" + ins.label +
+                    "' (fails the Section 8.1 criterion)");
+        } else if (callee->augmented) {
+          issue(static_cast<Addr>(k), "epilogue",
+                "unaugmented procedure calls augmented '" + ins.label +
+                    "' (fails the Section 8.1 criterion)");
+        }
+      }
+    }
+  }
+
+  // ---- (d) pure-epilogue replica --------------------------------------
+
+  void check_replica() {
+    if (desc_ == nullptr) return;
+    const ProcDescriptor& d = *desc_;
+    if (!pro_.has_frame) {
+      if (d.pure_epilogue >= 0) {
+        issue(d.pure_epilogue, "replica", "frameless procedure has a pure-epilogue replica");
+      }
+      return;
+    }
+    if (d.pure_epilogue < 0) {
+      issue(-1, "replica", "frame-owning procedure has no pure-epilogue replica");
+      return;
+    }
+    const std::size_t pe = static_cast<std::size_t>(d.pure_epilogue);
+    const std::size_t len = pro_.saved_regs.size() + 3;
+    if (pe + len > code_.size()) {
+      issue(d.pure_epilogue, "replica", "pure-epilogue replica runs past the end of the module");
+      return;
+    }
+    for (const auto& span : prog_.module.procs) {
+      if (pe >= span.begin && pe < span.end) {
+        issue(d.pure_epilogue, "replica",
+              "pure-epilogue replica lies inside procedure '" + span.name + "'");
+        return;
+      }
+    }
+    // Any SP write in the replica frees (or worse, corrupts) the frame the
+    // runtime is trying to retain, so report it by name before the generic
+    // shape mismatch.
+    for (std::size_t k = pe; k < pe + len; ++k) {
+      if (writes_reg(code_[k], kSp)) {
+        issue(static_cast<Addr>(k), "replica",
+              "pure-epilogue replica writes SP (the replica must not free the frame)");
+        return;
+      }
+    }
+    std::size_t k = pe;
+    for (std::size_t s = 0; s < pro_.saved_regs.size(); ++s, ++k) {
+      const Instr& ins = code_[k];
+      if (ins.op != Op::kLd || ins.rd != pro_.saved_regs[s] || ins.ra != kFp ||
+          ins.imm != pro_.saved_offsets[s]) {
+        issue(static_cast<Addr>(k), "replica",
+              "replica does not restore " + reg_name(pro_.saved_regs[s]) + " from [fp + " +
+                  std::to_string(pro_.saved_offsets[s]) + "]");
+        return;
+      }
+    }
+    const Instr& ld_lr = code_[k];
+    if (ld_lr.op != Op::kLd || ld_lr.rd != kLr || ld_lr.ra != kFp ||
+        ld_lr.imm != pro_.ra_offset) {
+      issue(static_cast<Addr>(k), "replica",
+            "replica does not load LR from the RA slot [fp + " +
+                std::to_string(pro_.ra_offset) + "]");
+      return;
+    }
+    const Instr& ld_fp = code_[k + 1];
+    if (ld_fp.op != Op::kLd || ld_fp.rd != kFp || ld_fp.ra != kFp ||
+        ld_fp.imm != pro_.pfp_offset) {
+      issue(static_cast<Addr>(k + 1), "replica",
+            "replica does not restore FP from the parent-FP slot [fp + " +
+                std::to_string(pro_.pfp_offset) + "]");
+      return;
+    }
+    const Instr& ret = code_[k + 2];
+    if (ret.op != Op::kJr || ret.ra != kLr) {
+      issue(static_cast<Addr>(k + 2), "replica", "replica does not end in `jr lr`");
+    }
+  }
+
+  // ---- CFG ------------------------------------------------------------
+
+  /// Builds per-instruction successor lists.  Structural problems (bad
+  /// targets, falling off the end) are deferred and reported only for
+  /// instructions the fixpoint proves reachable, so dead code in generated
+  /// input does not produce noise.
+  void build_cfg() {
+    const std::size_t n = span_.end - span_.begin;
+    succs_.assign(n, {});
+    deferred_.assign(n, {});
+    for (std::size_t i = span_.begin; i < span_.end; ++i) {
+      const Instr& ins = code_[i];
+      auto& out = succs_[i - span_.begin];
+      auto defer = [&](const std::string& msg) {
+        deferred_[i - span_.begin].push_back(msg);
+      };
+      auto add = [&](std::size_t t) {
+        if (t == span_.end) {
+          defer("control can fall off the end of the procedure");
+        } else if (!in_span(t)) {
+          defer("control transfer leaves the procedure body");
+        } else {
+          out.push_back(t);
+        }
+      };
+      switch (ins.op) {
+        case Op::kJmp: {
+          const std::size_t t = resolve_label(ins.label);
+          if (t == SIZE_MAX) {
+            defer("unresolved jump target '" + ins.label + "'");
+          } else {
+            add(t);
+          }
+          break;
+        }
+        case Op::kBeq:
+        case Op::kBne:
+        case Op::kBlt:
+        case Op::kBge:
+        case Op::kBltu:
+        case Op::kBgeu: {
+          const std::size_t t = resolve_label(ins.label);
+          if (t == SIZE_MAX) {
+            defer("unresolved branch target '" + ins.label + "'");
+          } else {
+            add(t);
+          }
+          add(i + 1);
+          break;
+        }
+        case Op::kJr:
+        case Op::kHalt:
+          break;  // terminators (jr is checked as a return in check_states)
+        case Op::kCall:
+          if (ins.label == "__st_exit") break;  // noreturn runtime entry
+          if (!is_runtime_entry(ins.label) && resolve_label(ins.label) == SIZE_MAX) {
+            defer("unresolved call target '" + ins.label + "'");
+          }
+          add(i + 1);
+          break;
+        default:
+          add(i + 1);
+          break;
+      }
+    }
+  }
+
+  // ---- abstract interpretation ----------------------------------------
+
+  /// How many words at [callee_fp + 0...) a call to `label` may overwrite
+  /// in OUR frame (the callee writing its incoming arguments writes the
+  /// caller's outgoing-argument region).  Resolved per callee from the
+  /// module-wide pre-scan; unknown callees get the module-wide maximum.
+  Word callee_arg_writeback(const Instr& ins) const {
+    if (ins.op == Op::kCallr) return caller_write_bound_;
+    if (is_runtime_entry(ins.label)) return 0;  // runtime entries never write caller frames
+    auto it = arg_writeback_by_name_->find(ins.label);
+    return it == arg_writeback_by_name_->end() ? caller_write_bound_ : it->second;
+  }
+
+  void transfer(std::size_t i, AbsState& s) const {
+    const Instr& ins = code_[i];
+    auto& R = s.regs;
+    auto binop = [&](auto fold) {
+      R[ins.rd] = fold(R[ins.ra], R[ins.rb]);
+    };
+    switch (ins.op) {
+      case Op::kLi:
+        R[ins.rd] = AbsVal::cst(ins.imm);
+        break;
+      case Op::kMov:
+        R[ins.rd] = R[ins.ra];
+        break;
+      case Op::kAdd:
+        binop([](const AbsVal& a, const AbsVal& b) {
+          if (a.is_const() && b.is_const()) return AbsVal::cst(a.v + b.v);
+          if (a.is_frame() && b.is_const()) return AbsVal::frame(a.v + b.v);
+          if (a.is_const() && b.is_frame()) return AbsVal::frame(a.v + b.v);
+          return AbsVal::top();
+        });
+        break;
+      case Op::kSub:
+        binop([](const AbsVal& a, const AbsVal& b) {
+          if (a.is_const() && b.is_const()) return AbsVal::cst(a.v - b.v);
+          if (a.is_frame() && b.is_const()) return AbsVal::frame(a.v - b.v);
+          if (a.is_frame() && b.is_frame()) return AbsVal::cst(a.v - b.v);
+          return AbsVal::top();
+        });
+        break;
+      case Op::kMul:
+        binop([](const AbsVal& a, const AbsVal& b) {
+          return a.is_const() && b.is_const() ? AbsVal::cst(a.v * b.v) : AbsVal::top();
+        });
+        break;
+      case Op::kDiv:
+        binop([](const AbsVal& a, const AbsVal& b) {
+          return a.is_const() && b.is_const() && b.v != 0 ? AbsVal::cst(a.v / b.v)
+                                                         : AbsVal::top();
+        });
+        break;
+      case Op::kAddi:
+        R[ins.rd] = R[ins.ra].is_frame()   ? AbsVal::frame(R[ins.ra].v + ins.imm)
+                    : R[ins.ra].is_const() ? AbsVal::cst(R[ins.ra].v + ins.imm)
+                                           : AbsVal::top();
+        break;
+      case Op::kSubi:
+        R[ins.rd] = R[ins.ra].is_frame()   ? AbsVal::frame(R[ins.ra].v - ins.imm)
+                    : R[ins.ra].is_const() ? AbsVal::cst(R[ins.ra].v - ins.imm)
+                                           : AbsVal::top();
+        break;
+      case Op::kLd:
+        if (R[ins.ra].is_frame()) {
+          auto it = s.slots.find(R[ins.ra].v + ins.imm);
+          R[ins.rd] = it == s.slots.end() ? AbsVal::top() : it->second;
+        } else {
+          R[ins.rd] = AbsVal::top();
+        }
+        break;
+      case Op::kSt:
+        if (R[ins.ra].is_frame()) {
+          s.slots[R[ins.ra].v + ins.imm] = R[ins.rd];
+        }
+        // Stores through unresolvable pointers are assumed not to alias
+        // this frame (frames are private under the calling standard).
+        break;
+      case Op::kFetchAdd:
+        if (R[ins.ra].is_frame()) {
+          const Word t = R[ins.ra].v + ins.imm;
+          auto it = s.slots.find(t);
+          R[ins.rd] = it == s.slots.end() ? AbsVal::top() : it->second;
+          s.slots[t] = AbsVal::top();
+        } else {
+          R[ins.rd] = AbsVal::top();
+        }
+        break;
+      case Op::kCall:
+      case Op::kCallr: {
+        // Caller-saved registers (r0..r3, r8..r11, lr) are dead across a
+        // call; callee-saves survive iff every callee verifies (e), which
+        // this pass checks for each procedure of the module.
+        for (int r = 0; r <= 11; ++r) {
+          if (!is_callee_saved_gpr(r)) R[r] = AbsVal::top();
+        }
+        R[kLr] = AbsVal::top();
+        // The callee may legally write its incoming arguments, which live
+        // in our outgoing-argument region at [sp + 0 ...).
+        const Word wb = callee_arg_writeback(ins);
+        if (wb > 0 && R[kSp].is_frame()) {
+          const Word lo = R[kSp].v;
+          for (auto it = s.slots.lower_bound(lo); it != s.slots.end() && it->first < lo + wb;) {
+            it = s.slots.erase(it);
+          }
+        }
+        break;
+      }
+      case Op::kGetMaxE:
+        R[ins.rd] = AbsVal::top();
+        break;
+      default:
+        break;  // jumps/branches/jr/halt leave the state alone
+    }
+  }
+
+  bool run_fixpoint() {
+    const std::size_t n = span_.end - span_.begin;
+    states_.assign(n, {});
+    AbsState entry;
+    entry.reachable = true;
+    for (int r = 0; r < kNumRegs; ++r) entry.regs[r] = AbsVal::init(r);
+    entry.regs[kSp] = AbsVal::frame(0);  // S0 is defined as the SP at entry
+    states_[0] = std::move(entry);
+
+    std::deque<std::size_t> worklist{span_.begin};
+    std::size_t budget = 64 * n + 1024;
+    while (!worklist.empty()) {
+      if (budget-- == 0) {
+        issue(-1, "calling-standard", "abstract interpretation did not converge");
+        return false;
+      }
+      const std::size_t i = worklist.front();
+      worklist.pop_front();
+      AbsState out = states_[i - span_.begin];
+      transfer(i, out);
+      for (std::size_t t : succs_[i - span_.begin]) {
+        if (join_into(states_[t - span_.begin], out)) worklist.push_back(t);
+      }
+    }
+    return true;
+  }
+
+  // ---- the checking pass over the fixpoint ----------------------------
+
+  void check_states() {
+    for (std::size_t i = span_.begin; i < span_.end; ++i) {
+      const AbsState& s = states_[i - span_.begin];
+      if (!s.reachable) continue;
+      const Instr& ins = code_[i];
+      for (const std::string& msg : deferred_[i - span_.begin]) {
+        issue(static_cast<Addr>(i), "calling-standard", msg);
+      }
+      const bool in_prologue = i < pro_.end;
+      if (!in_prologue) {
+        check_sp_fp_writes(i, ins, s);
+        if (ins.op == Op::kSt) check_store(i, ins, s);
+        if (ins.op == Op::kCall || ins.op == Op::kCallr) check_call_site(i, s);
+        if (ins.op == Op::kJr) check_return(i, ins, s);
+      }
+    }
+  }
+
+  /// (e) SP may be written only by the prologue allocation and the frame
+  /// free `mov sp, fp`; FP only by the prologue setup and the epilogue
+  /// restore `ld fp, [fp + pfp]`.
+  void check_sp_fp_writes(std::size_t i, const Instr& ins, const AbsState& s) {
+    if (writes_reg(ins, kSp) && !(ins.op == Op::kCall || ins.op == Op::kCallr)) {
+      if (!is_mov_sp_fp(ins)) {
+        issue(static_cast<Addr>(i), "calling-standard",
+              "SP written outside the prologue and the epilogue frame free");
+      } else if (!s.regs[kFp].is_frame() || s.regs[kFp].v != 0) {
+        issue(static_cast<Addr>(i), "calling-standard",
+              "frame free while FP does not point at the frame top");
+      }
+      return;
+    }
+    if (writes_reg(ins, kFp) && !(ins.op == Op::kCall || ins.op == Op::kCallr)) {
+      const bool epilogue_restore = ins.op == Op::kLd && ins.ra == kFp &&
+                                    pro_.has_frame && ins.imm == pro_.pfp_offset;
+      if (!epilogue_restore) {
+        issue(static_cast<Addr>(i), "calling-standard",
+              "FP written outside the prologue and the epilogue restore");
+      }
+    }
+  }
+
+  /// (b) + (e): SP-relative stores are the outgoing-argument writes of the
+  /// calling standard; they must sit at [sp + x] with 0 <= x <= the
+  /// descriptor's max-SP-offset while SP is at the frame bottom.  Stores
+  /// through frame-resolved pointers must stay at or above SP and must not
+  /// reach past the caller frame's guaranteed argument-extension region.
+  void check_store(std::size_t i, const Instr& ins, const AbsState& s) {
+    const Addr at = static_cast<Addr>(i);
+    if (ins.ra == kSp) {
+      if (!s.regs[kSp].is_frame()) {
+        issue(at, "args-region", "SP-relative store at unprovable SP position");
+        return;
+      }
+      if (pro_.has_frame && s.regs[kSp].v != -pro_.frame_size) {
+        issue(at, "args-region",
+              "SP-relative store while SP is not at the frame bottom");
+      }
+      if (ins.imm < 0) {
+        issue(at, "calling-standard",
+              "store below SP (arguments are passed at non-negative [sp + i])");
+      } else if (desc_ != nullptr && ins.imm > desc_->max_sp_store) {
+        issue(at, "args-region",
+              "store at [sp + " + std::to_string(ins.imm) +
+                  "] exceeds the descriptor's max-SP-offset " +
+                  std::to_string(desc_->max_sp_store) +
+                  " (Invariant 2's argument region would be undersized)");
+      }
+      return;
+    }
+    if (s.regs[ins.ra].is_frame()) {
+      const Word t = s.regs[ins.ra].v + ins.imm;
+      if (s.regs[kSp].is_frame() && t < s.regs[kSp].v) {
+        issue(at, "calling-standard", "store below SP through a frame pointer");
+      }
+      if (t >= caller_write_bound_) {
+        issue(at, "calling-standard",
+              "store into the caller's frame at [S0 + " + std::to_string(t) +
+                  "] beyond the argument-extension region");
+      }
+    }
+  }
+
+  /// (a) at runtime view: any call is a potential suspension point, so the
+  /// slots the runtime would patch (Figures 6/7) must hold exactly what
+  /// the descriptor claims: the entry LR in the RA slot and the entry FP
+  /// in the parent-FP slot, with FP at the frame top and SP at the bottom.
+  void check_call_site(std::size_t i, const AbsState& s) {
+    if (!pro_.has_frame || !pro_.complete) return;
+    const Addr at = static_cast<Addr>(i);
+    if (!s.regs[kFp].is_frame() || s.regs[kFp].v != 0) {
+      issue(at, "descriptor", "call site with FP not at the frame top");
+    }
+    if (!s.regs[kSp].is_frame() || s.regs[kSp].v != -pro_.frame_size) {
+      issue(at, "descriptor", "call site with SP not at the frame bottom");
+    }
+    auto ra = s.slots.find(pro_.ra_offset);
+    if (ra == s.slots.end() || !ra->second.is_init(kLr)) {
+      issue(at, "descriptor",
+            "RA slot [fp + " + std::to_string(pro_.ra_offset) +
+                "] does not hold the return address at this call site");
+    }
+    auto pfp = s.slots.find(pro_.pfp_offset);
+    if (pfp == s.slots.end() || !pfp->second.is_init(kFp)) {
+      issue(at, "descriptor",
+            "parent-FP slot [fp + " + std::to_string(pro_.pfp_offset) +
+                "] does not hold the caller's FP at this call site");
+    }
+  }
+
+  /// (e) exits: `jr lr` returning with every callee-save (r4..r7, fp)
+  /// restored, LR holding the saved return address, and SP either at the
+  /// frame top (freed) or -- in augmented procedures -- still at the
+  /// bottom (retained, after the retirement mark).
+  void check_return(std::size_t i, const Instr& ins, const AbsState& s) {
+    const Addr at = static_cast<Addr>(i);
+    if (ins.ra != kLr) {
+      issue(at, "calling-standard", "indirect jump through " + reg_name(ins.ra) +
+                                        " (returns must be `jr lr`)");
+      return;
+    }
+    for (int r = kFirstCalleeSaved; r <= kLastCalleeSaved; ++r) {
+      if (!s.regs[r].is_init(r)) {
+        issue(at, "calling-standard",
+              "callee-saved " + reg_name(r) + " not restored on this exit path");
+      }
+    }
+    if (!s.regs[kFp].is_init(kFp)) {
+      issue(at, "calling-standard", "FP not restored to the caller's FP on this exit path");
+    }
+    if (!s.regs[kLr].is_init(kLr)) {
+      issue(at, "calling-standard",
+            "return does not target the saved return address on this exit path");
+    }
+    const bool augmented = desc_ != nullptr && desc_->augmented;
+    if (s.regs[kSp].is_frame()) {
+      const Word delta = s.regs[kSp].v;
+      const bool freed = delta == 0;
+      const bool retained = pro_.has_frame && delta == -pro_.frame_size;
+      if (!(freed || (augmented && retained))) {
+        issue(at, "calling-standard",
+              "exit with SP at S0 " + std::to_string(delta) +
+                  " (neither freed nor legally retained)");
+      }
+    } else if (!augmented) {
+      issue(at, "calling-standard", "exit with unprovable SP position");
+    }
+  }
+
+ public:
+  /// Shared per-module map: procedure name -> how many words of its
+  /// caller's frame it may write at [fp + 0...) (incoming-argument
+  /// write-back, e.g. assignment to a parameter).
+  void set_arg_writeback_map(const std::map<std::string, Word>* m) {
+    arg_writeback_by_name_ = m;
+  }
+
+ private:
+  const PostprocResult& prog_;
+  const std::vector<Instr>& code_;
+  const Module::ProcSpan& span_;
+  const ProcDescriptor* desc_;
+  const DescriptorTable& table_;
+  const Word caller_write_bound_;
+  ProcVerifyReport& report_;
+  const std::map<std::string, Word>* arg_writeback_by_name_ = nullptr;
+
+  PrologueFacts pro_;
+  std::vector<std::vector<std::size_t>> succs_;
+  std::vector<std::vector<std::string>> deferred_;  ///< CFG issues, by offset
+  std::vector<AbsState> states_;
+};
+
+/// Syntactic pre-scan: for every procedure, the highest [fp + i >= 0]
+/// store offset + 1 -- the amount of its caller's outgoing-argument region
+/// it may overwrite.  Used both as per-callee havoc bounds and (its
+/// maximum with the descriptor argument regions) as the bound on legal
+/// caller-frame writes.
+std::map<std::string, Word> scan_arg_writeback(const Module& m) {
+  std::map<std::string, Word> out;
+  for (const auto& span : m.procs) {
+    Word wb = 0;
+    for (std::size_t i = span.begin; i < span.end; ++i) {
+      const Instr& ins = m.code[i];
+      if (ins.op == Op::kSt && ins.ra == kFp && ins.imm >= 0) wb = std::max(wb, ins.imm + 1);
+    }
+    out[span.name] = wb;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Module entry points
+// ---------------------------------------------------------------------
+
+VerifyReport verify_module(const PostprocResult& program) {
+  VerifyReport report;
+  const Module& m = program.module;
+
+  DescriptorTable table;
+  std::map<std::string, const ProcDescriptor*> by_name;
+  for (const auto& d : program.descriptors) {
+    if (!by_name.emplace(d.name, &d).second) {
+      report.module_issues.push_back(
+          {"", d.entry, "descriptor", "duplicate descriptor for procedure '" + d.name + "'"});
+    }
+    table.add(d);
+  }
+  for (const auto& d : program.descriptors) {
+    bool has_span = false;
+    for (const auto& span : m.procs) has_span |= span.name == d.name;
+    if (!has_span) {
+      report.module_issues.push_back(
+          {"", d.entry, "descriptor",
+           "descriptor '" + d.name + "' has no matching procedure span"});
+    }
+  }
+
+  // Legal caller-frame writes extend at most to the module's argument-
+  // extension amount (Invariant 2): the stack manager guarantees only
+  // max_args_region() words above any frame top.
+  const auto writeback = scan_arg_writeback(m);
+  Word caller_bound = table.max_args_region();
+  for (const auto& [name, wb] : writeback) caller_bound = std::max(caller_bound, wb);
+
+  for (const auto& span : m.procs) {
+    auto& proc_report = report.procs.emplace_back();
+    auto it = by_name.find(span.name);
+    ProcVerifier verifier(program, span, it == by_name.end() ? nullptr : it->second, table,
+                          caller_bound, proc_report);
+    verifier.set_arg_writeback_map(&writeback);
+    verifier.run();
+  }
+  return report;
+}
+
+void verify_or_throw(const PostprocResult& program) {
+  const VerifyReport report = verify_module(program);
+  if (!report.ok()) throw VerifyError(report);
+}
+
+}  // namespace stvm

@@ -1,0 +1,127 @@
+// Static verifier for postprocessed STVM modules.
+//
+// The frame-surgery mechanism (paper Sections 3, 5) is sound only if every
+// postprocessed procedure actually obeys the calling standard the runtime
+// assumes: the runtime patches return-address / parent-FP slots *at the
+// offsets the descriptor table claims*, unwinds through pure-epilogue
+// replicas it *assumes* restore callee-saves without freeing the frame, and
+// sizes argument-region extensions (Invariant 2) from the descriptor's
+// max-SP-offset.  A postprocessor bug in any of these surfaces as silent
+// stack corruption at runtime.  This pass proves the properties per module
+// before a single instruction executes, in the spirit of the
+// abstract-interpretation families of Might & Van Horn and the static
+// calling-convention discipline CPC enforces at compile time.
+//
+// Per procedure the verifier builds a CFG and runs an abstract
+// interpretation over the STVM ISA, tracking symbolic SP/FP positions
+// (offsets from the frame top S0 = SP at entry), the abstract contents of
+// every frame slot, and which registers still hold their entry values.
+// On the fixpoint it checks:
+//
+//   (a) *Descriptor fidelity* (Section 3.3): the descriptor's frame size,
+//       RA-slot and parent-FP-slot offsets, callee-save spill list and
+//       entry/end addresses match the actual prologue and the module's
+//       procedure spans; every fork-point address is a real call site.
+//       At every potential suspension point (any call), the RA slot holds
+//       the entry LR and the PFP slot the entry FP -- i.e. the slots the
+//       runtime would patch really contain what Figures 6/7 assume.
+//   (b) *Argument region* (Invariant 2 / Section 3.2): the descriptor's
+//       max-SP-offset is a sound upper bound on every `st _, [sp + x]`
+//       outside the prologue, and every such store has x >= 0 and executes
+//       while SP sits at the frame bottom.
+//   (c) *Epilogue augmentation* (Sections 5.2, 8.1): every frame free in
+//       an augmented procedure is exactly the `SP < FP < maxE` check with
+//       the retirement mark (RA-slot zeroing) on the retain path; every
+//       unaugmented frame-freeing procedure legitimately meets the
+//       Section 8.1 criterion (no forks, no indirect/runtime/external
+//       calls, all callees unaugmented).
+//   (d) *Pure-epilogue replica* (Section 3.4): the replica restores exactly
+//       the descriptor's callee-saves, LR and FP from their slots and
+//       returns -- and never writes SP (the frame is retained).
+//   (e) *Calling-standard conformance* (Section 3.1): r4..r7, fp, lr hold
+//       their entry values on every exit; SP is written only by the
+//       prologue allocation and the (possibly augmented) frame free; FP
+//       only by the prologue setup and the epilogue restore; stores into
+//       the caller's frame stay inside the guaranteed argument-extension
+//       region; control never falls off the end of a procedure.
+//
+// Soundness assumptions (documented in docs/VERIFIER.md): stores through
+// pointers the analysis cannot resolve to this frame (heap pointers,
+// incoming pointer arguments) are assumed not to alias the frame's saved
+// slots -- frames are private to their procedure under the calling
+// standard -- and callees are assumed to preserve callee-saves, which is
+// exactly property (e) checked on every other procedure of the module.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "stvm/postproc.hpp"
+
+namespace stvm {
+
+/// One verification failure.  `format()` renders the shared diagnostic
+/// format of PostprocError: "proc 'name' @instr [property]: message".
+struct VerifyIssue {
+  std::string proc;      ///< procedure name ("" = module-level)
+  Addr instr = -1;       ///< absolute module instruction index, -1 = none
+  std::string property;  ///< "descriptor", "args-region", "epilogue",
+                         ///< "replica" or "calling-standard"
+  std::string message;
+
+  std::string format() const;
+};
+
+/// Verification result for one procedure.  The frame fields echo the
+/// descriptor (what the runtime will believe) so the CLI report shows the
+/// claims next to the verdict.
+struct ProcVerifyReport {
+  std::string name;
+  bool has_frame = false;
+  bool augmented = false;
+  Word frame_size = 0;
+  Word ra_offset = 0;
+  Word pfp_offset = 0;
+  Word max_sp_store = -1;
+  std::size_t saved_regs = 0;
+  std::size_t fork_points = 0;
+  std::size_t instructions = 0;  ///< body size (excluding replica)
+  std::vector<VerifyIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+};
+
+struct VerifyReport {
+  std::vector<ProcVerifyReport> procs;
+  std::vector<VerifyIssue> module_issues;  ///< table-level problems
+
+  bool ok() const;
+  std::size_t issue_count() const;
+  /// All issues of all procedures plus module-level ones, in order.
+  std::vector<VerifyIssue> all_issues() const;
+  /// Per-procedure text report (one line per procedure, then one line per
+  /// issue) -- what tools/stvm_verify prints.
+  std::string summary() const;
+};
+
+struct VerifyError : std::runtime_error {
+  explicit VerifyError(const VerifyReport& report);
+  std::size_t issues;
+};
+
+/// Runs the static verifier over a postprocessed module.  Never throws on
+/// *verification* failures (they land in the report); throws only on
+/// internal invariant violations.
+VerifyReport verify_module(const PostprocResult& program);
+
+/// Throws VerifyError (with the full summary in what()) unless the module
+/// verifies cleanly.  This is the ST_VERIFY=1 load gate's work function.
+void verify_or_throw(const PostprocResult& program);
+
+/// Cached ST_VERIFY environment flag: when set (ST_VERIFY=1), Vm
+/// construction and programs::compile verify every module at load.  The
+/// unset cost is one static-bool load per call site.
+bool verify_enabled();
+
+}  // namespace stvm

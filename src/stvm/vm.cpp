@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "stvm/verify.hpp"
 #include "util/trace_export.hpp"
 
 namespace stvm {
@@ -33,6 +34,9 @@ Vm::Vm(const PostprocResult& program, VmConfig cfg)
   metrics_provider_ =
       stu::MetricsRegistry::instance().add_provider([this] { return metrics_json(); });
   if (cfg_.workers == 0) cfg_.workers = 1;
+  // Opt-in load-time gate: with ST_VERIFY=1 every module is statically
+  // verified before it can run (see stvm/verify.hpp; docs/VERIFIER.md).
+  if (verify_enabled()) verify_or_throw(program);
   for (const auto& d : program.descriptors) table_.add(d);
   max_args_ = table_.max_args_region();
 

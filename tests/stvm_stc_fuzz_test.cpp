@@ -11,12 +11,24 @@
 #include "stvm/asm.hpp"
 #include "stvm/postproc.hpp"
 #include "stvm/stc.hpp"
+#include "stvm/verify.hpp"
 #include "stvm/vm.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using stvm::Word;
+
+/// Compiles STC source through the full pipeline AND statically verifies
+/// the postprocessed module (stvm/verify.hpp) before it is handed to the
+/// VM -- every fuzz-generated program is a verifier test case too.
+stvm::PostprocResult compile_verified(const std::string& src) {
+  stvm::PostprocResult prog =
+      stvm::postprocess(stvm::assemble(stvm::stc::compile_to_asm(src)));
+  const stvm::VerifyReport report = stvm::verify_module(prog);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  return prog;
+}
 
 /// A random expression over variables a, b, c plus an equal reference
 /// evaluation.  Division/modulo are guarded to avoid by-zero traps.
@@ -76,7 +88,7 @@ TEST_P(StcFuzzTest, RandomExpressionsMatchReference) {
     const std::string expr = gen.gen(4, env, expect);
     const std::string src = "func main(a, b, c) { exit(" + expr + "); }";
     SCOPED_TRACE(src);
-    stvm::Vm vm(stvm::postprocess(stvm::assemble(stvm::stc::compile_to_asm(src))));
+    stvm::Vm vm(compile_verified(src));
     EXPECT_EQ(vm.run("main", env), expect);
   }
 }
@@ -102,7 +114,7 @@ TEST_P(StcFuzzTest, RandomAccumulationLoopsMatchReference) {
       "  exit(acc);\n"
       "}";
   SCOPED_TRACE(src);
-  stvm::Vm vm(stvm::postprocess(stvm::assemble(stvm::stc::compile_to_asm(src))));
+  stvm::Vm vm(compile_verified(src));
   EXPECT_EQ(vm.run("main", {n}), expect);
 }
 
@@ -135,7 +147,7 @@ TEST_P(StcFuzzTest, RandomArrayShuffleMatchesReference) {
       "  exit(acc);\n"
       "}";
   SCOPED_TRACE(src);
-  stvm::Vm vm(stvm::postprocess(stvm::assemble(stvm::stc::compile_to_asm(src))));
+  stvm::Vm vm(compile_verified(src));
   EXPECT_EQ(vm.run("main", {}), expect);
 }
 

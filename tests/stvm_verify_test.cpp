@@ -1,0 +1,232 @@
+// The static verifier (stvm/verify.hpp): every shipped program must pass
+// cleanly, and a corpus of seeded mutations -- one per property class the
+// verifier guards -- must each be rejected with a diagnostic naming the
+// procedure and the violated property.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "stvm/asm.hpp"
+#include "stvm/postproc.hpp"
+#include "stvm/programs.hpp"
+#include "stvm/stc.hpp"
+#include "stvm/verify.hpp"
+
+namespace {
+
+using namespace stvm;
+
+PostprocResult compile(const std::string& src, bool with_stdlib,
+                       bool force_augment = false) {
+  std::string full = src;
+  if (with_stdlib) full += "\n" + programs::stdlib();
+  return postprocess(assemble(full), force_augment);
+}
+
+ProcDescriptor& find_desc(PostprocResult& r, const std::string& name) {
+  for (auto& d : r.descriptors) {
+    if (d.name == name) return d;
+  }
+  ADD_FAILURE() << "no descriptor for " << name;
+  static ProcDescriptor dummy;
+  return dummy;
+}
+
+/// True when some issue names `proc`, carries `property`, and (when given)
+/// mentions `substring` in its message.
+bool has_issue(const VerifyReport& report, const std::string& proc,
+               const std::string& property, const std::string& substring = "") {
+  for (const auto& issue : report.all_issues()) {
+    if (issue.proc == proc && issue.property == property &&
+        (substring.empty() || issue.message.find(substring) != std::string::npos)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- clean inputs ----------------------------------------------------
+
+TEST(Verify, AcceptsAllShippedPrograms) {
+  const std::vector<std::pair<std::string, bool>> inputs = {
+      {programs::fib(), false},      {programs::pfib(), true},
+      {programs::figure15(), false}, {programs::scenario1(), false},
+      {programs::psum(), true},      {programs::stdlib(), false},
+  };
+  for (const auto& [src, with_stdlib] : inputs) {
+    const VerifyReport report = verify_module(compile(src, with_stdlib));
+    EXPECT_TRUE(report.ok()) << report.summary();
+  }
+}
+
+TEST(Verify, AcceptsForceAugmentedPrograms) {
+  // Over-augmentation is sound (Section 8.1 is an optimization); the
+  // verifier must accept every program with the criterion bypassed too.
+  const std::vector<std::pair<std::string, bool>> inputs = {
+      {programs::fib(), false}, {programs::pfib(), true}, {programs::psum(), true},
+  };
+  for (const auto& [src, with_stdlib] : inputs) {
+    const VerifyReport report =
+        verify_module(compile(src, with_stdlib, /*force_augment=*/true));
+    EXPECT_TRUE(report.ok()) << report.summary();
+  }
+}
+
+TEST(Verify, AcceptsStcCompilerOutput) {
+  const char* kParallelFib = R"(
+    func pfib_task(n, result, jc) {
+      mem[result] = pfib(n);
+      jc_finish(jc);
+    }
+    func pfib(n) {
+      if (n < 2) { return n; }
+      poll();
+      var jc[2];
+      var a;
+      jc_init(&jc, 1);
+      async pfib_task(n - 1, &a, &jc);
+      var b = pfib(n - 2);
+      jc_join(&jc);
+      return a + b;
+    }
+    func main(n) { exit(pfib(n)); }
+  )";
+  const VerifyReport report =
+      verify_module(compile(stc::compile_to_asm(kParallelFib), true));
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+// ---- the seeded mutation corpus --------------------------------------
+//
+// One mutation per property class.  Each must produce at least one issue
+// naming the mutated procedure and the violated property -- and the
+// pristine sibling module must still verify, so the rejection is caused
+// by the mutation alone.
+
+TEST(VerifyMutation, WrongRaSlotOffsetInDescriptor) {
+  PostprocResult r = compile(programs::pfib(), true);
+  find_desc(r, "pfib").ra_offset -= 1;  // runtime would patch the wrong slot
+  const VerifyReport report = verify_module(r);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has_issue(report, "pfib", "descriptor", "RA-slot offset"))
+      << report.summary();
+}
+
+TEST(VerifyMutation, DroppedRetirementMark) {
+  PostprocResult r = compile(programs::figure15(), false);
+  // Locate the augmented-epilogue splice of ggg via its getmaxe anchor;
+  // the retirement mark is the store six instructions later (see
+  // postproc.cpp pass 2).  Replace it with a no-op.
+  ProcDescriptor& ggg = find_desc(r, "ggg");
+  ASSERT_TRUE(ggg.augmented);
+  bool mutated = false;
+  for (Addr i = ggg.entry; i < ggg.end; ++i) {
+    if (r.module.code[static_cast<std::size_t>(i)].op == Op::kGetMaxE) {
+      Instr& mark = r.module.code[static_cast<std::size_t>(i) + 6];
+      ASSERT_EQ(mark.op, Op::kSt);
+      mark = Instr{};
+      mark.op = Op::kMov;
+      mark.rd = 10;
+      mark.ra = 10;
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  const VerifyReport report = verify_module(r);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has_issue(report, "ggg", "epilogue", "retirement mark"))
+      << report.summary();
+}
+
+TEST(VerifyMutation, UnderstatedMaxSpOffset) {
+  PostprocResult r = compile(programs::psum(), true);
+  ProcDescriptor& psum = find_desc(r, "psum");
+  ASSERT_EQ(psum.max_sp_store, 4);  // psum passes 5 words of arguments
+  psum.max_sp_store -= 1;  // Invariant 2 extension would be one word short
+  const VerifyReport report = verify_module(r);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has_issue(report, "psum", "args-region", "max-SP-offset"))
+      << report.summary();
+}
+
+TEST(VerifyMutation, ReplicaFreesTheFrame) {
+  PostprocResult r = compile(programs::stdlib(), false);
+  const ProcDescriptor& jc_init = find_desc(r, "jc_init");
+  ASSERT_GE(jc_init.pure_epilogue, 0);
+  // jc_init spills no callee-saves: replica = ld lr; ld fp; jr.  Turn the
+  // FP restore into the real epilogue's frame free.
+  Instr& ld_fp = r.module.code[static_cast<std::size_t>(jc_init.pure_epilogue) + 1];
+  ASSERT_EQ(ld_fp.op, Op::kLd);
+  ld_fp = Instr{};
+  ld_fp.op = Op::kMov;
+  ld_fp.rd = kSp;
+  ld_fp.ra = kFp;
+  const VerifyReport report = verify_module(r);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has_issue(report, "jc_init", "replica", "writes SP"))
+      << report.summary();
+}
+
+TEST(VerifyMutation, ClobberedCalleeSaveOnExit) {
+  PostprocResult r = compile(programs::fib(), false);
+  const ProcDescriptor& fib = find_desc(r, "fib");
+  // Break the epilogue restore `ld r4, [fp - 3]` (the only body load of
+  // r4 from its spill slot) so r4 reaches `jr lr` clobbered.
+  bool mutated = false;
+  for (Addr i = fib.entry; i < fib.end; ++i) {
+    Instr& ins = r.module.code[static_cast<std::size_t>(i)];
+    if (ins.op == Op::kLd && ins.rd == 4 && ins.ra == kFp && ins.imm == -3) {
+      ins = Instr{};
+      ins.op = Op::kLi;
+      ins.rd = 4;
+      ins.imm = 7;
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  const VerifyReport report = verify_module(r);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(has_issue(report, "fib", "calling-standard", "r4"))
+      << report.summary();
+}
+
+// ---- reporting / gate plumbing ---------------------------------------
+
+TEST(Verify, VerifyOrThrowCarriesTheDiagnostics) {
+  PostprocResult r = compile(programs::pfib(), true);
+  find_desc(r, "pfib").ra_offset -= 1;
+  try {
+    verify_or_throw(r);
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    EXPECT_GE(e.issues, 1u);
+    EXPECT_NE(std::string(e.what()).find("proc 'pfib'"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("[descriptor]"), std::string::npos);
+  }
+}
+
+TEST(Verify, PostprocErrorsShareTheDiagnosticFormat) {
+  // A frame-allocating procedure with no RA save: the postprocessor must
+  // reject it naming the procedure, in the verifier's diagnostic format.
+  const std::string bad = R"(
+.proc broken
+broken:
+    subi sp, sp, 4
+    addi fp, sp, 4
+    jr lr
+.endproc
+)";
+  try {
+    postprocess(assemble(bad));
+    FAIL() << "expected PostprocError";
+  } catch (const PostprocError& e) {
+    EXPECT_EQ(e.proc_name, "broken");
+    EXPECT_GE(e.instr_index, 0);
+    EXPECT_NE(std::string(e.what()).find("proc 'broken'"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// stvm_verify: run the static verifier (stvm/verify.hpp) over a module
+// and print the per-procedure report.
+//
+//   stvm_verify [--stdlib] [--force-augment] <file.s | file.stc>
+//   stvm_verify [--force-augment] --builtin <name | all>
+//
+// .stc input goes through the STC compiler first, then the assembler and
+// postprocessor -- the same Figure 1 pipeline the VM uses.  .s (or any
+// other extension) is treated as STVM assembly.  --stdlib appends the
+// join-counter library before assembly (always on for .stc, which needs
+// it for async).  --builtin verifies the shipped sample programs by name
+// ("all" = every one of them); this is the verify_smoke ctest.
+//
+// Exit status: 0 iff every verified module is clean.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stvm/asm.hpp"
+#include "stvm/postproc.hpp"
+#include "stvm/programs.hpp"
+#include "stvm/stc.hpp"
+#include "stvm/verify.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: stvm_verify [--stdlib] [--force-augment] <file.s|file.stc>\n"
+               "       stvm_verify [--force-augment] --builtin <name|all>\n"
+               "builtins: fib pfib figure15 scenario1 psum stdlib\n";
+  return 2;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Verifies one postprocessed module, printing the report under `title`.
+/// Returns true when clean.
+bool verify_one(const std::string& title, const stvm::PostprocResult& program) {
+  const stvm::VerifyReport report = stvm::verify_module(program);
+  std::cout << "== " << title << " (" << program.module.code.size() << " instrs, "
+            << program.descriptors.size() << " procs, " << program.procs_augmented
+            << " augmented) ==\n"
+            << report.summary();
+  if (report.ok()) {
+    std::cout << "OK: all checks passed\n";
+  } else {
+    std::cout << "FAIL: " << report.issue_count() << " issue(s)\n";
+  }
+  return report.ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool with_stdlib = false;
+  bool force_augment = false;
+  std::string builtin;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stdlib") {
+      with_stdlib = true;
+    } else if (arg == "--force-augment") {
+      force_augment = true;
+    } else if (arg == "--builtin") {
+      if (++i >= argc) return usage();
+      builtin = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (builtin.empty() == path.empty()) return usage();  // exactly one input
+
+  using SourceFn = const std::string& (*)();
+  // Sample programs that need the join-counter stdlib linked in.
+  const std::map<std::string, std::pair<SourceFn, bool>> builtins = {
+      {"fib", {stvm::programs::fib, false}},
+      {"pfib", {stvm::programs::pfib, true}},
+      {"figure15", {stvm::programs::figure15, false}},
+      {"scenario1", {stvm::programs::scenario1, false}},
+      {"psum", {stvm::programs::psum, true}},
+      {"stdlib", {stvm::programs::stdlib, false}},
+  };
+
+  try {
+    bool all_ok = true;
+    if (!builtin.empty()) {
+      std::vector<std::string> names;
+      if (builtin == "all") {
+        for (const auto& [name, entry] : builtins) names.push_back(name);
+      } else if (builtins.count(builtin) != 0) {
+        names.push_back(builtin);
+      } else {
+        std::cerr << "unknown builtin '" << builtin << "'\n";
+        return usage();
+      }
+      for (const auto& name : names) {
+        const auto& [source, needs_stdlib] = builtins.at(name);
+        std::string full = source();
+        if (needs_stdlib) full += "\n" + stvm::programs::stdlib();
+        all_ok &= verify_one(name, stvm::postprocess(stvm::assemble(full), force_augment));
+      }
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "cannot open " << path << "\n";
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::string text = buf.str();
+      if (ends_with(path, ".stc")) {
+        text = stvm::stc::compile_to_asm(text);
+        with_stdlib = true;  // async needs the join counter
+      }
+      if (with_stdlib) text += "\n" + stvm::programs::stdlib();
+      all_ok = verify_one(path, stvm::postprocess(stvm::assemble(text), force_augment));
+    }
+    return all_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -12,7 +12,8 @@
 #include "cilk/cilkstyle.hpp"
 #include "runtime/runtime.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_json_flag(argc, argv, "fig21_uniproc");
   bench::print_header("Uniprocessor overhead of parallel applications",
                       "Figure 21 (Section 8.2)");
   const double s = bench::scale();
@@ -34,6 +35,9 @@ int main() {
       std::fprintf(stderr, "checksum mismatch in %s\n", app.name.c_str());
       return 1;
     }
+    bench::json_record(app.name + "/seq", seq_secs, bench::reps());
+    bench::json_record(app.name + "/stmp", st_secs, bench::reps());
+    bench::json_record(app.name + "/cilkstyle", ck_secs, bench::reps());
     table.add_row({app.name, stu::format_seconds(seq_secs),
                    stu::Table::num(st_secs / seq_secs, 2),
                    stu::Table::num(ck_secs / seq_secs, 2)});
@@ -46,5 +50,5 @@ int main() {
   std::printf("\nPaper's shape to check: most apps near 1.0 for both systems;\n"
               "fib is the outlier (threads are extremely fine-grained) with a\n"
               "visible multiple over sequential C for BOTH systems.\n");
-  return 0;
+  return bench::json_finish("fig21_uniproc") ? 0 : 1;
 }

@@ -18,7 +18,8 @@
 #include "runtime/runtime.hpp"
 #include "util/env.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_json_flag(argc, argv, "fig22_parallel");
   bench::print_header("StackThreads/MP relative to the Cilk-style baseline",
                       "Figure 22 (Section 8.2)");
   const double s = bench::scale();
@@ -51,6 +52,9 @@ int main() {
         std::fprintf(stderr, "checksum mismatch in %s at P=%u\n", app.name.c_str(), w);
         return 1;
       }
+      const std::string cell = app.name + "/P=" + std::to_string(w);
+      bench::json_record(cell + "/stmp", st_secs, bench::reps());
+      bench::json_record(cell + "/cilkstyle", ck_secs, bench::reps());
       row.push_back(stu::Table::num(st_secs / ck_secs, 2));
     }
     table.add_row(std::move(row));
@@ -63,5 +67,5 @@ int main() {
               "consistent winner across applications or worker counts.\n"
               "(On this host all workers share the physical cores, so the\n"
               "ratio -- not absolute speedup -- is the reproducible quantity.)\n");
-  return 0;
+  return bench::json_finish("fig22_parallel") ? 0 : 1;
 }

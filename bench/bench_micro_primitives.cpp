@@ -9,7 +9,10 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
+#include "bench/harness.hpp"
 #include "cilk/cilkstyle.hpp"
 #include "runtime/context.hpp"
 #include "runtime/runtime.hpp"
@@ -240,6 +243,50 @@ void BM_PollNoRequest(benchmark::State& state) {
 }
 BENCHMARK(BM_PollNoRequest);
 
+// -- wake-from-park latency -------------------------------------------------
+// Prices the idle path's futex parking (docs/OBSERVABILITY.md): with every
+// worker parked on the work epoch, how long from injecting a root task to
+// its completion?  Covers the futex wake, the OS placing the woken thread,
+// and the injected-queue pop -- the latency a quiescent runtime adds to
+// the first work submitted after an idle period.  Manual time: the
+// wait-until-parked setup between measurements must not be counted.
+void BM_IdleWakeLatency(benchmark::State& state) {
+  st::Runtime rt(2);
+  for (auto _ : state) {
+    while (rt.parked_workers() < rt.num_workers()) std::this_thread::yield();
+    const auto t0 = std::chrono::steady_clock::now();
+    rt.run([] {});
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+  }
+}
+BENCHMARK(BM_IdleWakeLatency)->UseManualTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): strips the harness-level
+// `--json [path]` flag (shared with the figure/table suites) before
+// handing the rest to google-benchmark, and mirrors every per-iteration
+// run into the machine-readable results file.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type == Run::RT_Iteration && !run.error_occurred) {
+        bench::json_writer().add(run.benchmark_name(), run.GetAdjustedRealTime(),
+                                 static_cast<long>(run.iterations));
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+int main(int argc, char** argv) {
+  bench::parse_json_flag(argc, argv, "micro_primitives");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return bench::json_finish("micro_primitives") ? 0 : 1;
+}

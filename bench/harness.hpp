@@ -13,6 +13,12 @@
 //   ST_STATS=1 <bench>             end-of-run counter table on stderr
 // print_header() announces an active trace so a saved log records how
 // the numbers were produced (tracing perturbs the hot paths).
+//
+// Machine-readable results: pass `--json [path]` to any suite built on
+// this harness and it writes a JSON results file (default
+// BENCH_<suite>.json) alongside the human table -- one record per
+// measured cell: {"benchmark": ..., "ns_per_op": ..., "samples": ...}.
+// CI uploads these as artifacts so perf history is diffable.
 #pragma once
 
 #include <cstdio>
@@ -30,6 +36,95 @@ namespace bench {
 
 inline double scale() { return stu::env_double("STMP_SCALE", 0.25); }
 inline long reps() { return stu::env_long("STMP_BENCH_REPS", 2); }
+
+/// One measured cell of a suite, in nanoseconds per operation (for the
+/// figure/table suites an "operation" is one timed run of the workload).
+struct JsonResult {
+  std::string benchmark;
+  double ns_per_op = 0;
+  long samples = 0;
+};
+
+/// Collects results for the suite-level `--json` flag.  Intentionally
+/// dumb: fixed schema, no nesting, parseable by one jq expression.
+class JsonWriter {
+ public:
+  void add(std::string name, double ns_per_op, long samples) {
+    results_.push_back({std::move(name), ns_per_op, samples});
+  }
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+  void set_path(std::string p) { path_ = std::move(p); }
+
+  /// Writes the file; returns false (with a note on stderr) on I/O error.
+  bool write(const std::string& suite) const {
+    if (path_.empty()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"results\": [\n", suite.c_str());
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const auto& r = results_[i];
+      std::fprintf(f,
+                   "    {\"benchmark\": \"%s\", \"ns_per_op\": %.3f, "
+                   "\"samples\": %ld}%s\n",
+                   r.benchmark.c_str(), r.ns_per_op, r.samples,
+                   i + 1 < results_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<JsonResult> results_;
+};
+
+/// The suite's shared writer (one results file per binary).
+inline JsonWriter& json_writer() {
+  static JsonWriter w;
+  return w;
+}
+
+/// Parses and strips `--json [path]` from argv.  Call first thing in
+/// main(); `suite` names the default output file BENCH_<suite>.json.
+/// Unrecognized arguments are left alone (google-benchmark suites pass
+/// the remainder on to the library).
+inline void parse_json_flag(int& argc, char** argv, const std::string& suite) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      std::string path = "BENCH_" + suite + ".json";
+      if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[++i];
+      json_writer().set_path(path);
+      continue;
+    }
+    if (a.rfind("--json=", 0) == 0) {
+      json_writer().set_path(a.substr(7));
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+}
+
+/// Record one measured cell (seconds, sample count) under `name`.
+inline void json_record(const std::string& name, double seconds, long samples) {
+  if (json_writer().enabled()) {
+    json_writer().add(name, seconds * 1e9, samples);
+  }
+}
+
+/// Write the results file if --json was given; returns false on I/O
+/// error (suites exit nonzero so CI notices a broken artifact).
+inline bool json_finish(const std::string& suite) {
+  return json_writer().write(suite);
+}
 
 /// Runs fn() reps times; returns the best wall-clock seconds.
 inline double time_best(const std::function<void()>& fn) {

@@ -21,12 +21,42 @@
 #include <cstddef>
 #include <cstdint>
 
+// ThreadSanitizer keeps a per-OS-thread shadow stack that our context
+// switches silently invalidate: a continuation can unwind on a thread
+// that never pushed its frames, drifting the shadow stack until TSan
+// SEGVs inside its own stack-depot hashing.  Under TSan every logical
+// thread therefore gets a TSan "fiber", and every switch site announces
+// the transfer via __tsan_switch_to_fiber.  Native builds compile all of
+// this away (fields and calls are gated, not stubbed).
+#if defined(__SANITIZE_THREAD__)
+#define ST_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ST_TSAN_FIBERS 1
+#endif
+#endif
+#ifndef ST_TSAN_FIBERS
+#define ST_TSAN_FIBERS 0
+#endif
+
+#if ST_TSAN_FIBERS
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace st {
 
 /// A captured machine context: everything lives on the context's own
 /// stack; only the stack pointer is held here.
 struct MachineContext {
   void* sp = nullptr;
+#if ST_TSAN_FIBERS
+  void* fiber = nullptr;  ///< TSan fiber backing this context's shadow stack
+#endif
 };
 
 /// Action executed by the destination context immediately after a switch,
@@ -34,6 +64,11 @@ struct MachineContext {
 struct SwitchMsg {
   void (*run)(void*) = nullptr;
   void* arg = nullptr;
+#if ST_TSAN_FIBERS
+  /// A fiber whose logical thread has exited: the destination destroys it
+  /// (a fiber cannot destroy itself while still running on it).
+  void* dead_fiber = nullptr;
+#endif
 };
 
 extern "C" {
@@ -48,6 +83,14 @@ void* st_ctx_swap(void** save_sp, void* target_sp, void* msg) noexcept;
 /// is the pointer given to st_ctx_prepare.  fn must never return -- a
 /// finished computation leaves by switching to another context.
 using ContextEntry = void (*)(void* msg, void* arg);
+
+/// Fused "save me + enter a fresh child" switch, the fork fast path:
+/// saves the current context into *save_sp (same layout as st_ctx_swap),
+/// adopts the empty stack ending at stack_top and calls fn(nullptr, arg)
+/// directly -- no st_ctx_prepare frame, no boot trampoline.  fn must
+/// never return.  When the saved context is resumed by a later
+/// st_ctx_swap, st_ctx_fork appears to return the carried msg.
+void* st_ctx_fork(void** save_sp, void* stack_top, ContextEntry fn, void* arg) noexcept;
 
 }  // extern "C"
 
@@ -64,7 +107,14 @@ inline SwitchMsg* ctx_swap(MachineContext& save, void* target_sp, SwitchMsg* msg
 /// Runs a pending cross-context action, if any.  Every resume point
 /// (after a swap returns) must call this before touching shared state.
 inline void run_switch_msg(SwitchMsg* msg) noexcept {
-  if (msg != nullptr && msg->run != nullptr) msg->run(msg->arg);
+  if (msg == nullptr) return;
+#if ST_TSAN_FIBERS
+  if (msg->dead_fiber != nullptr) {
+    __tsan_destroy_fiber(msg->dead_fiber);
+    msg->dead_fiber = nullptr;
+  }
+#endif
+  if (msg->run != nullptr) msg->run(msg->arg);
 }
 
 }  // namespace st

@@ -1,13 +1,22 @@
 #include "runtime/runtime.hpp"
 
 #include <cassert>
+#include <chrono>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <semaphore>
 #include <sstream>
 
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 #include "runtime/monitor.hpp"
+#include "util/env.hpp"
 #include "util/metrics.hpp"
 #include "util/trace_export.hpp"
 
@@ -19,7 +28,42 @@ namespace {
 
 constexpr int kStealSpinLimit = 512;
 
-void release_stacklet_cb(void* p) { StackRegion::release(static_cast<Stacklet*>(p)); }
+void release_stacklet_cb(void* p) {
+  auto* s = static_cast<Stacklet*>(p);
+  // Owner fast path: a child that finished on its home worker pops its
+  // slot directly (LIFO completion, the overwhelmingly common case);
+  // migrated completions take the cross-worker retire path.
+  Worker* w = tl_worker;
+  if (w != nullptr && s->region == &w->region()) {
+    w->region().release_local(s);
+  } else {
+    StackRegion::release(s);
+  }
+}
+
+// -- futex plumbing for the parked-thief idle path ---------------------
+// Parking is Linux-only (SYS_futex); elsewhere the idle path tops out at
+// the yield stage.  The timeout is a belt-and-braces bound on any wake
+// race the epoch protocol does not close (see Runtime::park_worker).
+#if defined(__linux__)
+void futex_wait(std::atomic<std::uint32_t>& word, std::uint32_t expected,
+                long timeout_us) {
+  timespec ts;
+  timespec* tsp = nullptr;
+  if (timeout_us > 0) {
+    ts.tv_sec = timeout_us / 1000000;
+    ts.tv_nsec = (timeout_us % 1000000) * 1000;
+    tsp = &ts;
+  }
+  ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+            FUTEX_WAIT_PRIVATE, expected, tsp, nullptr, 0);
+}
+
+void futex_wake_all(std::atomic<std::uint32_t>& word) {
+  ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+            FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
+}
+#endif
 
 // -- crash-dump registry of live runtimes ------------------------------
 // The fatal-signal hook (util/metrics.hpp) walks this to print each live
@@ -64,7 +108,7 @@ void child_entry(void* raw_msg, void* arg) {
   s->invoke(s->closure);
   // Completed.  tl_worker is re-read: the computation may have migrated.
   Worker* w = tl_worker;
-  w->stats().bump(w->stats().tasks_completed);
+  ++w->stats().tasks_completed;
   w->trace(stu::kTraceTaskComplete, reinterpret_cast<std::uintptr_t>(s));
   // The stacklet must outlive this stack; the destination context releases
   // it (the msg lives on this dying stack, which stays mapped and
@@ -83,8 +127,22 @@ namespace detail {
 
 [[noreturn]] void finish_current(SwitchMsg* msg) {
   Worker* w = tl_worker;
-  void* target = !w->fork_deque().empty() ? w->fork_deque().pop_head()->sp
-                                          : w->scheduler_context().sp;
+  void* target;
+#if ST_TSAN_FIBERS
+  msg->dead_fiber = __tsan_get_current_fiber();
+#endif
+  if (!w->fork_deque().empty()) {
+    Continuation* p = w->fork_deque().pop_head();
+    target = p->sp;
+#if ST_TSAN_FIBERS
+    __tsan_switch_to_fiber(p->fiber, 0);
+#endif
+  } else {
+    target = w->scheduler_context().sp;
+#if ST_TSAN_FIBERS
+    __tsan_switch_to_fiber(w->scheduler_context().fiber, 0);
+#endif
+  }
   void* dummy;
   st_ctx_swap(&dummy, target, msg);
   __builtin_unreachable();
@@ -92,18 +150,28 @@ namespace detail {
 
 void fork_impl(void (*invoke)(void*), void* closure, Stacklet* s) {
   Worker* w = tl_worker;
-  w->stats().bump(w->stats().forks);
+  // The paper's "a fork costs about a procedure call": two plain
+  // increments, one relaxed load of the poll word, one predictable
+  // branch.  Everything observable from outside -- steal service, trace
+  // events, mirror publication, futex pokes -- hides behind the word.
+  ++w->stats().forks;
   w->heartbeat();
-  w->trace(stu::kTraceFork, reinterpret_cast<std::uintptr_t>(s));
-  if (stu::metrics_enabled()) [[unlikely]] {
-    w->metrics().deque_depth.record(w->fork_deque().size());
-  }
+  if (w->poll_word() != 0) [[unlikely]] w->fork_poll_slow(s);
   s->invoke = invoke;
   s->closure = closure;
-  void* child_sp = st_ctx_prepare(s->stack_base(), s->stack_bytes(), &child_entry, s);
   Continuation parent;  // this worker's deques never outlive this frame's liveness
   w->fork_deque().push_head(&parent);
-  auto* back = static_cast<SwitchMsg*>(st_ctx_swap(&parent.sp, child_sp, nullptr));
+  w->maybe_publish_depth();
+  // parent.sp is written by st_ctx_fork before the stack switch, and only
+  // this worker dequeues the record (polling protocol), sequenced after
+  // the switch -- so the head entry is never observed with an unset sp.
+  char* child_top = s->stack_base() + s->stack_bytes();
+#if ST_TSAN_FIBERS
+  parent.fiber = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(__tsan_create_fiber(0), 0);
+#endif
+  auto* back = static_cast<SwitchMsg*>(
+      st_ctx_fork(&parent.sp, child_top, &child_entry, s));
   // Resumed: the child finished or suspended on this worker, or this
   // continuation was stolen and now runs on a thief.  Do not touch `w`.
   run_switch_msg(back);
@@ -112,14 +180,9 @@ void fork_impl(void (*invoke)(void*), void* closure, Stacklet* s) {
 Stacklet* allocate_stacklet() {
   Worker* w = tl_worker;
   assert(w != nullptr && "st::fork must be called on a worker");
-  w->serve_steal_request();  // every fork point is a poll point
-  Stacklet* s = w->region().allocate();
-  if (s->region != nullptr) {
-    w->trace(stu::kTraceStackletAlloc, reinterpret_cast<std::uintptr_t>(s), s->slot);
-  } else {
-    w->trace(stu::kTraceHeapFallback, reinterpret_cast<std::uintptr_t>(s));
-  }
-  return s;
+  // Allocation tracing rides the fork slow path (fork_poll_slow); with
+  // features off this is just the region bump.
+  return w->region().allocate();
 }
 
 [[noreturn]] void report_escaped_exception() noexcept {
@@ -135,14 +198,28 @@ Stacklet* allocate_stacklet() {
 void suspend(Continuation* c, void (*after)(void*), void* arg) {
   Worker* w = tl_worker;
   assert(w != nullptr && "st::suspend must be called on a worker");
-  w->stats().bump(w->stats().suspends);
+  ++w->stats().suspends;
   w->heartbeat();
   w->trace(stu::kTraceSuspend, reinterpret_cast<std::uintptr_t>(c));
   c->t_suspend = stu::metrics_enabled() ? stu::trace_clock() : 0;
   SwitchMsg m{after, arg};
   SwitchMsg* mp = after != nullptr ? &m : nullptr;
-  void* target = !w->fork_deque().empty() ? w->fork_deque().pop_head()->sp
-                                          : w->scheduler_context().sp;
+  void* target;
+#if ST_TSAN_FIBERS
+  c->fiber = __tsan_get_current_fiber();
+#endif
+  if (!w->fork_deque().empty()) {
+    Continuation* p = w->fork_deque().pop_head();
+    target = p->sp;
+#if ST_TSAN_FIBERS
+    __tsan_switch_to_fiber(p->fiber, 0);
+#endif
+  } else {
+    target = w->scheduler_context().sp;
+#if ST_TSAN_FIBERS
+    __tsan_switch_to_fiber(w->scheduler_context().fiber, 0);
+#endif
+  }
   auto* back = static_cast<SwitchMsg*>(st_ctx_swap(&c->sp, target, mp));
   // Resumed, possibly on a different worker.
   run_switch_msg(back);
@@ -151,10 +228,16 @@ void suspend(Continuation* c, void (*after)(void*), void* arg) {
 void resume(Continuation* c) {
   Worker* w = tl_worker;
   assert(w != nullptr && "st::resume must be called on a worker");
-  w->stats().bump(w->stats().resumes);
+  ++w->stats().resumes;
   w->heartbeat();
   w->trace(stu::kTraceResume, reinterpret_cast<std::uintptr_t>(c));
   w->readyq().push_tail(c);
+  // The readyq tail is immediately stealable: publish it, and run the
+  // slow path if thieves are parked (they must be woken) or waiting.
+  w->publish_depth();
+  if (w->poll_word() & (Worker::kPollSteal | Worker::kPollParked)) {
+    w->poll_slow();
+  }
 }
 
 void restart(Continuation* c) {
@@ -165,6 +248,11 @@ void restart(Continuation* c) {
   record_resume_latency(w, c);
   Continuation parent;
   w->fork_deque().push_head(&parent);
+  w->maybe_publish_depth();
+#if ST_TSAN_FIBERS
+  parent.fiber = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(c->fiber, 0);
+#endif
   auto* back = static_cast<SwitchMsg*>(st_ctx_swap(&parent.sp, c->sp, nullptr));
   run_switch_msg(back);
 }
@@ -189,7 +277,13 @@ Worker::Worker(Runtime& rt, unsigned id, std::size_t stacklet_bytes, std::size_t
     : rt_(rt),
       id_(id),
       region_(stacklet_bytes, region_slots),
-      rng_(0x5157'1ead'0000'0000ULL + id) {}
+      rng_(0x5157'1ead'0000'0000ULL + id) {
+  // Trace/metrics are configured from the environment before workers are
+  // constructed (Runtime ctor); the bit is refreshed on every slow poll.
+  if (stu::metrics_enabled() || stu::trace_mask() != 0) {
+    poll_word_.store(kPollFeatures, std::memory_order_relaxed);
+  }
+}
 
 void Worker::trace_record(stu::TraceEvent ev, std::uint64_t a, std::uint64_t b) noexcept {
   trace_.emit(ev, static_cast<std::uint16_t>(id_), stu::kTraceSrcRuntime, a, b);
@@ -197,37 +291,103 @@ void Worker::trace_record(stu::TraceEvent ev, std::uint64_t a, std::uint64_t b) 
 
 void Worker::serve_steal_request() {
   heartbeat();  // every poll point is a liveness signal
-  if (port_.load(std::memory_order_relaxed) == nullptr) return;
-  StealRequest* r = port_.exchange(nullptr, std::memory_order_acq_rel);
-  if (r == nullptr) return;
-  // Figure 12: hand out the tail of the lazy task queue -- readyq tail if
-  // any, otherwise the outermost parent continuation of the running chain.
-  Continuation* task = nullptr;
-  if (!readyq_.empty()) {
-    task = readyq_.pop_tail();
-    // The stolen readyq tail leaves this worker's queue: close the
-    // resume edge here; the thief's side is the steal flow.
-    trace(stu::kTraceResumeRun, reinterpret_cast<std::uintptr_t>(task));
-  } else if (!fork_deque_.empty()) {
-    task = fork_deque_.pop_tail();
+  if (poll_word() != 0) [[unlikely]] poll_slow();
+}
+
+void Worker::poll_slow() noexcept {
+  // Clear the serviceable bits *before* acting on them: a remote post
+  // racing with the clear re-sets its bit and is seen at the next poll
+  // (in particular a thief that CASes the port after our exchange).
+  const std::uint32_t bits =
+      poll_word_.fetch_and(~(kPollSteal | kPollSample), std::memory_order_acquire);
+  if (bits & kPollSteal) {
+    StealRequest* r = port_.exchange(nullptr, std::memory_order_acq_rel);
+    if (r != nullptr) {
+      // Figure 12: hand out the tail of the lazy task queue -- readyq
+      // tail if any, otherwise the outermost parent continuation.
+      Continuation* task = nullptr;
+      if (!readyq_.empty()) {
+        task = readyq_.pop_tail();
+        // The stolen readyq tail leaves this worker's queue: close the
+        // resume edge here; the thief's side is the steal flow.
+        trace(stu::kTraceResumeRun, reinterpret_cast<std::uintptr_t>(task));
+      } else if (!fork_deque_.empty()) {
+        task = fork_deque_.pop_tail();
+      }
+      if (task != nullptr) {
+        r->reply = *task;
+        ++stats_.steals_served;
+        trace(stu::kTraceStealServed, reinterpret_cast<std::uintptr_t>(r),
+              reinterpret_cast<std::uintptr_t>(task));
+        r->state.store(StealRequest::kServed, std::memory_order_release);
+      } else {
+        ++stats_.steals_rejected;
+        trace(stu::kTraceStealRejected, reinterpret_cast<std::uintptr_t>(r));
+        r->state.store(StealRequest::kRejected, std::memory_order_release);
+      }
+      publish_depth();  // occupancy changed (or a stale value cost a reject)
+    }
   }
-  if (task != nullptr) {
-    r->reply = *task;
-    stats_.bump(stats_.steals_served);
-    trace(stu::kTraceStealServed, reinterpret_cast<std::uintptr_t>(r),
-          reinterpret_cast<std::uintptr_t>(task));
-    r->state.store(StealRequest::kServed, std::memory_order_release);
+  if (bits & kPollSample) publish_stats();
+  if (bits & kPollParked) {
+    // Someone futex-parked while we were (presumably) making work: if we
+    // have anything stealable, poke the epoch so they come back.  The
+    // bit stays set otherwise -- a later fork will do the wake.
+    if (!fork_deque_.empty() || !readyq_.empty()) {
+      poll_word_.fetch_and(~kPollParked, std::memory_order_relaxed);
+      rt_.notify_work();
+    }
+  }
+  if (stu::metrics_enabled() || stu::trace_mask() != 0) {
+    poll_word_.fetch_or(kPollFeatures, std::memory_order_relaxed);
   } else {
-    stats_.bump(stats_.steals_rejected);
-    trace(stu::kTraceStealRejected, reinterpret_cast<std::uintptr_t>(r));
-    r->state.store(StealRequest::kRejected, std::memory_order_release);
+    poll_word_.fetch_and(~kPollFeatures, std::memory_order_relaxed);
+  }
+}
+
+void Worker::fork_poll_slow(Stacklet* s) noexcept {
+  const std::uint32_t word = poll_word();
+  if (word & (kPollSteal | kPollSample | kPollParked)) poll_slow();
+  if (word & kPollFeatures) {
+    if (s->region != nullptr) {
+      trace(stu::kTraceStackletAlloc, reinterpret_cast<std::uintptr_t>(s), s->slot);
+    } else {
+      trace(stu::kTraceHeapFallback, reinterpret_cast<std::uintptr_t>(s));
+    }
+    trace(stu::kTraceFork, reinterpret_cast<std::uintptr_t>(s));
+  }
+}
+
+void Worker::publish_stats() noexcept {
+  mirror_.forks.store(stats_.forks, std::memory_order_relaxed);
+  mirror_.suspends.store(stats_.suspends, std::memory_order_relaxed);
+  mirror_.resumes.store(stats_.resumes, std::memory_order_relaxed);
+  mirror_.steals_served.store(stats_.steals_served, std::memory_order_relaxed);
+  mirror_.steals_received.store(stats_.steals_received, std::memory_order_relaxed);
+  mirror_.steal_attempts.store(stats_.steal_attempts, std::memory_order_relaxed);
+  mirror_.steals_rejected.store(stats_.steals_rejected, std::memory_order_relaxed);
+  mirror_.steals_cancelled.store(stats_.steals_cancelled, std::memory_order_relaxed);
+  mirror_.tasks_completed.store(stats_.tasks_completed, std::memory_order_relaxed);
+  hb_mirror_.store(hb_, std::memory_order_relaxed);
+  publish_depth();
+}
+
+void Worker::publish_depth() noexcept {
+  rt_.publish_load(
+      id_, static_cast<std::uint32_t>(fork_deque_.size() + readyq_.size()));
+}
+
+void Worker::sample_depth() noexcept {
+  publish_depth();
+  if (stu::metrics_enabled()) {
+    metrics_.deque_depth.record(fork_deque_.size());
   }
 }
 
 bool Worker::try_steal_and_run() {
-  Worker* victim = rt_.random_victim(rng_, id_);
+  Worker* victim = rt_.choose_victim(rng_, id_);
   if (victim == nullptr) return false;
-  stats_.bump(stats_.steal_attempts);
+  ++stats_.steal_attempts;
   set_phase(WorkerPhase::kStealing);
   const bool timed = stu::metrics_enabled();
   const std::uint64_t t0 = timed ? stu::trace_clock() : 0;
@@ -238,6 +398,9 @@ bool Worker::try_steal_and_run() {
     set_phase(WorkerPhase::kIdle);
     return false;  // someone else is already negotiating with this victim
   }
+  // Port claimed: raise the victim's poll bit (after the CAS, so a victim
+  // that clears the bit concurrently re-observes the request next poll).
+  victim->post_poll_bits(kPollSteal);
   trace(stu::kTraceStealPosted, reinterpret_cast<std::uintptr_t>(&req), victim->id());
 
   int spins = 0;
@@ -248,10 +411,14 @@ bool Worker::try_steal_and_run() {
       cancel_tried = true;
       StealRequest* me = &req;
       if (victim->port().compare_exchange_strong(me, nullptr, std::memory_order_acq_rel)) {
+        // Withdrawn before the victim saw it.  Cancels get their own
+        // series: folding them into steal_latency skewed its p99 toward
+        // the spin-limit constant.
+        ++stats_.steals_cancelled;
         trace(stu::kTraceStealCancelled, reinterpret_cast<std::uintptr_t>(&req), victim->id());
-        if (timed) metrics_.steal_latency.record(stu::trace_clock() - t0);
+        if (timed) metrics_.steal_cancel_latency.record(stu::trace_clock() - t0);
         set_phase(WorkerPhase::kIdle);
-        return false;  // cancelled before the victim saw it
+        return false;
       }
       // The victim claimed the request; it will store a final state soon.
     }
@@ -265,7 +432,7 @@ bool Worker::try_steal_and_run() {
     set_phase(WorkerPhase::kIdle);
     return false;
   }
-  stats_.bump(stats_.steals_received);
+  ++stats_.steals_received;
   heartbeat();
   trace(stu::kTraceStealReceived, reinterpret_cast<std::uintptr_t>(&req), victim->id());
   record_resume_latency(this, &req.reply);
@@ -276,12 +443,46 @@ bool Worker::try_steal_and_run() {
 }
 
 void Worker::attach_and_run(Continuation target, SwitchMsg* msg) {
+#if ST_TSAN_FIBERS
+  // Always entered from the scheduler loop, i.e. on this OS thread's own
+  // fiber: record it so tasks switching back to sched_ctx_ can announce
+  // the transfer.
+  sched_ctx_.fiber = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(target.fiber, 0);
+#endif
   auto* back = static_cast<SwitchMsg*>(st_ctx_swap(&sched_ctx_.sp, target.sp, msg));
   run_switch_msg(back);
 }
 
+void Worker::idle_backoff_step(int& spins, int& yields) {
+  const IdlePolicy& pol = rt_.idle_policy();
+  if (spins == 0 && yields == 0) {
+    // Entering an idle episode: our deques are empty -- say so, so
+    // thieves stop probing us and the park recheck sees the truth.
+    publish_depth();
+  }
+  if (spins < pol.spin) {
+    ++spins;
+    stu::cpu_pause();
+    return;
+  }
+  if (yields < pol.yields) {
+    ++yields;
+    std::this_thread::yield();
+    return;
+  }
+  spins = 0;
+  yields = 0;
+  if (pol.park) {
+    rt_.park_worker(*this);
+  } else {
+    std::this_thread::yield();
+  }
+}
+
 void Worker::scheduler_loop() {
   tl_worker = this;
+  int spins = 0, yields = 0;
   while (!rt_.done()) {
     serve_steal_request();
     if (!readyq_.empty()) {
@@ -292,6 +493,7 @@ void Worker::scheduler_loop() {
       set_phase(WorkerPhase::kWorking);
       attach_and_run(*c);
       set_phase(WorkerPhase::kIdle);
+      spins = yields = 0;
       continue;
     }
     std::function<void()> root;
@@ -307,15 +509,26 @@ void Worker::scheduler_loop() {
       s->closure = new (s->closure_area()) Root(std::move(root));
       s->invoke = &detail::invoke_closure<Root>;
       void* sp = st_ctx_prepare(s->stack_base(), s->stack_bytes(), &child_entry, s);
+      Continuation root_ctx{sp};
+#if ST_TSAN_FIBERS
+      root_ctx.fiber = __tsan_create_fiber(0);
+#endif
       set_phase(WorkerPhase::kWorking);
-      attach_and_run(Continuation{sp});
+      attach_and_run(root_ctx);
       set_phase(WorkerPhase::kIdle);
+      spins = yields = 0;
       continue;
     }
-    if (!try_steal_and_run()) std::this_thread::yield();
+    if (try_steal_and_run()) {
+      spins = yields = 0;
+      continue;
+    }
+    idle_backoff_step(spins, yields);
   }
-  // Shutdown: resolve any request still parked on our port so no thief
+  // Shutdown: publish the final counters (stats() reads mirrors after the
+  // join) and resolve any request still parked on our port so no thief
   // spins on a vanished victim.
+  publish_stats();
   StealRequest* r = port_.exchange(nullptr, std::memory_order_acq_rel);
   if (r != nullptr) r->state.store(StealRequest::kRejected, std::memory_order_release);
   tl_worker = nullptr;
@@ -329,9 +542,20 @@ Runtime::Runtime(RuntimeConfig cfg) {
   stu::trace_configure_from_env();  // first-runtime process configuration
   stu::metrics_configure_from_env();
   if (cfg.workers == 0) cfg.workers = 1;
+  idle_.park = cfg.park >= 0 ? cfg.park != 0 : stu::env_long("ST_PARK", 1) != 0;
+#if !defined(__linux__)
+  idle_.park = false;  // no futex; the backoff tops out at the yield stage
+#endif
+  idle_.spin = static_cast<int>(stu::env_long("ST_SPIN", 64));
+  idle_.yields = static_cast<int>(stu::env_long("ST_YIELD", 8));
+  idle_.park_timeout_us = stu::env_long("ST_PARK_TIMEOUT_US", 2000);
+  idle_.load_victim = stu::env_string("ST_VICTIM", "load") != "random";
+  published_load_ =
+      std::vector<stu::CacheAligned<std::atomic<std::uint32_t>>>(cfg.workers);
   workers_.reserve(cfg.workers);
   for (unsigned i = 0; i < cfg.workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(*this, i, cfg.stacklet_bytes, cfg.region_slots));
+    workers_.back()->set_solo(cfg.workers == 1);
   }
   // Observability wiring before the workers start: crash/stall dumps must
   // be able to reach the rings and this runtime from the first event on.
@@ -362,6 +586,7 @@ Runtime::Runtime(RuntimeConfig cfg) {
 Runtime::~Runtime() {
   monitor_.reset();  // stop sampling before teardown
   done_.store(true, std::memory_order_release);
+  notify_work();  // kick parked workers so they observe done_
   for (auto& t : threads_) t.join();
   {
     std::lock_guard<std::mutex> hold(live_runtimes_lock());
@@ -383,8 +608,9 @@ Runtime::~Runtime() {
     const RuntimeStats s = stats();
     std::fprintf(stderr,
                  "[st-stats runtime workers=%u] forks=%llu suspends=%llu resumes=%llu "
-                 "tasks=%llu steal{attempts=%llu served=%llu received=%llu rejected=%llu} "
-                 "region{high_water=%llu heap_fallbacks=%llu}\n",
+                 "tasks=%llu steal{attempts=%llu served=%llu received=%llu rejected=%llu "
+                 "cancelled=%llu} region{high_water=%llu heap_fallbacks=%llu "
+                 "scavenges=%llu trims=%llu}\n",
                  num_workers(), static_cast<unsigned long long>(s.forks),
                  static_cast<unsigned long long>(s.suspends),
                  static_cast<unsigned long long>(s.resumes),
@@ -393,8 +619,11 @@ Runtime::~Runtime() {
                  static_cast<unsigned long long>(s.steals_served),
                  static_cast<unsigned long long>(s.steals_received),
                  static_cast<unsigned long long>(s.steals_rejected),
+                 static_cast<unsigned long long>(s.steals_cancelled),
                  static_cast<unsigned long long>(s.region_high_water),
-                 static_cast<unsigned long long>(s.heap_fallbacks));
+                 static_cast<unsigned long long>(s.heap_fallbacks),
+                 static_cast<unsigned long long>(s.region_scavenges),
+                 static_cast<unsigned long long>(s.region_trims));
     if (stu::metrics_enabled()) {
       // ST_STATS grows latency percentile tables when metrics were on.
       const double ns = stu::trace_ns_per_tick();
@@ -405,6 +634,7 @@ Runtime::~Runtime() {
       };
       const Row rows[] = {
           {"steal_latency_ns", ns, &WorkerMetrics::steal_latency},
+          {"steal_cancel_latency_ns", ns, &WorkerMetrics::steal_cancel_latency},
           {"suspend_to_restart_ns", ns, &WorkerMetrics::suspend_to_restart},
           {"fork_deque_depth", 1.0, &WorkerMetrics::deque_depth},
       };
@@ -426,9 +656,12 @@ Runtime::~Runtime() {
 }
 
 void Runtime::inject(std::function<void()> fn) {
-  stu::SpinGuard g(inject_lock_);
-  injected_.push_back(std::move(fn));
-  injected_count_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    stu::SpinGuard g(inject_lock_);
+    injected_.push_back(std::move(fn));
+    injected_count_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  notify_work();  // a parked fleet must see the root
 }
 
 bool Runtime::pop_injected(std::function<void()>& out) {
@@ -449,6 +682,93 @@ Worker* Runtime::random_victim(stu::Xoshiro256& rng, unsigned self) {
   return workers_[pick].get();
 }
 
+Worker* Runtime::choose_victim(stu::Xoshiro256& rng, unsigned self) {
+  const unsigned n = num_workers();
+  if (n <= 1) return nullptr;
+  if (idle_.load_victim) {
+    // Steer by the published depth array -- the runtime analogue of
+    // steering by the Section 5 exported set.  Rotating start so equal
+    // loads spread thieves instead of dogpiling worker 0.
+    const unsigned start = static_cast<unsigned>(rng.below(n));
+    std::uint32_t best_load = 0;
+    Worker* best = nullptr;
+    for (unsigned k = 0; k < n; ++k) {
+      unsigned i = start + k;
+      if (i >= n) i -= n;
+      if (i == self) continue;
+      const std::uint32_t load = published_load(i);
+      if (load > best_load) {
+        best_load = load;
+        best = workers_[i].get();
+      }
+    }
+    // All-zero: nothing is advertised as stealable.  Publication is
+    // transition-exact (empty->nonempty always publishes), so don't
+    // probe blindly -- let the idle backoff take over.
+    return best;
+  }
+  // ST_VICTIM=random: the pre-depth-array behaviour, minus parked
+  // victims (a parked worker's port would only time out the negotiation).
+  for (int tries = 0; tries < 2; ++tries) {
+    Worker* v = random_victim(rng, self);
+    if (v != nullptr && !v->parked()) return v;
+  }
+  return random_victim(rng, self);
+}
+
+void Runtime::notify_work() noexcept {
+  work_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_seq_cst) > 0) {
+#if defined(__linux__)
+    futex_wake_all(work_epoch_);
+#endif
+  }
+}
+
+void Runtime::park_worker(Worker& self) {
+#if !defined(__linux__)
+  std::this_thread::yield();
+  (void)self;
+#else
+  // Parking protocol (lost-wakeup-free against notify_work):
+  //   parker:   parked_++ ; advertise kPollParked ; e = epoch ; recheck
+  //             work ; futex_wait(epoch == e)
+  //   producer: publish work ; epoch++ ; if parked_ > 0 wake
+  // Both counter accesses are seq_cst: if the producer's parked_ read
+  // misses our increment, its epoch bump precedes our epoch read in the
+  // total order, so futex_wait returns immediately (value changed) and
+  // the acquire on the epoch makes the published work visible to the
+  // recheck.  The ST_PARK_TIMEOUT_US timeout is belt and braces.
+  self.publish_stats();  // mirrors + depth now exact; stats() relies on this
+  parked_.fetch_add(1, std::memory_order_seq_cst);
+  self.set_parked(true);
+  for (auto& w : workers_) {
+    if (w.get() != &self) w->post_poll_bits(Worker::kPollParked);
+  }
+  const std::uint32_t epoch = work_epoch_.load(std::memory_order_seq_cst);
+  bool work = done() || injected_count_.load(std::memory_order_acquire) > 0 ||
+              (self.poll_word() & (Worker::kPollSteal | Worker::kPollSample)) != 0;
+  if (!work) {
+    for (unsigned i = 0; i < num_workers(); ++i) {
+      if (i != self.id() && published_load(i) > 0) {
+        work = true;
+        break;
+      }
+    }
+  }
+  if (!work) futex_wait(work_epoch_, epoch, idle_.park_timeout_us);
+  self.set_parked(false);
+  parked_.fetch_sub(1, std::memory_order_seq_cst);
+  // Service anything that landed while we were out (steal posts are
+  // rejected fast rather than left to time out).
+  if (self.poll_word() != 0) self.poll_slow();
+#endif
+}
+
+void Runtime::request_sample_all() const noexcept {
+  for (const auto& w : workers_) w->post_poll_bits(Worker::kPollSample);
+}
+
 void Runtime::run(std::function<void()> root) {
   std::binary_semaphore sem(0);
   inject([&root, &sem] {
@@ -459,22 +779,48 @@ void Runtime::run(std::function<void()> root) {
 }
 
 RuntimeStats Runtime::stats() const {
+  // Quiesce-aware read: ask every worker to publish, then wait (bounded)
+  // until each has either cleared the bit or parked (a parked worker
+  // published immediately before sleeping, so its mirror is current).
+  request_sample_all();
+  Worker* self = tl_worker;
+  if (self != nullptr && &self->runtime() != this) self = nullptr;
+  if (self != nullptr) self->publish_stats();  // we can't wait on ourselves
+  if (!done()) {
+    // Generous: a healthy worker publishes within microseconds, so the
+    // deadline only matters for wedged workers -- but a worker that is
+    // merely starved for CPU (sanitizer builds on a loaded host) must
+    // not yield a stale mirror.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+    for (const auto& w : workers_) {
+      if (w.get() == self) continue;
+      while ((w->poll_word() & Worker::kPollSample) != 0 && !w->parked() &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+    }
+  }
   RuntimeStats out;
   for (const auto& w : workers_) {
-    auto& s = const_cast<Worker&>(*w).stats();
+    const WorkerStatsMirror& m = w->stats_mirror();
     auto get = [](const std::atomic<std::uint64_t>& a) {
       return a.load(std::memory_order_relaxed);
     };
-    out.forks += get(s.forks);
-    out.suspends += get(s.suspends);
-    out.resumes += get(s.resumes);
-    out.steals_served += get(s.steals_served);
-    out.steals_received += get(s.steals_received);
-    out.steal_attempts += get(s.steal_attempts);
-    out.steals_rejected += get(s.steals_rejected);
-    out.tasks_completed += get(s.tasks_completed);
-    out.region_high_water += const_cast<Worker&>(*w).region().high_water();
-    out.heap_fallbacks += const_cast<Worker&>(*w).region().heap_fallbacks();
+    out.forks += get(m.forks);
+    out.suspends += get(m.suspends);
+    out.resumes += get(m.resumes);
+    out.steals_served += get(m.steals_served);
+    out.steals_received += get(m.steals_received);
+    out.steal_attempts += get(m.steal_attempts);
+    out.steals_rejected += get(m.steals_rejected);
+    out.steals_cancelled += get(m.steals_cancelled);
+    out.tasks_completed += get(m.tasks_completed);
+    StackRegion& r = w->region();
+    out.region_high_water += r.high_water();
+    out.heap_fallbacks += r.heap_fallbacks();
+    out.region_scavenges += r.scavenges();
+    out.region_trims += r.trims();
   }
   return out;
 }
@@ -491,32 +837,36 @@ std::string Runtime::metrics_json() const {
      << ",\"steals_served\":" << agg.steals_served
      << ",\"steals_received\":" << agg.steals_received
      << ",\"steals_rejected\":" << agg.steals_rejected
+     << ",\"steals_cancelled\":" << agg.steals_cancelled
      << ",\"region_high_water\":" << agg.region_high_water
-     << ",\"heap_fallbacks\":" << agg.heap_fallbacks << "},";
+     << ",\"heap_fallbacks\":" << agg.heap_fallbacks
+     << ",\"region_scavenges\":" << agg.region_scavenges
+     << ",\"region_trims\":" << agg.region_trims << "},";
   os << "\"per_worker\":[";
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     Worker& w = *workers_[i];
     StackRegion& r = w.region();
     // Section-5 set sizes at stacklet granularity: E = live (exported)
     // slots, R = retired slots below the bump pointer, X = the extended
-    // extent (the bump pointer itself).
+    // extent (the bump pointer itself).  O(1) incremental counters.
     const std::size_t top = r.top();
-    std::size_t e = 0, ret = 0;
-    for (std::size_t s = 0; s < top; ++s) {
-      const auto st = r.slot_state(s);
-      if (st == StackRegion::kLive) ++e;
-      else if (st == StackRegion::kRetired) ++ret;
-    }
-    const unsigned phase = static_cast<unsigned>(w.phase());
     os << (i ? "," : "") << "{\"id\":" << w.id()
-       << ",\"phase\":\"" << (phase < 3 ? phase_names[phase] : "?") << "\""
+       << ",\"phase\":\"" << (static_cast<unsigned>(w.phase()) < 3
+                                  ? phase_names[static_cast<unsigned>(w.phase())]
+                                  : "?")
+       << "\""
+       << ",\"parked\":" << (w.parked() ? 1 : 0)
        << ",\"heartbeat\":" << w.heartbeat_count()
        << ",\"fork_deque\":" << w.fork_deque().size()
        << ",\"readyq\":" << w.readyq().size()
-       << ",\"sets\":{\"E\":" << e << ",\"R\":" << ret << ",\"X\":" << top << "}"
+       << ",\"published_load\":" << published_load(w.id())
+       << ",\"sets\":{\"E\":" << r.live_slots() << ",\"R\":" << r.retired_slots()
+       << ",\"X\":" << top << "}"
        << ",\"region\":{\"top\":" << top << ",\"high_water\":" << r.high_water()
        << ",\"capacity\":" << r.capacity()
-       << ",\"heap_fallbacks\":" << r.heap_fallbacks() << "}}";
+       << ",\"heap_fallbacks\":" << r.heap_fallbacks()
+       << ",\"scavenges\":" << r.scavenges()
+       << ",\"trims\":" << r.trims() << "}}";
   }
   os << "],";
   const double ns = stu::trace_ns_per_tick();
@@ -528,6 +878,7 @@ std::string Runtime::metrics_json() const {
   };
   const Row rows[] = {
       {"steal_latency", "ns", ns, &WorkerMetrics::steal_latency},
+      {"steal_cancel_latency", "ns", ns, &WorkerMetrics::steal_cancel_latency},
       {"suspend_to_restart", "ns", ns, &WorkerMetrics::suspend_to_restart},
       {"fork_deque_depth", "tasks", 1.0, &WorkerMetrics::deque_depth},
   };

@@ -68,15 +68,29 @@ struct RuntimeConfig {
   long stall_ms = -1;
   /// Periodic metrics-snapshot cadence in ms; -1 = ST_METRICS_PERIOD_MS.
   long metrics_period_ms = -1;
+  /// Futex parking of idle workers: 1 = on, 0 = off, -1 = ST_PARK from
+  /// the environment (default on; forced off on non-Linux hosts).
+  int park = -1;
+};
+
+/// Idle-path tuning (staged backoff + victim policy), resolved once at
+/// Runtime construction from the environment (docs/OBSERVABILITY.md).
+struct IdlePolicy {
+  bool park = true;          ///< ST_PARK: futex-park after the backoff stages
+  int spin = 64;             ///< ST_SPIN: pause-spin iterations (stage 1)
+  int yields = 8;            ///< ST_YIELD: sched yields (stage 2)
+  long park_timeout_us = 2000;  ///< ST_PARK_TIMEOUT_US: belt-and-braces wake
+  bool load_victim = true;   ///< ST_VICTIM=load|random
 };
 
 /// Aggregated counters over all workers (see WorkerStats).
 struct RuntimeStats {
   std::uint64_t forks = 0, suspends = 0, resumes = 0;
   std::uint64_t steals_served = 0, steals_received = 0, steal_attempts = 0,
-                steals_rejected = 0;
+                steals_rejected = 0, steals_cancelled = 0;
   std::uint64_t tasks_completed = 0;
   std::uint64_t region_high_water = 0, heap_fallbacks = 0;
+  std::uint64_t region_scavenges = 0, region_trims = 0;
 };
 
 class Runtime {
@@ -96,6 +110,11 @@ class Runtime {
   Worker& worker(unsigned i) noexcept { return *workers_[i]; }
   bool done() const noexcept { return done_.load(std::memory_order_acquire); }
 
+  /// Aggregated counters.  Quiesce-aware: posts a kPollSample request to
+  /// every worker and waits (bounded, ~5ms) until each has published its
+  /// mirror or is parked, so counts read after run() returns are exact.
+  /// A worker wedged in poll-free application code yields a best-effort
+  /// (slightly stale) reading instead of blocking.
   RuntimeStats stats() const;
 
   /// This runtime's section of the ST_METRICS snapshot: one JSON object
@@ -108,9 +127,45 @@ class Runtime {
   /// ST_METRICS_PERIOD_MS or the RuntimeConfig equivalents); else null.
   Monitor* monitor() noexcept { return monitor_.get(); }
 
-  // -- internal (used by workers) ----------------------------------------
+  const IdlePolicy& idle_policy() const noexcept { return idle_; }
+  bool parking_enabled() const noexcept { return idle_.park; }
+  /// Workers currently blocked in futex_wait on the work epoch.
+  unsigned parked_workers() const noexcept {
+    return parked_.load(std::memory_order_acquire);
+  }
+
+  // -- internal (used by workers / the monitor) --------------------------
   bool pop_injected(std::function<void()>& out);
   Worker* random_victim(stu::Xoshiro256& rng, unsigned self);
+
+  /// Victim selection for the idle path: under ST_VICTIM=load (default),
+  /// scan the published-depth array for the most loaded worker (rotating
+  /// start breaks ties fairly); fall back to random among unparked
+  /// workers.  Returns nullptr when nothing looks stealable.
+  Worker* choose_victim(stu::Xoshiro256& rng, unsigned self);
+
+  /// Publication side of the depth array (called by workers from their
+  /// slow path and by the park/idle transitions).
+  void publish_load(unsigned id, std::uint32_t load) noexcept {
+    published_load_[id].value.store(load, std::memory_order_relaxed);
+  }
+  std::uint32_t published_load(unsigned id) const noexcept {
+    return published_load_[id].value.load(std::memory_order_relaxed);
+  }
+
+  /// New-stealable-work signal: bump the work epoch and wake parked
+  /// workers (futex).  Called on inject/resume and -- via the kPollParked
+  /// poll bit -- from the fork slow path while anyone is parked.
+  void notify_work() noexcept;
+
+  /// Stage-3 idle backoff: publish, advertise kPollParked to the other
+  /// workers, re-check for work, and futex-park on the work epoch (with
+  /// the ST_PARK_TIMEOUT_US belt-and-braces timeout).  Returns once woken
+  /// or when the recheck found work.
+  void park_worker(Worker& self);
+
+  /// Post kPollSample to every worker (monitor tick / stats()).
+  void request_sample_all() const noexcept;
 
  private:
   void inject(std::function<void()> fn);
@@ -120,10 +175,19 @@ class Runtime {
   std::atomic<bool> done_{false};
   std::unique_ptr<Monitor> monitor_;
   int metrics_provider_ = -1;
+  IdlePolicy idle_;
 
   stu::Spinlock inject_lock_;
   std::vector<std::function<void()>> injected_;
   std::atomic<std::size_t> injected_count_{0};
+
+  /// Per-worker stealable-work depths (fork_deque + readyq), published
+  /// from each owner's slow path; one cache line per worker.
+  std::vector<stu::CacheAligned<std::atomic<std::uint32_t>>> published_load_;
+  /// Futex word: bumped whenever stealable work appears.  32-bit by futex
+  /// contract; wraparound is harmless (pure inequality check).
+  alignas(stu::kCacheLine) std::atomic<std::uint32_t> work_epoch_{0};
+  std::atomic<unsigned> parked_{0};
 };
 
 // ---------------------------------------------------------------------

@@ -1,19 +1,24 @@
 #include "runtime/stacklet.hpp"
 
 #include <sys/mman.h>
+#include <unistd.h>
 
 #include <cassert>
 #include <cstdlib>
 #include <new>
 #include <stdexcept>
 
+#include "util/env.hpp"
+
 namespace st {
 
-StackRegion::StackRegion(std::size_t slot_bytes, std::size_t slots)
+StackRegion::StackRegion(std::size_t slot_bytes, std::size_t slots, long trim_slots)
     : slot_bytes_(slot_bytes), slots_(slots), state_(slots) {
   if (slot_bytes_ < sizeof(Stacklet) + Stacklet::kClosureBytes + 4096) {
     throw std::invalid_argument("stacklet slot too small");
   }
+  if (trim_slots < 0) trim_slots = stu::env_long("ST_TRIM_SLOTS", 32);
+  trim_slots_ = static_cast<std::size_t>(trim_slots);
   void* mem = ::mmap(nullptr, slot_bytes_ * slots_, PROT_READ | PROT_WRITE,
                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
   if (mem == MAP_FAILED) throw std::bad_alloc();
@@ -29,25 +34,48 @@ Stacklet* StackRegion::header_of(std::size_t slot) noexcept {
   return reinterpret_cast<Stacklet*>(base_ + slot * slot_bytes_);
 }
 
+Stacklet* StackRegion::init_slot(std::size_t slot) noexcept {
+  Stacklet* s = header_of(slot);
+  s->region = this;
+  s->slot = static_cast<std::uint32_t>(slot);
+  s->bytes = slot_bytes_;
+  return s;
+}
+
 Stacklet* StackRegion::allocate() {
   reclaim_top();
   const std::size_t t = top();
-  if (t < slots_) {
+  if (t < slots_) [[likely]] {
     const std::size_t slot = t;
     set_top(t + 1);
     if (t + 1 > high_water()) {
       high_water_.store(t + 1, std::memory_order_relaxed);
     }
+    if (t + 1 > mapped_top_) mapped_top_ = t + 1;
     state_[slot].store(kLive, std::memory_order_relaxed);
-    Stacklet* s = header_of(slot);
-    s->region = this;
-    s->slot = static_cast<std::uint32_t>(slot);
-    s->bytes = slot_bytes_;
-    return s;
+    tick(bump_allocs_);
+    return init_slot(slot);
   }
-  // Region exhausted: heap fallback (the paper's multiple-physical-stacks
-  // alternative), reclaimed eagerly on release.
-  heap_fallbacks_.store(heap_fallbacks() + 1, std::memory_order_relaxed);
+  // Bump pointer pinned at capacity by a live top frame: scavenge a
+  // retired slot sandwiched below it.  The acquire CAS synchronizes with
+  // the releasing worker's kRetired store, so reuse of the slot's memory
+  // happens-after the dying stacklet's last writes.  The derived count is
+  // a hint only, so a fruitless scan is possible and simply falls through
+  // to the heap.
+  if (retired_slots() > 0) {
+    for (std::size_t slot = slots_; slot-- > 0;) {
+      std::uint8_t expect = kRetired;
+      if (state_[slot].compare_exchange_strong(expect, kLive,
+                                               std::memory_order_acquire,
+                                               std::memory_order_relaxed)) {
+        tick(scavenges_);
+        return init_slot(slot);
+      }
+    }
+  }
+  // Truly exhausted (every slot live): heap fallback (the paper's
+  // multiple-physical-stacks alternative), reclaimed eagerly on release.
+  heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
   char* mem = static_cast<char*>(::operator new(slot_bytes_, std::align_val_t{16}));
   auto* s = reinterpret_cast<Stacklet*>(mem);
   s->region = nullptr;
@@ -61,10 +89,15 @@ void StackRegion::release(Stacklet* s) noexcept {
     ::operator delete(reinterpret_cast<char*>(s), std::align_val_t{16});
     return;
   }
-  // The retirement mark: the analog of zeroing the return-address slot.
-  // Only the owner moves the bump pointer (in reclaim_top), so a release
-  // from any worker is a single release-store.
-  s->region->state_[s->slot].store(kRetired, std::memory_order_release);
+  StackRegion* r = s->region;
+  // Counter first, mark second: the owner only accounts a slot as gone
+  // after *observing* the kRetired mark (reclaim_top / scavenge), so this
+  // order keeps the derived retired count from transiently underflowing.
+  // The retirement mark itself is the analog of zeroing the
+  // return-address slot; only the owner moves the bump pointer, so any
+  // worker may store it.
+  r->released_.fetch_add(1, std::memory_order_relaxed);
+  r->state_[s->slot].store(kRetired, std::memory_order_release);
 }
 
 std::size_t StackRegion::reclaim_top() noexcept {
@@ -75,16 +108,27 @@ std::size_t StackRegion::reclaim_top() noexcept {
     set_top(--t);
     ++reclaimed;
   }
+  if (reclaimed > 0) {
+    tick(reclaimed_, reclaimed);
+    if (trim_slots_ > 0 && mapped_top_ >= t + trim_slots_) trim(t);
+  }
   return reclaimed;
 }
 
-std::size_t StackRegion::live_slots() const noexcept {
-  std::size_t live = 0;
-  const std::size_t t = top();
-  for (std::size_t i = 0; i < t; ++i) {
-    if (state_[i].load(std::memory_order_relaxed) == kLive) ++live;
+void StackRegion::trim(std::size_t new_top) noexcept {
+  // Return the drained span's pages to the OS.  Slots are not required
+  // to be page-multiples, so round the range inward; contents above the
+  // bump pointer are dead (kFree), so MADV_DONTNEED's zeroing is safe.
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  auto lo = reinterpret_cast<std::uintptr_t>(base_ + new_top * slot_bytes_);
+  auto hi = reinterpret_cast<std::uintptr_t>(base_ + mapped_top_ * slot_bytes_);
+  lo = (lo + page - 1) & ~(page - 1);
+  hi = hi & ~(page - 1);
+  if (hi > lo) {
+    ::madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_DONTNEED);
+    tick(trims_);
   }
-  return live;
+  mapped_top_ = new_top;
 }
 
 }  // namespace st

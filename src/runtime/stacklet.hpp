@@ -22,9 +22,20 @@
 // region's bump pointer; the full heap machinery runs in src/stvm where
 // frames are individually managed.
 //
-// When the region is exhausted (deep outstanding suspension), allocation
-// falls back to heap stacklets -- the "multiple physical stacks per
-// worker" safer scheme the paper sketches as an alternative.
+// Two deliberate departures from the paper's "never reuse sandwiched
+// space" rule, both softening the utilization cliff:
+//   - Scavenge: when the bump pointer is pinned at capacity by a live top
+//     frame, allocate() reuses a *retired* slot trapped below it instead
+//     of falling off to the heap.  (Slot reuse is sound here precisely
+//     because stacklets, unlike the paper's frames, are fixed-size.)
+//   - Trim: when shrink retreats the bump pointer far below the highest
+//     slot ever touched (>= trim_slots), the drained span's pages are
+//     returned to the OS with madvise(MADV_DONTNEED).
+//
+// When the region is exhausted (deep outstanding suspension) and no
+// retired slot can be scavenged, allocation falls back to heap stacklets
+// -- the "multiple physical stacks per worker" safer scheme the paper
+// sketches as an alternative.
 #pragma once
 
 #include <atomic>
@@ -65,14 +76,17 @@ class StackRegion {
  public:
   /// slots * slot_bytes of address space is reserved lazily (mmap,
   /// MAP_NORESERVE); pages are touched only as stacklets are used.
-  StackRegion(std::size_t slot_bytes, std::size_t slots);
+  /// trim_slots: madvise threshold in slots (-1 = ST_TRIM_SLOTS from the
+  /// environment, default 32; 0 = never trim).
+  StackRegion(std::size_t slot_bytes, std::size_t slots, long trim_slots = -1);
   ~StackRegion();
   StackRegion(const StackRegion&) = delete;
   StackRegion& operator=(const StackRegion&) = delete;
 
   /// Owner-only: carve the next stacklet at the physical top (after
-  /// shrinking past any retired top slots).  Falls back to the heap when
-  /// the region is full.
+  /// shrinking past any retired top slots).  When the bump pointer is
+  /// pinned at capacity, scavenges a retired slot below it; only when
+  /// that also fails does it fall back to the heap.
   Stacklet* allocate();
 
   /// Any worker: finish a stacklet.  Top slots are not eagerly popped
@@ -80,14 +94,38 @@ class StackRegion {
   /// Heap-fallback stacklets are freed immediately.
   static void release(Stacklet* s) noexcept;
 
-  /// Owner-only: the shrink loop -- pop retired slots off the top.
-  /// Returns the number of slots reclaimed.
+  /// Owner-only release: the common case of a child finishing on its
+  /// home worker (the caller must have checked ownership).  The top slot
+  /// is popped directly -- LIFO completion never touches the retired set
+  /// or the cross-worker counter; anything else defers to release().
+  void release_local(Stacklet* s) noexcept {
+    const std::size_t t = top();
+    if (s->slot + 1 == t) [[likely]] {
+      state_[s->slot].store(kFree, std::memory_order_relaxed);
+      set_top(t - 1);
+      tick(popped_);
+      if (trim_slots_ > 0 && mapped_top_ >= (t - 1) + trim_slots_) trim(t - 1);
+      return;
+    }
+    release(s);
+  }
+
+  /// Owner-only: the shrink loop -- pop retired slots off the top, then
+  /// madvise the drained span back to the OS once it exceeds the trim
+  /// threshold.  Returns the number of slots reclaimed.
   std::size_t reclaim_top() noexcept;
 
   // -- observability (benchmarks / tests / monitor) ----------------------
-  // Counters are relaxed atomics so the monitor thread can sample them
-  // while the owner allocates; the owner-side update discipline is the
-  // usual single-writer relaxed load+store.
+  // Counter discipline, chosen for the fork fast path: every owner-side
+  // counter (bump allocs, local pops, scavenges, reclaims, trims) has
+  // exactly one writer and is advanced with a plain load+store on its
+  // atomic (no RMW); only released_ -- bumped by whichever worker frees a
+  // stacklet cross-worker -- pays a fetch_add.  live/retired are derived,
+  // not stored:
+  //   live    = bump_allocs + scavenges - released - popped
+  //   retired = released - reclaimed - scavenges
+  // Racy readers may see a transiently inconsistent mix (clamped at 0);
+  // at quiescence, and on the owner, the derived values are exact.
   enum SlotState : std::uint8_t { kFree = 0, kLive = 1, kRetired = 2 };
 
   std::size_t top() const noexcept { return top_.load(std::memory_order_relaxed); }
@@ -97,7 +135,28 @@ class StackRegion {
   std::size_t heap_fallbacks() const noexcept {
     return heap_fallbacks_.load(std::memory_order_relaxed);
   }
-  std::size_t live_slots() const noexcept;
+  /// O(1): derived from incremental counters, not a scan (the monitor
+  /// reads this on every stall/metrics snapshot).
+  std::size_t live_slots() const noexcept {
+    const auto allocs = bump_allocs_.load(std::memory_order_relaxed) +
+                        scavenges_.load(std::memory_order_relaxed);
+    const auto freed = released_.load(std::memory_order_relaxed) +
+                       popped_.load(std::memory_order_relaxed);
+    return allocs > freed ? allocs - freed : 0;
+  }
+  /// O(1): retired-but-unreclaimed slots (the Section-5 R set).
+  std::size_t retired_slots() const noexcept {
+    const auto rel = released_.load(std::memory_order_relaxed);
+    const auto gone = reclaimed_.load(std::memory_order_relaxed) +
+                      scavenges_.load(std::memory_order_relaxed);
+    return rel > gone ? rel - gone : 0;
+  }
+  std::size_t scavenges() const noexcept {
+    return scavenges_.load(std::memory_order_relaxed);
+  }
+  std::size_t trims() const noexcept {
+    return trims_.load(std::memory_order_relaxed);
+  }
   std::size_t capacity() const noexcept { return slots_; }
 
   /// Slot state below the bump pointer (any thread; introspection dumps
@@ -108,15 +167,33 @@ class StackRegion {
 
  private:
   Stacklet* header_of(std::size_t slot) noexcept;
+  Stacklet* init_slot(std::size_t slot) noexcept;
 
   void set_top(std::size_t t) noexcept { top_.store(t, std::memory_order_relaxed); }
+  /// Owner-only counter bump: plain load + store, no RMW.
+  static void tick(std::atomic<std::size_t>& c, std::size_t by = 1) noexcept {
+    c.store(c.load(std::memory_order_relaxed) + by, std::memory_order_relaxed);
+  }
+  /// Owner-only: madvise the drained span (new_top, mapped_top_) back to
+  /// the OS and lower mapped_top_.
+  void trim(std::size_t new_top) noexcept;
 
   std::size_t slot_bytes_;
   std::size_t slots_;
+  std::size_t trim_slots_;                 // 0 = trimming disabled
+  std::size_t mapped_top_ = 0;             // owner-only: highest touched slot + 1
   char* base_ = nullptr;                   // mmap'd arena
   std::atomic<std::size_t> top_{0};        // bump pointer: next slot to carve
   std::atomic<std::size_t> high_water_{0};
   std::atomic<std::size_t> heap_fallbacks_{0};
+  // Owner-written counters (single writer, plain stores).
+  std::atomic<std::size_t> bump_allocs_{0};
+  std::atomic<std::size_t> popped_{0};
+  std::atomic<std::size_t> reclaimed_{0};
+  std::atomic<std::size_t> scavenges_{0};
+  std::atomic<std::size_t> trims_{0};
+  // The one cross-worker counter (fetch_add in release()).
+  std::atomic<std::size_t> released_{0};
   std::vector<std::atomic<std::uint8_t>> state_;
 };
 

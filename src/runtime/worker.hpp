@@ -14,6 +14,16 @@
 // Both deques are owner-only: under the polling steal protocol a thief
 // never touches a victim's queues; it posts a StealRequest to the victim's
 // port and the victim dequeues on its behalf (Figure 10).
+//
+// Hot-path discipline (the paper's "a fork costs about a procedure call"):
+// the per-fork poll collapses to ONE relaxed load of a per-worker poll
+// word plus one predictable branch.  Remote parties (thieves, parking
+// workers, the monitor) fetch_or bits into the word; the owner services
+// and clears them in poll_slow().  Everything else the fork path used to
+// do per fork -- heartbeat bump, stat counters, deque-depth histogram
+// sample -- is either a plain single-writer field published to an atomic
+// mirror from the slow path, or decimated (one sample per
+// kDepthSampleEvery forks).  See DESIGN.md §5 and docs/OBSERVABILITY.md.
 #pragma once
 
 #include <atomic>
@@ -43,6 +53,12 @@ struct Continuation {
   /// zeroed) by whoever dispatches the continuation to record the
   /// suspend->restart latency histogram.
   std::uint64_t t_suspend = 0;
+#if ST_TSAN_FIBERS
+  /// TSan fiber of the suspended logical thread; travels with the
+  /// continuation (steal replies copy the whole struct) so whoever
+  /// dispatches it can announce the switch.
+  void* fiber = nullptr;
+#endif
 };
 
 /// One in-flight steal negotiation.  Owned by the thief (stack-allocated
@@ -54,8 +70,24 @@ struct StealRequest {
   Continuation reply;
 };
 
-/// Per-worker counters (relaxed atomics: single writer, racy readers).
+/// Per-worker counters.  Plain fields: written only by the owning worker
+/// thread, read by nobody else.  The owner copies them into the atomic
+/// WorkerStatsMirror from the slow path (publish_stats); readers go
+/// through the mirror.
 struct WorkerStats {
+  std::uint64_t forks = 0;
+  std::uint64_t suspends = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t steals_served = 0;
+  std::uint64_t steals_received = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steals_rejected = 0;
+  std::uint64_t steals_cancelled = 0;
+  std::uint64_t tasks_completed = 0;
+};
+
+/// Racy-reader copy of WorkerStats (relaxed atomics, single publisher).
+struct WorkerStatsMirror {
   std::atomic<std::uint64_t> forks{0};
   std::atomic<std::uint64_t> suspends{0};
   std::atomic<std::uint64_t> resumes{0};
@@ -63,11 +95,8 @@ struct WorkerStats {
   std::atomic<std::uint64_t> steals_received{0};
   std::atomic<std::uint64_t> steal_attempts{0};
   std::atomic<std::uint64_t> steals_rejected{0};
+  std::atomic<std::uint64_t> steals_cancelled{0};
   std::atomic<std::uint64_t> tasks_completed{0};
-
-  void bump(std::atomic<std::uint64_t>& c) noexcept {
-    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
-  }
 };
 
 /// What the worker is doing right now, for the monitor's classification
@@ -83,23 +112,54 @@ enum class WorkerPhase : std::uint32_t {
 /// All histograms record trace_clock() ticks except deque_depth (counts).
 struct WorkerMetrics {
   stu::LogHistogram steal_latency;       ///< post -> served/rejected, ticks
+  stu::LogHistogram steal_cancel_latency;///< post -> withdrawn, ticks
   stu::LogHistogram suspend_to_restart;  ///< suspend() -> dispatch, ticks
-  stu::LogHistogram deque_depth;         ///< fork-deque depth sampled at fork
+  stu::LogHistogram deque_depth;         ///< fork-deque depth, decimated sample
 };
 
 class alignas(stu::kCacheLine) Worker {
  public:
+  // Poll-word bits.  Remote parties fetch_or (release); the owner clears
+  // the serviceable bits with fetch_and (acquire) in poll_slow.
+  static constexpr std::uint32_t kPollSteal = 1u << 0;    ///< request in port_
+  static constexpr std::uint32_t kPollSample = 1u << 1;   ///< publish mirrors
+  static constexpr std::uint32_t kPollParked = 1u << 2;   ///< thieves parked: poke futex
+  static constexpr std::uint32_t kPollFeatures = 1u << 3; ///< trace/metrics on
+
+  /// Fork-deque depth publication cadence on the fork fast path
+  /// (power-of-two decimation; also the deque_depth sampling rate).
+  static constexpr int kDepthSampleEvery = 64;
+
   Worker(Runtime& rt, unsigned id, std::size_t stacklet_bytes, std::size_t region_slots);
 
-  /// The scheduler loop of Figure 12 (runs on the worker's OS thread).
+  /// The scheduler loop of Figure 12 (runs on the worker's OS thread),
+  /// with the staged idle backoff: pause spin -> yield -> futex park.
   void scheduler_loop();
+
+  /// The per-fork poll collapses to this: one relaxed load, one branch.
+  std::uint32_t poll_word() const noexcept {
+    return poll_word_.load(std::memory_order_relaxed);
+  }
+  /// Remote side of the poll word (thief, monitor, parking worker).
+  void post_poll_bits(std::uint32_t bits) noexcept {
+    poll_word_.fetch_or(bits, std::memory_order_release);
+  }
+
+  /// Owner-only slow path behind the poll word: serve the steal port,
+  /// publish heartbeat/stat mirrors and the depth array, wake parked
+  /// thieves, refresh the features bit.
+  void poll_slow() noexcept;
+
+  /// Fork-point slow path: poll_slow plus the per-fork trace/metrics work
+  /// (stacklet-alloc + fork events) that only runs when a feature is on.
+  void fork_poll_slow(Stacklet* s) noexcept;
 
   /// Serve at most one pending steal request (the paper's
   /// check_steal_request, reached from poll points).
   void serve_steal_request();
 
-  /// Idle-path: request a task from a random other worker; returns true
-  /// if one was received and executed.
+  /// Idle-path: request a task from a victim chosen by published load;
+  /// returns true if one was received and executed.
   bool try_steal_and_run();
 
   /// Push/pop of the parent-continuation chain (owner only).
@@ -107,7 +167,39 @@ class alignas(stu::kCacheLine) Worker {
   stu::OwnerDeque<Continuation*>& readyq() noexcept { return readyq_; }
 
   StackRegion& region() noexcept { return region_; }
+
+  /// Owner-only plain counters; everyone else reads stats_mirror().
   WorkerStats& stats() noexcept { return stats_; }
+  const WorkerStatsMirror& stats_mirror() const noexcept { return mirror_; }
+
+  /// Copy the plain counters + heartbeat into their atomic mirrors and
+  /// publish this worker's stealable-work depth (owner only).
+  void publish_stats() noexcept;
+
+  /// Publish fork_deque+readyq occupancy to the runtime's shared depth
+  /// array (one relaxed store; thieves read it to pick victims).
+  void publish_depth() noexcept;
+
+  /// publish_depth plus, when metrics are on, a deque_depth histogram
+  /// sample -- the decimated replacement for the per-fork record.
+  void sample_depth() noexcept;
+
+  /// Fork fast path depth decimation: one plain decrement + branch, plus
+  /// an eager publish on the empty->nonempty transition so thieves (and
+  /// the park recheck) never see a stale zero while stealable work
+  /// exists.  Call after pushing the parent continuation.
+  void maybe_publish_depth() noexcept {
+    if (--depth_countdown_ <= 0) [[unlikely]] {
+      depth_countdown_ = kDepthSampleEvery;
+      sample_depth();
+      return;
+    }
+    if (!solo_ && fork_deque_.size() + readyq_.size() == 1) publish_depth();
+  }
+
+  /// Single-worker runtimes have no thieves: the transition publish above
+  /// is skipped (decimated sampling still feeds the depth histogram).
+  void set_solo(bool s) noexcept { solo_ = s; }
 
   /// Scheduler event tracing (docs/OBSERVABILITY.md).  Disabled cost is
   /// one relaxed load + predictable branch; the record write is out of
@@ -120,20 +212,28 @@ class alignas(stu::kCacheLine) Worker {
   Runtime& runtime() noexcept { return rt_; }
 
   /// Liveness signal for the monitor: bumped at every scheduling event
-  /// (fork, suspend, resume, poll, steal, scheduler-loop iteration).  A
-  /// working worker whose heartbeat freezes for ST_STALL_MS is stalled.
-  void heartbeat() noexcept {
-    heartbeat_.store(heartbeat_.load(std::memory_order_relaxed) + 1,
-                     std::memory_order_relaxed);
-  }
+  /// (fork, suspend, resume, poll, steal, scheduler-loop iteration).
+  /// Plain single-writer field; the monitor reads the mirror, which the
+  /// owner refreshes from the slow path (the monitor requests publication
+  /// via kPollSample every tick).  A working worker whose published
+  /// heartbeat freezes for ST_STALL_MS is stalled.
+  void heartbeat() noexcept { ++hb_; }
   std::uint64_t heartbeat_count() const noexcept {
-    return heartbeat_.load(std::memory_order_relaxed);
+    return hb_mirror_.load(std::memory_order_relaxed);
   }
   void set_phase(WorkerPhase p) noexcept {
     phase_.store(static_cast<std::uint32_t>(p), std::memory_order_relaxed);
   }
   WorkerPhase phase() const noexcept {
     return static_cast<WorkerPhase>(phase_.load(std::memory_order_relaxed));
+  }
+
+  /// True while the worker is blocked in futex_wait on the work epoch.
+  /// A parked worker has published everything and cannot serve its port;
+  /// thieves skip it, and stats() treats its mirror as current.
+  bool parked() const noexcept { return parked_.load(std::memory_order_acquire); }
+  void set_parked(bool p) noexcept {
+    parked_.store(p, std::memory_order_release);
   }
 
   WorkerMetrics& metrics() noexcept { return metrics_; }
@@ -152,8 +252,16 @@ class alignas(stu::kCacheLine) Worker {
  private:
   void trace_record(stu::TraceEvent ev, std::uint64_t a, std::uint64_t b) noexcept;
 
+  /// One staged-backoff step of the idle path; returns true if the stage
+  /// machinery parked (slept) the worker.
+  void idle_backoff_step(int& spins, int& yields);
+
   Runtime& rt_;
   unsigned id_;
+  // Owner-hot plain state first (one writer, no readers elsewhere).
+  std::uint64_t hb_ = 0;
+  int depth_countdown_ = 1;  // publish on the first fork, then decimated
+  bool solo_ = false;        // single-worker runtime: no thieves
   stu::OwnerDeque<Continuation*> fork_deque_;
   stu::OwnerDeque<Continuation*> readyq_;
   StackRegion region_;
@@ -162,9 +270,15 @@ class alignas(stu::kCacheLine) Worker {
   WorkerStats stats_;
   stu::TraceRing trace_;
   WorkerMetrics metrics_;
-  std::atomic<std::uint64_t> heartbeat_{0};
+  // Published mirrors (owner writes from the slow path, racy readers).
+  WorkerStatsMirror mirror_;
+  std::atomic<std::uint64_t> hb_mirror_{0};
   std::atomic<std::uint32_t> phase_{0};  // WorkerPhase::kIdle
-  alignas(stu::kCacheLine) std::atomic<StealRequest*> port_{nullptr};
+  std::atomic<bool> parked_{false};
+  // Cross-worker mailboxes on their own line: thieves CAS the port and
+  // fetch_or the poll word; the owner polls the word every fork.
+  alignas(stu::kCacheLine) std::atomic<std::uint32_t> poll_word_{0};
+  std::atomic<StealRequest*> port_{nullptr};
 };
 
 /// The worker executing the current OS thread, or nullptr outside workers.

@@ -17,6 +17,19 @@ inline constexpr std::size_t kCacheLine = std::hardware_destructive_interference
 inline constexpr std::size_t kCacheLine = 64;
 #endif
 
+/// Spin-wait hint: de-pipelines the core briefly and (on x86) releases
+/// the sibling hyperthread.  Stage 1 of the idle backoff.
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // portable fallback: nothing cheaper than a compiler barrier
+  asm volatile("" ::: "memory");
+#endif
+}
+
 /// Wraps a value so that it occupies (at least) one full cache line.
 /// Used for per-worker slots in shared arrays.
 template <typename T>

@@ -74,6 +74,97 @@ TEST(StackRegion, RejectsTinySlots) {
   EXPECT_THROW(st::StackRegion(256, 4), std::invalid_argument);
 }
 
+TEST(StackRegion, ScavengeReusesRetiredSlotUnderLiveTop) {
+  // The bump pointer is pinned at capacity by a live top frame; a retired
+  // slot sandwiched below it must be scavenged before any heap fallback.
+  st::StackRegion region(kSlot, 4, /*trim_slots=*/0);
+  st::Stacklet* a = region.allocate();  // slot 0
+  st::Stacklet* b = region.allocate();  // slot 1
+  st::Stacklet* c = region.allocate();  // slot 2
+  st::Stacklet* d = region.allocate();  // slot 3: top pinned at capacity
+  st::StackRegion::release(b);          // retire under the live top
+  EXPECT_EQ(region.retired_slots(), 1u);
+  st::Stacklet* e = region.allocate();  // must scavenge slot 1, not the heap
+  EXPECT_EQ(e->slot, 1u);
+  EXPECT_EQ(e->region, &region);
+  EXPECT_EQ(region.scavenges(), 1u);
+  EXPECT_EQ(region.heap_fallbacks(), 0u);
+  EXPECT_EQ(region.retired_slots(), 0u);
+  st::StackRegion::release(e);
+  st::StackRegion::release(d);
+  st::StackRegion::release(c);
+  st::StackRegion::release(a);
+  region.reclaim_top();
+  EXPECT_EQ(region.top(), 0u);
+}
+
+TEST(StackRegion, DerivedCountsAreExactAtQuiescence) {
+  // live/retired are derived from single-writer counters, not scans
+  // (live = allocs + scavenges - released - popped); walk them through a
+  // full retire/shrink cycle.
+  st::StackRegion region(kSlot, 8, /*trim_slots=*/0);
+  st::Stacklet* a = region.allocate();
+  st::Stacklet* b = region.allocate();
+  st::Stacklet* c = region.allocate();
+  EXPECT_EQ(region.live_slots(), 3u);
+  EXPECT_EQ(region.retired_slots(), 0u);
+  st::StackRegion::release(a);  // out of order: retires
+  EXPECT_EQ(region.live_slots(), 2u);
+  EXPECT_EQ(region.retired_slots(), 1u);
+  st::StackRegion::release(c);  // top slot, but counts stay derived-only
+  st::StackRegion::release(b);
+  EXPECT_EQ(region.live_slots(), 0u);
+  region.reclaim_top();
+  EXPECT_EQ(region.retired_slots(), 0u);
+  EXPECT_EQ(region.top(), 0u);
+}
+
+TEST(StackRegion, ReleaseLocalPopsTopWithoutRetiring) {
+  // The owner's release fast path: a LIFO completion pops the bump
+  // pointer directly and never touches the retired set; a non-top
+  // release falls back to the ordinary retire.
+  st::StackRegion region(kSlot, 8, /*trim_slots=*/0);
+  st::Stacklet* a = region.allocate();  // slot 0
+  st::Stacklet* b = region.allocate();  // slot 1 == top
+  region.release_local(b);
+  EXPECT_EQ(region.top(), 1u);
+  EXPECT_EQ(region.retired_slots(), 0u);
+  EXPECT_EQ(region.live_slots(), 1u);
+  region.release_local(a);  // now the top: popped too
+  EXPECT_EQ(region.top(), 0u);
+  st::Stacklet* c = region.allocate();  // slot 0 again
+  st::Stacklet* d = region.allocate();  // slot 1
+  region.release_local(c);  // NOT the top: defers to release() and retires
+  EXPECT_EQ(region.retired_slots(), 1u);
+  EXPECT_EQ(region.top(), 2u);
+  region.release_local(d);
+  region.reclaim_top();
+  EXPECT_EQ(region.top(), 0u);
+  EXPECT_EQ(region.live_slots(), 0u);
+}
+
+TEST(StackRegion, TrimReturnsDrainedPagesAndKeepsSlotsUsable) {
+  // Shrinking far below the high-water mark madvises the drained span;
+  // the pages must come back zero-filled-on-touch but fully usable.
+  st::StackRegion region(kSlot, 32, /*trim_slots=*/2);
+  std::vector<st::Stacklet*> held;
+  for (int i = 0; i < 16; ++i) {
+    st::Stacklet* s = region.allocate();
+    std::memset(s->stack_base(), 0xCD, 128);  // touch so pages are mapped
+    held.push_back(s);
+  }
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    st::StackRegion::release(*it);
+  }
+  region.reclaim_top();
+  EXPECT_EQ(region.top(), 0u);
+  EXPECT_GE(region.trims(), 1u);
+  st::Stacklet* again = region.allocate();
+  std::memset(again->stack_base(), 0xEF, again->stack_bytes());
+  EXPECT_EQ(static_cast<unsigned char>(again->stack_base()[0]), 0xEF);
+  st::StackRegion::release(again);
+}
+
 // Randomized churn against a reference count of live slots: the region
 // must never hand out a live slot twice and always reclaim fully drained
 // prefixes.

@@ -2,10 +2,14 @@
 // postprocessor does to a program (augmentation counts under the
 // leaf/transitive criterion) and what the augmented epilogues cost in
 // executed instructions -- the ISA-independent analogue of the
-// Figure 17-20 "postprocessing" bars.
+// Figure 17-20 "postprocessing" bars.  A second phase times the same
+// programs under both interpreter engines (switch vs predecoded
+// threaded dispatch), asserting identical architectural instruction
+// counts -- the wall-clock "run phase" CI tracks via --json.
 #include <cstdio>
 
 #include "bench/harness.hpp"
+#include "bench/stvm_engines.hpp"
 #include "stvm/asm.hpp"
 #include "stvm/programs.hpp"
 #include "stvm/vm.hpp"
@@ -22,8 +26,9 @@ struct Cell {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stvm;
+  bench::parse_json_flag(argc, argv, "stvm_postproc");
   bench::print_header("STVM postprocessor statistics and epilogue overhead",
                       "Section 8.1 (augmentation criterion), Figures 17-20 analogue");
 
@@ -74,5 +79,27 @@ int main() {
               "of procedures; forcing augmentation everywhere costs a few %% of\n"
               "executed instructions (the paper: 4-7 instructions per augmented\n"
               "return; quoted totals 1%%-13%% depending on CPU).\n");
+
+  // ---- interpreter run phase: switch vs predecoded threaded dispatch ----
+  // Larger arguments than the cost phase so each run is milliseconds of
+  // pure interpretation; both engines must retire the same instruction
+  // count (fusion and predecode are architecturally invisible).
+  // figure15 is microseconds of work -- great for the cost table above,
+  // pure timer noise as a wall-clock cell -- so the timed set swaps it
+  // for psum, which stresses the memory-op and fork/join fusion paths.
+  auto prog = [&](const std::string& source, bool with_stdlib) {
+    std::string src = source;
+    if (with_stdlib) src += "\n" + programs::stdlib();
+    return postprocess(assemble(src), /*force_augment_all=*/false);
+  };
+  const std::vector<bench::EngineCell> run_cells = {
+      {"fib(24)", prog(programs::fib(), false), "main", {24}},
+      {"pfib(20)", prog(programs::pfib(), true), "pmain", {20}},
+      {"psum(60k)", prog(programs::psum(), true), "psum_main", {60000}},
+  };
+  std::printf("\nInterpreter dispatch engines on the same programs\n"
+              "(ST_STVM_DISPATCH=switch is the pre-predecode baseline):\n\n");
+  if (!bench::compare_engines(run_cells)) return 1;
+  if (!bench::json_finish("stvm_postproc")) return 1;
   return 0;
 }

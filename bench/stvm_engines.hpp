@@ -1,0 +1,95 @@
+// Shared "run phase" for the STVM benchmark suites: times the same
+// postprocessed program under both interpreter engines (portable switch
+// vs predecoded direct-threaded dispatch, DESIGN.md "Run-form stream"),
+// asserts the architectural instruction counts match (predecode and
+// fusion must be invisible), and emits one --json cell per engine so CI
+// artifacts track the dispatch speedup over time.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "stvm/vm.hpp"
+
+namespace bench {
+
+struct EngineCell {
+  std::string name;
+  stvm::PostprocResult prog;
+  const char* entry;
+  std::vector<stvm::Word> args;
+  unsigned workers = 1;
+};
+
+/// Best-of-reps() wall time of one engine on one cell.  The Vm is
+/// constructed outside the timer for the switch engine and inside the
+/// measured region for neither: predecode cost is part of Vm
+/// construction and deliberately excluded -- the run phases measure
+/// steady-state interpretation (predecode is linear and runs once).
+inline double time_engine(const EngineCell& cell, stvm::VmConfig::Dispatch d,
+                          std::uint64_t* instrs, std::size_t* fused) {
+  double best = 1e100;
+  for (long r = 0; r < reps(); ++r) {
+    stvm::VmConfig cfg;
+    cfg.workers = cell.workers;
+    cfg.dispatch = d;
+    stvm::Vm vm(cell.prog, cfg);
+    stu::WallTimer t;
+    vm.run(cell.entry, cell.args);
+    best = std::min(best, t.seconds());
+    *instrs = vm.stats().instructions;
+    if (fused != nullptr && d == stvm::VmConfig::Dispatch::kThreaded) {
+      *fused = vm.predecoded().fused_groups;
+    }
+  }
+  return best;
+}
+
+/// Runs every cell under both engines, printing the comparison table and
+/// the geomean speedup.  Returns false (after finishing the table) if
+/// any cell retired different instruction counts under the two engines
+/// -- the suites exit nonzero on that so CI fails loudly.
+inline bool compare_engines(const std::vector<EngineCell>& cells) {
+  stu::Table table({"program", "switch (ms)", "threaded (ms)", "speedup",
+                    "fused groups", "Minstr/s (threaded)"});
+  double geo = 1.0;
+  int n = 0;
+  bool ok = true;
+  for (const auto& cell : cells) {
+    std::uint64_t instrs_sw = 0, instrs_th = 0;
+    std::size_t fused = 0;
+    const double sw =
+        time_engine(cell, stvm::VmConfig::Dispatch::kSwitch, &instrs_sw, nullptr);
+    const double th =
+        time_engine(cell, stvm::VmConfig::Dispatch::kThreaded, &instrs_th, &fused);
+    if (instrs_sw != instrs_th) {
+      std::fprintf(stderr,
+                   "FATAL: %s retired %llu instructions under switch dispatch "
+                   "but %llu under threaded dispatch\n",
+                   cell.name.c_str(), static_cast<unsigned long long>(instrs_sw),
+                   static_cast<unsigned long long>(instrs_th));
+      ok = false;
+      continue;
+    }
+    json_record(cell.name + "/run/switch", sw, reps());
+    json_record(cell.name + "/run/threaded", th, reps());
+    table.add_row({cell.name, stu::Table::num(sw * 1e3, 3),
+                   stu::Table::num(th * 1e3, 3), stu::Table::num(sw / th, 2),
+                   std::to_string(fused),
+                   stu::Table::num(static_cast<double>(instrs_th) / th / 1e6, 1)});
+    geo *= sw / th;
+    ++n;
+  }
+  table.print();
+  if (n > 0) {
+    std::printf("\ngeomean speedup (threaded over switch): %.2fx\n",
+                std::pow(geo, 1.0 / n));
+  }
+  return ok;
+}
+
+}  // namespace bench

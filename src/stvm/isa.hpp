@@ -69,6 +69,13 @@ inline constexpr int kFp = 14;
 inline constexpr int kFirstCalleeSaved = 4;
 inline constexpr int kLastCalleeSaved = 7;
 
+/// Address-space carve-up shared by the VM and the predecoder: resolved
+/// call targets at or above kBuiltinBase are runtime entry points
+/// (__st_*); values at or above kTrampBase flowing through a return are
+/// trampoline tokens minted by restart (vm.hpp).
+inline constexpr Addr kBuiltinBase = 1 << 20;
+inline constexpr Addr kTrampBase = 1 << 21;
+
 enum class Op : std::uint8_t {
   kLi,        // li   rD, imm
   kMov,       // mov  rD, rS

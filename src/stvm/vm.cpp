@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "stvm/verify.hpp"
+#include "util/env.hpp"
 #include "util/trace_export.hpp"
 
 namespace stvm {
@@ -83,6 +84,38 @@ Vm::Vm(const PostprocResult& program, VmConfig cfg)
     W.stack_hi = W.stack_lo + static_cast<Addr>(cfg_.stack_words);
     W.regs[kSp] = W.stack_hi;
   }
+
+  // Engine selection and predecode.  The run-form stream is built once,
+  // after label resolution, so module/verify semantics are untouched;
+  // validate mode predecodes unfused so its per-instruction validation
+  // points line up with the switch engine.
+  bool threaded = true;
+  switch (cfg_.dispatch) {
+    case VmConfig::Dispatch::kSwitch: threaded = false; break;
+    case VmConfig::Dispatch::kThreaded: threaded = true; break;
+    case VmConfig::Dispatch::kEnv: {
+      const std::string d = stu::env_string("ST_STVM_DISPATCH", "threaded");
+      if (d == "switch") {
+        threaded = false;
+      } else if (d == "threaded") {
+        threaded = true;
+      } else {
+        throw VmError("ST_STVM_DISPATCH must be 'switch' or 'threaded', got: " + d);
+      }
+      break;
+    }
+  }
+#if !defined(__GNUC__)
+  threaded = false;  // the computed-goto engine needs labels-as-values
+#endif
+  threaded_ = threaded;
+  fuse_ = stu::env_long("ST_STVM_FUSE", 1) != 0 && !cfg_.validate;
+  if (threaded_) pre_ = predecode(code_, fuse_);
+  engine_flags_ = (cfg_.validate ? kEngineValidate : 0) |
+                  ((cfg_.count_opcodes || stu::metrics_enabled() ||
+                    stu::trace_stats_enabled())
+                       ? kEngineCount
+                       : 0);
 }
 
 Vm::~Vm() {
@@ -107,6 +140,14 @@ Vm::~Vm() {
                  static_cast<unsigned long long>(stats_.shrink_reclaimed),
                  static_cast<unsigned long long>(stats_.retired_marks_seen),
                  static_cast<unsigned long long>(stats_.trampolines_taken));
+    std::fprintf(stderr, "[st-stats stvm opcodes dispatch=%s fuse=%d]",
+                 threaded_ ? "threaded" : "switch", threaded_ && fuse_ ? 1 : 0);
+    for (int i = 0; i < kNumRunOps; ++i) {
+      if (op_retired_[static_cast<std::size_t>(i)] == 0) continue;
+      std::fprintf(stderr, " %s=%llu", run_op_name(static_cast<RunOp>(i)),
+                   static_cast<unsigned long long>(op_retired_[static_cast<std::size_t>(i)]));
+    }
+    std::fprintf(stderr, "\n");
   }
 }
 
@@ -115,13 +156,23 @@ Vm::~Vm() {
 // ---------------------------------------------------------------------
 
 Word& Vm::mem(Addr a) {
-  if (a < 1 || a >= static_cast<Addr>(memory_.size())) {
+  if (!addr_ok(a)) {
     throw VmError("memory access out of range: " + std::to_string(a));
   }
   return memory_[static_cast<std::size_t>(a)];
 }
 
-Word Vm::read_mem(Addr a) const { return const_cast<Vm*>(this)->mem(a); }
+Word Vm::read_mem(Addr a) const {
+  if (!addr_ok(a)) {
+    throw VmError("memory access out of range: " + std::to_string(a));
+  }
+  return memory_[static_cast<std::size_t>(a)];
+}
+
+void Vm::mem_oob(unsigned w, Addr a, Addr at) {
+  workers_[w].pc = at;
+  throw VmError("memory access out of range: " + std::to_string(a));
+}
 
 bool Vm::is_local(unsigned w, Addr addr) const {
   return addr >= workers_[w].stack_lo && addr < workers_[w].stack_hi;
@@ -178,7 +229,16 @@ Word Vm::run(const std::string& entry, const std::vector<Word>& args) {
   W0.pc = d->entry;
   W0.idle = false;
 
-  int quiet_rounds = 0;
+  // Deadlock detection, incrementally: the full all-worker sweep is the
+  // authority (so there are no false positives), but it only runs every
+  // 4th round and only when no step has flagged new work since the last
+  // sweep (work_dirty_ is set by restart, resume, and steal traffic).
+  // Two consecutive quiet sweeps -- everything idle, nothing queued,
+  // nothing in flight, no __st_exit -- are conclusive: an all-quiet
+  // state with no pending transitions cannot become runnable again.
+  int quiet_sweeps = 0;
+  std::uint64_t round = 0;
+  work_dirty_ = true;
   while (!result_.has_value()) {
     for (unsigned w = 0; w < cfg_.workers && !result_.has_value(); ++w) {
       step_worker(w);
@@ -186,8 +246,13 @@ Word Vm::run(const std::string& entry, const std::vector<Word>& args) {
     if (stats_.instructions > cfg_.max_steps) {
       throw VmError("instruction budget exhausted (livelock or runaway program)");
     }
-    // Deadlock detection: everything idle, nothing queued, nothing in
-    // flight, and no __st_exit seen -- for several consecutive rounds.
+    ++round;
+    if (work_dirty_) {
+      work_dirty_ = false;
+      quiet_sweeps = 0;
+      continue;
+    }
+    if ((round & 3) != 0) continue;
     bool quiet = !result_.has_value();
     for (const auto& W : workers_) {
       if (!W.idle || W.halted || !W.readyq.empty() || W.steal_request_from >= 0 ||
@@ -196,8 +261,8 @@ Word Vm::run(const std::string& entry, const std::vector<Word>& args) {
         break;
       }
     }
-    quiet_rounds = quiet ? quiet_rounds + 1 : 0;
-    if (quiet_rounds >= 4) {
+    quiet_sweeps = quiet ? quiet_sweeps + 1 : 0;
+    if (quiet_sweeps >= 2) {
       throw VmError(
           "deadlock: all workers idle with no runnable work and no __st_exit\n" +
           dump_logical_stacks());
@@ -211,6 +276,10 @@ void Vm::step_worker(unsigned w) {
   if (W.halted) return;
   if (W.idle) {
     idle_step(w);
+    return;
+  }
+  if (threaded_) {
+    exec_quantum_threaded(w);
     return;
   }
   for (int i = 0; i < cfg_.quantum; ++i) {
@@ -248,11 +317,32 @@ void Vm::idle_step(unsigned w) {
   }
   if (cfg_.workers <= 1) return;
   if (W.awaiting_victim < 0) {
-    unsigned victim = static_cast<unsigned>(rng_.below(cfg_.workers - 1));
-    if (victim >= w) ++victim;
-    if (workers_[victim].steal_request_from < 0 && !workers_[victim].halted) {
-      workers_[victim].steal_request_from = static_cast<int>(w);
-      W.awaiting_victim = static_cast<int>(victim);
+    // Load-aware victim selection (the model twin of the native
+    // runtime's ST_VICTIM=load): probe the worker advertising the
+    // deepest readyq.  When every queue is empty, fall back to the
+    // blind random probe -- a running victim with an empty readyq can
+    // still hand over work via the Figure 9 logical-stack migration.
+    int victim = -1;
+    std::size_t best_depth = 0;
+    for (unsigned v = 0; v < cfg_.workers; ++v) {
+      if (v == w || workers_[v].halted || workers_[v].steal_request_from >= 0) continue;
+      const std::size_t depth = workers_[v].readyq.size();
+      if (depth > best_depth) {
+        best_depth = depth;
+        victim = static_cast<int>(v);
+      }
+    }
+    if (victim < 0) {
+      unsigned r = static_cast<unsigned>(rng_.below(cfg_.workers - 1));
+      if (r >= w) ++r;
+      if (workers_[r].steal_request_from < 0 && !workers_[r].halted) {
+        victim = static_cast<int>(r);
+      }
+    }
+    if (victim >= 0) {
+      workers_[static_cast<std::size_t>(victim)].steal_request_from = static_cast<int>(w);
+      W.awaiting_victim = victim;
+      work_dirty_ = true;
     }
   } else if (W.steal_reply != kNoReply) {
     const Addr reply = W.steal_reply;
@@ -271,6 +361,11 @@ void Vm::exec_instr(unsigned w) {
   if (W.pc < 0 || W.pc >= static_cast<Addr>(code_.size())) fail(w, "pc out of code range");
   const Instr& ins = code_[static_cast<std::size_t>(W.pc)];
   ++stats_.instructions;
+  if (engine_flags_ & kEngineCount) [[unlikely]] {
+    // Op mirrors the head of RunOp, so the plain opcode IS its histogram
+    // index (the switch engine never retires supers or split forms).
+    ++op_retired_[static_cast<std::size_t>(ins.op)];
+  }
   auto& R = W.regs;
   switch (ins.op) {
     case Op::kLi: R[ins.rd] = ins.imm; ++W.pc; break;
@@ -355,6 +450,669 @@ void Vm::exec_instr(unsigned w) {
       break;
   }
 }
+
+// ---------------------------------------------------------------------
+// The predecoded direct-threaded engine (DESIGN.md "Run-form stream").
+//
+// One quantum per call, architecturally bit-identical to the switch
+// engine above: same fail messages and W.pc values, same per-quantum
+// instruction counts, same interleaving (fused groups degrade to their
+// plain first component when fewer instructions remain in the quantum
+// than the group is wide).  Invariants the handlers rely on:
+//  - rpc is the architectural pc; W.pc is synced on every path that
+//    leaves the engine or can observe it (builtins, trampolines, fail).
+//  - budget is decremented once per architectural instruction, always
+//    *before* that instruction's first fault point (the switch engine
+//    counts an instruction before executing it); the Flush guard folds
+//    the retired count into stats_.instructions on every exit path.
+//  - memory_ never reallocates after construction (alloc_heap only bumps
+//    heap_next_), so m0/mspan hoisted here stay valid across builtins.
+// ---------------------------------------------------------------------
+
+#if defined(__GNUC__)
+
+void Vm::exec_quantum_threaded(unsigned w) {
+  if (engine_flags_ == 0) {
+    exec_quantum_threaded_impl<false>(w);
+  } else {
+    exec_quantum_threaded_impl<true>(w);
+  }
+}
+
+template <bool kSlow>
+void Vm::exec_quantum_threaded_impl(unsigned w) {
+  static const void* const kL[] = {
+      &&L_li, &&L_mov, &&L_add, &&L_sub, &&L_mul, &&L_div, &&L_addi, &&L_subi,
+      &&L_ld, &&L_st, &&L_call, &&L_callr, &&L_jmp, &&L_jr, &&L_beq, &&L_bne,
+      &&L_blt, &&L_bge, &&L_bltu, &&L_bgeu, &&L_fetchadd, &&L_getmaxe,
+      &&L_halt, &&L_callb, &&L_badpc,
+      &&L_s_addi_ld, &&L_s_addi_st, &&L_s_subi_st, &&L_s_st_addi, &&L_s_st_li,
+      &&L_s_st_ld, &&L_s_st_st, &&L_s_ld_st, &&L_s_ld_ld, &&L_s_ld_mov,
+      &&L_s_ld_add, &&L_s_ld_sub, &&L_s_ld_mul, &&L_s_ld_jr, &&L_s_mov_ld,
+      &&L_s_li_st, &&L_s_li_call, &&L_s_li_beq, &&L_s_li_bne, &&L_s_li_blt,
+      &&L_s_li_bge, &&L_s_li_bltu, &&L_s_li_bgeu, &&L_s_addi_beq,
+      &&L_s_addi_bne, &&L_s_addi_blt, &&L_s_addi_bge, &&L_s_addi_bltu,
+      &&L_s_addi_bgeu, &&L_s_add_jmp, &&L_s_addi_jmp, &&L_s_mov_jmp,
+      &&L_s_mov_addi, &&L_s_st_call, &&L_s_subi_st_call, &&L_s_addi_st_call,
+      &&L_s_ld_st_call, &&L_s_ld_add_jmp, &&L_s_ld_ld_mov, &&L_s_epilogue,
+      &&L_s_ld_epilogue, &&L_s_sum_loop,
+  };
+  static_assert(sizeof(kL) / sizeof(kL[0]) == static_cast<std::size_t>(kNumRunOps),
+                "handler table must cover RunOp exactly");
+
+  auto& W = workers_[w];
+  auto& R = W.regs;
+  Word* const m0 = memory_.data();
+  const std::uint64_t mspan = static_cast<std::uint64_t>(memory_.size()) - 1;
+  const RInstr* const rc = pre_.rcode.data();
+  const std::int64_t code_size = static_cast<std::int64_t>(code_.size());
+  // kSlow == false folds every flag test below away at compile time.
+  const std::uint32_t flags = kSlow ? engine_flags_ : 0;
+  int budget = cfg_.quantum;
+  // Fold retired-instruction count into the global counter on every exit
+  // path, including exceptions escaping builtins or fault handlers.
+  struct Flush {
+    VmStats* stats;
+    const int* budget;
+    int initial;
+    ~Flush() { stats->instructions += static_cast<std::uint64_t>(initial - *budget); }
+  } flush{&stats_, &budget, budget};
+  std::int64_t rpc = W.pc;
+  const RInstr* ip = rc;
+
+// Fetch/dispatch: quantum check, architectural pc range check (the
+// switch engine's bounds check, hoisted here so jr/callr targets need no
+// checking at the jump site), degrade-on-quantum-boundary, histogram
+// hook, dispatch.
+#define ST_FETCH()                                                            \
+  do {                                                                        \
+    if (__builtin_expect(budget <= 0, 0)) goto quantum_done;                  \
+    if (__builtin_expect(static_cast<std::uint64_t>(rpc) >=                   \
+                             static_cast<std::uint64_t>(code_size),           \
+                         0)) {                                                \
+      W.pc = rpc;                                                             \
+      fail(w, "pc out of code range");                                        \
+    }                                                                         \
+    ip = rc + rpc;                                                            \
+    {                                                                         \
+      std::uint8_t h = ip->h;                                                 \
+      if (__builtin_expect(budget < ip->len, 0)) h = ip->alt;                 \
+      if (__builtin_expect((flags & kEngineCount) != 0, 0))                   \
+        ++op_retired_[h];                                                     \
+      --budget;                                                               \
+      goto* kL[h];                                                            \
+    }                                                                         \
+  } while (0)
+
+// End of one architectural instruction (or fused group): run the
+// validate hook exactly where the switch engine does, then fetch.
+#define ST_NEXT()                                                             \
+  do {                                                                        \
+    if (__builtin_expect((flags & kEngineValidate) != 0, 0)) {                \
+      W.pc = rpc;                                                             \
+      validate_worker(w);                                                     \
+    }                                                                         \
+    ST_FETCH();                                                               \
+  } while (0)
+
+// Re-enter after a call that may have redirected control or changed the
+// scheduling state (builtin, trampoline): W.pc is authoritative again.
+#define ST_RESYNC()                                                           \
+  do {                                                                        \
+    if (__builtin_expect((flags & kEngineValidate) != 0, 0))                  \
+      validate_worker(w);                                                     \
+    if (W.idle || W.halted || result_.has_value()) goto engine_exit;          \
+    rpc = W.pc;                                                               \
+    ST_FETCH();                                                               \
+  } while (0)
+
+// Inlined fast-path bounds check; the cold path records the faulting
+// architectural pc and throws the switch engine's exact message.
+#define ST_CHK(addr, at)                                                      \
+  do {                                                                        \
+    if (__builtin_expect(                                                     \
+            static_cast<std::uint64_t>(addr) - 1 >= mspan, 0))                \
+      mem_oob(w, (addr), (at));                                               \
+  } while (0)
+
+  ST_FETCH();
+
+  // ---- plain handlers (mirror exec_instr case for case) ---------------
+L_li:
+  R[ip->d] = ip->imm;
+  ++rpc;
+  ST_NEXT();
+L_mov:
+  R[ip->d] = R[ip->a];
+  ++rpc;
+  ST_NEXT();
+L_add:
+  R[ip->d] = R[ip->a] + R[ip->b];
+  ++rpc;
+  ST_NEXT();
+L_sub:
+  R[ip->d] = R[ip->a] - R[ip->b];
+  ++rpc;
+  ST_NEXT();
+L_mul:
+  R[ip->d] = R[ip->a] * R[ip->b];
+  ++rpc;
+  ST_NEXT();
+L_div:
+  if (__builtin_expect(R[ip->b] == 0, 0)) {
+    W.pc = rpc;
+    fail(w, "division by zero");
+  }
+  R[ip->d] = R[ip->a] / R[ip->b];
+  ++rpc;
+  ST_NEXT();
+L_addi:
+  R[ip->d] = R[ip->a] + ip->imm;
+  ++rpc;
+  ST_NEXT();
+L_subi:
+  R[ip->d] = R[ip->a] - ip->imm;
+  ++rpc;
+  ST_NEXT();
+L_ld: {
+  const Addr a = R[ip->a] + ip->imm;
+  ST_CHK(a, rpc);
+  R[ip->d] = m0[a];
+  ++rpc;
+  ST_NEXT();
+}
+L_st: {
+  const Addr a = R[ip->a] + ip->imm;
+  ST_CHK(a, rpc);
+  m0[a] = R[ip->d];
+  ++rpc;
+  ST_NEXT();
+}
+L_fetchadd: {
+  const Addr a = R[ip->a] + ip->imm;
+  ST_CHK(a, rpc);
+  R[ip->d] = m0[a];
+  m0[a] += R[ip->b];
+  ++rpc;
+  ST_NEXT();
+}
+L_call:  // predecode split builtin targets into L_callb; this is code-to-code
+  R[kLr] = rpc + 1;
+  rpc = ip->t;
+  ST_NEXT();
+L_callb:
+  R[kLr] = rpc + 1;
+  W.pc = rpc + 1;  // builtins "return" unless they redirect control
+  do_builtin(w, static_cast<int>(ip->imm));
+  ST_RESYNC();
+L_callr: {
+  const Addr target = R[ip->a];
+  R[kLr] = rpc + 1;
+  if (__builtin_expect(target >= kBuiltinBase, 0)) {
+    if (target >= kTrampBase) {
+      W.pc = rpc;
+      fail(w, "callr into a trampoline token");
+    }
+    W.pc = rpc + 1;
+    do_builtin(w, static_cast<int>(target - kBuiltinBase));
+    ST_RESYNC();
+  }
+  rpc = target;
+  ST_NEXT();
+}
+L_jmp:
+  rpc = ip->t;
+  ST_NEXT();
+L_jr: {
+  const Addr target = R[ip->a];
+  if (__builtin_expect(target >= kBuiltinBase, 0)) {
+    W.pc = rpc;
+    if (target < kTrampBase) fail(w, "jr into a builtin");
+    take_trampoline(w, target);
+    ST_RESYNC();
+  }
+  rpc = target;
+  ST_NEXT();
+}
+L_beq:
+  rpc = (R[ip->a] == R[ip->b]) ? ip->t : rpc + 1;
+  ST_NEXT();
+L_bne:
+  rpc = (R[ip->a] != R[ip->b]) ? ip->t : rpc + 1;
+  ST_NEXT();
+L_blt:
+  rpc = (R[ip->a] < R[ip->b]) ? ip->t : rpc + 1;
+  ST_NEXT();
+L_bge:
+  rpc = (R[ip->a] >= R[ip->b]) ? ip->t : rpc + 1;
+  ST_NEXT();
+L_bltu:
+  rpc = (static_cast<std::uint64_t>(R[ip->a]) < static_cast<std::uint64_t>(R[ip->b]))
+            ? ip->t
+            : rpc + 1;
+  ST_NEXT();
+L_bgeu:
+  rpc = (static_cast<std::uint64_t>(R[ip->a]) >= static_cast<std::uint64_t>(R[ip->b]))
+            ? ip->t
+            : rpc + 1;
+  ST_NEXT();
+L_getmaxe:
+  R[ip->d] = W.exported.empty() ? W.stack_hi + 1 : W.exported.max().fp;
+  ++rpc;
+  ST_NEXT();
+L_halt:
+  W.pc = rpc;
+  result_ = R[0];
+  W.halted = true;
+  goto engine_exit;
+L_badpc:  // defensive: ST_FETCH range-checks before indexing, so the
+  ++budget;  // sentinel is normally unreachable; it retires nothing
+  W.pc = rpc;
+  fail(w, "pc out of code range");
+
+  // ---- superinstructions ----------------------------------------------
+  // Each handler executes its components in architectural order, reading
+  // registers only after earlier components' writes (so intra-group
+  // register dependencies behave exactly as in sequential execution) and
+  // decrementing budget before each component's first fault point.
+L_s_addi_ld: {
+  R[ip->d] = R[ip->a] + ip->imm;
+  --budget;
+  const Addr a = R[ip->b] + ip->imm2;
+  ST_CHK(a, rpc + 1);
+  R[ip->c] = m0[a];
+  rpc += 2;
+  ST_NEXT();
+}
+L_s_addi_st: {
+  R[ip->d] = R[ip->a] + ip->imm;
+  --budget;
+  const Addr a = R[ip->b] + ip->imm2;
+  ST_CHK(a, rpc + 1);
+  m0[a] = R[ip->c];
+  rpc += 2;
+  ST_NEXT();
+}
+L_s_subi_st: {
+  R[ip->d] = R[ip->a] - ip->imm;
+  --budget;
+  const Addr a = R[ip->b] + ip->imm2;
+  ST_CHK(a, rpc + 1);
+  m0[a] = R[ip->c];
+  rpc += 2;
+  ST_NEXT();
+}
+L_s_st_addi: {
+  const Addr a = R[ip->a] + ip->imm;
+  ST_CHK(a, rpc);
+  m0[a] = R[ip->d];
+  --budget;
+  R[ip->c] = R[ip->b] + ip->imm2;
+  rpc += 2;
+  ST_NEXT();
+}
+L_s_st_li: {
+  const Addr a = R[ip->a] + ip->imm;
+  ST_CHK(a, rpc);
+  m0[a] = R[ip->d];
+  --budget;
+  R[ip->c] = ip->imm2;
+  rpc += 2;
+  ST_NEXT();
+}
+L_s_st_ld: {
+  const Addr a1 = R[ip->a] + ip->imm;
+  ST_CHK(a1, rpc);
+  m0[a1] = R[ip->d];
+  --budget;
+  const Addr a2 = R[ip->b] + ip->imm2;
+  ST_CHK(a2, rpc + 1);
+  R[ip->c] = m0[a2];
+  rpc += 2;
+  ST_NEXT();
+}
+L_s_st_st: {
+  const Addr a1 = R[ip->a] + ip->imm;
+  ST_CHK(a1, rpc);
+  m0[a1] = R[ip->d];
+  --budget;
+  const Addr a2 = R[ip->b] + ip->imm2;
+  ST_CHK(a2, rpc + 1);
+  m0[a2] = R[ip->c];
+  rpc += 2;
+  ST_NEXT();
+}
+L_s_ld_st: {
+  const Addr a1 = R[ip->a] + ip->imm;
+  ST_CHK(a1, rpc);
+  R[ip->d] = m0[a1];
+  --budget;
+  const Addr a2 = R[ip->b] + ip->imm2;
+  ST_CHK(a2, rpc + 1);
+  m0[a2] = R[ip->c];
+  rpc += 2;
+  ST_NEXT();
+}
+L_s_ld_ld: {
+  const Addr a1 = R[ip->a] + ip->imm;
+  ST_CHK(a1, rpc);
+  R[ip->d] = m0[a1];
+  --budget;
+  const Addr a2 = R[ip->b] + ip->imm2;
+  ST_CHK(a2, rpc + 1);
+  R[ip->c] = m0[a2];
+  rpc += 2;
+  ST_NEXT();
+}
+L_s_ld_mov: {
+  const Addr a = R[ip->a] + ip->imm;
+  ST_CHK(a, rpc);
+  R[ip->d] = m0[a];
+  --budget;
+  R[ip->c] = R[ip->b];
+  rpc += 2;
+  ST_NEXT();
+}
+L_s_ld_add: {
+  const Addr a = R[ip->a] + ip->imm;
+  ST_CHK(a, rpc);
+  R[ip->d] = m0[a];
+  --budget;
+  R[ip->c] = R[ip->b] + R[ip->e];
+  rpc += 2;
+  ST_NEXT();
+}
+L_s_ld_sub: {
+  const Addr a = R[ip->a] + ip->imm;
+  ST_CHK(a, rpc);
+  R[ip->d] = m0[a];
+  --budget;
+  R[ip->c] = R[ip->b] - R[ip->e];
+  rpc += 2;
+  ST_NEXT();
+}
+L_s_ld_mul: {
+  const Addr a = R[ip->a] + ip->imm;
+  ST_CHK(a, rpc);
+  R[ip->d] = m0[a];
+  --budget;
+  R[ip->c] = R[ip->b] * R[ip->e];
+  rpc += 2;
+  ST_NEXT();
+}
+L_s_ld_jr: {  // the unaugmented epilogue tail: ld lr,[fp-1]; jr lr
+  const Addr a = R[ip->a] + ip->imm;
+  ST_CHK(a, rpc);
+  R[ip->d] = m0[a];
+  --budget;
+  const Addr target = R[ip->b];
+  if (__builtin_expect(target >= kBuiltinBase, 0)) {
+    W.pc = rpc + 1;  // the jr's own architectural pc
+    if (target < kTrampBase) fail(w, "jr into a builtin");
+    take_trampoline(w, target);
+    ST_RESYNC();
+  }
+  rpc = target;
+  ST_NEXT();
+}
+L_s_mov_ld: {
+  R[ip->d] = R[ip->a];
+  --budget;
+  const Addr a = R[ip->b] + ip->imm2;
+  ST_CHK(a, rpc + 1);
+  R[ip->c] = m0[a];
+  rpc += 2;
+  ST_NEXT();
+}
+L_s_li_st: {
+  R[ip->d] = ip->imm;
+  --budget;
+  const Addr a = R[ip->b] + ip->imm2;
+  ST_CHK(a, rpc + 1);
+  m0[a] = R[ip->c];
+  rpc += 2;
+  ST_NEXT();
+}
+L_s_li_call:  // argument-staging li + code-to-code call (never a builtin)
+  R[ip->d] = ip->imm;
+  --budget;
+  R[kLr] = rpc + 2;
+  rpc = ip->t;
+  ST_NEXT();
+L_s_li_beq:
+  R[ip->d] = ip->imm;
+  --budget;
+  rpc = (R[ip->a] == R[ip->b]) ? ip->t : rpc + 2;
+  ST_NEXT();
+L_s_li_bne:
+  R[ip->d] = ip->imm;
+  --budget;
+  rpc = (R[ip->a] != R[ip->b]) ? ip->t : rpc + 2;
+  ST_NEXT();
+L_s_li_blt:
+  R[ip->d] = ip->imm;
+  --budget;
+  rpc = (R[ip->a] < R[ip->b]) ? ip->t : rpc + 2;
+  ST_NEXT();
+L_s_li_bge:
+  R[ip->d] = ip->imm;
+  --budget;
+  rpc = (R[ip->a] >= R[ip->b]) ? ip->t : rpc + 2;
+  ST_NEXT();
+L_s_li_bltu:
+  R[ip->d] = ip->imm;
+  --budget;
+  rpc = (static_cast<std::uint64_t>(R[ip->a]) < static_cast<std::uint64_t>(R[ip->b]))
+            ? ip->t
+            : rpc + 2;
+  ST_NEXT();
+L_s_li_bgeu:
+  R[ip->d] = ip->imm;
+  --budget;
+  rpc = (static_cast<std::uint64_t>(R[ip->a]) >= static_cast<std::uint64_t>(R[ip->b]))
+            ? ip->t
+            : rpc + 2;
+  ST_NEXT();
+L_s_addi_beq:
+  R[ip->d] = R[ip->a] + ip->imm;
+  --budget;
+  rpc = (R[ip->b] == R[ip->c]) ? ip->t : rpc + 2;
+  ST_NEXT();
+L_s_addi_bne:
+  R[ip->d] = R[ip->a] + ip->imm;
+  --budget;
+  rpc = (R[ip->b] != R[ip->c]) ? ip->t : rpc + 2;
+  ST_NEXT();
+L_s_addi_blt:
+  R[ip->d] = R[ip->a] + ip->imm;
+  --budget;
+  rpc = (R[ip->b] < R[ip->c]) ? ip->t : rpc + 2;
+  ST_NEXT();
+L_s_addi_bge:
+  R[ip->d] = R[ip->a] + ip->imm;
+  --budget;
+  rpc = (R[ip->b] >= R[ip->c]) ? ip->t : rpc + 2;
+  ST_NEXT();
+L_s_addi_bltu:
+  R[ip->d] = R[ip->a] + ip->imm;
+  --budget;
+  rpc = (static_cast<std::uint64_t>(R[ip->b]) < static_cast<std::uint64_t>(R[ip->c]))
+            ? ip->t
+            : rpc + 2;
+  ST_NEXT();
+L_s_addi_bgeu:
+  R[ip->d] = R[ip->a] + ip->imm;
+  --budget;
+  rpc = (static_cast<std::uint64_t>(R[ip->b]) >= static_cast<std::uint64_t>(R[ip->c]))
+            ? ip->t
+            : rpc + 2;
+  ST_NEXT();
+L_s_add_jmp:  // join-and-continue: add d,a,b ; jmp t
+  R[ip->d] = R[ip->a] + R[ip->b];
+  --budget;
+  rpc = ip->t;
+  ST_NEXT();
+L_s_addi_jmp:  // loop back-edge: bump a register, jump to the guard
+  R[ip->d] = R[ip->a] + ip->imm;
+  --budget;
+  rpc = ip->t;
+  ST_NEXT();
+L_s_mov_jmp:  // free the frame, jump over the retire arm
+  R[ip->d] = R[ip->a];
+  --budget;
+  rpc = ip->t;
+  ST_NEXT();
+L_s_mov_addi:
+  R[ip->d] = R[ip->a];
+  --budget;
+  R[ip->c] = R[ip->b] + ip->imm2;
+  rpc += 2;
+  ST_NEXT();
+L_s_st_call: {  // push arg, code-to-code call (never a builtin)
+  const Addr a = R[ip->a] + ip->imm;
+  ST_CHK(a, rpc);
+  m0[a] = R[ip->d];
+  --budget;
+  R[kLr] = rpc + 2;
+  rpc = ip->t;
+  ST_NEXT();
+}
+L_s_subi_st_call: {  // compute arg, push at [sp+k], call
+  R[ip->d] = R[ip->a] - ip->imm;
+  --budget;
+  const Addr a = R[ip->b] + ip->imm2;
+  ST_CHK(a, rpc + 1);
+  m0[a] = R[ip->c];
+  --budget;
+  R[kLr] = rpc + 3;
+  rpc = ip->t;
+  ST_NEXT();
+}
+L_s_addi_st_call: {
+  R[ip->d] = R[ip->a] + ip->imm;
+  --budget;
+  const Addr a = R[ip->b] + ip->imm2;
+  ST_CHK(a, rpc + 1);
+  m0[a] = R[ip->c];
+  --budget;
+  R[kLr] = rpc + 3;
+  rpc = ip->t;
+  ST_NEXT();
+}
+L_s_ld_st_call: {
+  const Addr a1 = R[ip->a] + ip->imm;
+  ST_CHK(a1, rpc);
+  R[ip->d] = m0[a1];
+  --budget;
+  const Addr a2 = R[ip->b] + ip->imm2;
+  ST_CHK(a2, rpc + 1);
+  m0[a2] = R[ip->c];
+  --budget;
+  R[kLr] = rpc + 3;
+  rpc = ip->t;
+  ST_NEXT();
+}
+L_s_ld_add_jmp: {  // join tail: ld d,[a+imm] ; add c,b,e ; jmp t
+  const Addr a = R[ip->a] + ip->imm;
+  ST_CHK(a, rpc);
+  R[ip->d] = m0[a];
+  --budget;
+  R[ip->c] = R[ip->b] + R[ip->e];
+  --budget;
+  rpc = ip->t;
+  ST_NEXT();
+}
+L_s_ld_ld_mov: {  // ld d,[a+imm] ; ld c,[b+imm2] ; mov e,(reg)t
+  const Addr a1 = R[ip->a] + ip->imm;
+  ST_CHK(a1, rpc);
+  R[ip->d] = m0[a1];
+  --budget;
+  const Addr a2 = R[ip->b] + ip->imm2;
+  ST_CHK(a2, rpc + 1);
+  R[ip->c] = m0[a2];
+  --budget;
+  R[ip->e] = R[ip->t];
+  rpc += 3;
+  ST_NEXT();
+}
+L_s_ld_epilogue: {  // ld d,[a+imm] ; getmaxe c ; bgeu e,c,t ; bgeu b,(reg)imm2,t2
+  const Addr a = R[ip->a] + ip->imm;
+  ST_CHK(a, rpc);
+  R[ip->d] = m0[a];
+  --budget;
+  R[ip->c] = W.exported.empty() ? W.stack_hi + 1 : W.exported.max().fp;
+  --budget;
+  if (static_cast<std::uint64_t>(R[ip->e]) >= static_cast<std::uint64_t>(R[ip->c])) {
+    // Early exit retires only 3 of the group's 4 instructions: when
+    // counting, re-attribute this dispatch to its plain components so
+    // sum(count[h] * run_op_len(h)) == stats().instructions stays exact.
+    if (__builtin_expect((flags & kEngineCount) != 0, 0)) {
+      --op_retired_[static_cast<std::size_t>(RunOp::kSupLdEpilogue)];
+      ++op_retired_[static_cast<std::size_t>(RunOp::kLd)];
+      ++op_retired_[static_cast<std::size_t>(RunOp::kGetMaxE)];
+      ++op_retired_[static_cast<std::size_t>(RunOp::kBgeu)];
+    }
+    rpc = ip->t;
+    ST_NEXT();
+  }
+  --budget;
+  rpc = (static_cast<std::uint64_t>(R[ip->b]) >= static_cast<std::uint64_t>(R[ip->imm2]))
+            ? ip->t2
+            : rpc + 4;
+  ST_NEXT();
+}
+L_s_sum_loop: {  // ld d,[a+imm] ; add c,b,e ; addi (reg)t2 += imm2 ; jmp t
+  const Addr a = R[ip->a] + ip->imm;
+  ST_CHK(a, rpc);
+  R[ip->d] = m0[a];
+  --budget;
+  R[ip->c] = R[ip->b] + R[ip->e];
+  --budget;
+  R[ip->t2] = R[ip->t2] + ip->imm2;
+  --budget;
+  rpc = ip->t;
+  ST_NEXT();
+}
+L_s_epilogue: {  // getmaxe d ; bgeu a,d,t ; bgeu b,c,t2 (the 5.2 splice)
+  const Word maxe = W.exported.empty() ? W.stack_hi + 1 : W.exported.max().fp;
+  R[ip->d] = maxe;
+  --budget;
+  if (static_cast<std::uint64_t>(R[ip->a]) >= static_cast<std::uint64_t>(R[ip->d])) {
+    // Early exit retires 2 of 3: re-attribute as for kSupLdEpilogue.
+    if (__builtin_expect((flags & kEngineCount) != 0, 0)) {
+      --op_retired_[static_cast<std::size_t>(RunOp::kSupEpilogue)];
+      ++op_retired_[static_cast<std::size_t>(RunOp::kGetMaxE)];
+      ++op_retired_[static_cast<std::size_t>(RunOp::kBgeu)];
+    }
+    rpc = ip->t;
+    ST_NEXT();
+  }
+  --budget;
+  rpc = (static_cast<std::uint64_t>(R[ip->b]) >= static_cast<std::uint64_t>(R[ip->c]))
+            ? ip->t2
+            : rpc + 3;
+  ST_NEXT();
+}
+
+quantum_done:
+  W.pc = rpc;
+engine_exit:
+  return;
+
+#undef ST_FETCH
+#undef ST_NEXT
+#undef ST_RESYNC
+#undef ST_CHK
+}
+
+#else  // non-GNU toolchains: the constructor never selects this engine
+
+void Vm::exec_quantum_threaded(unsigned w) {
+  (void)w;
+  throw VmError("threaded dispatch requires the GNU labels-as-values extension");
+}
+
+#endif
 
 void Vm::take_trampoline(unsigned w, Addr token) {
   auto it = trampolines_.find(token);
@@ -442,6 +1200,7 @@ void Vm::do_builtin(unsigned w, int id) {
       const Addr ctx = read_mem(sp + 0);
       ++stats_.resumes;
       W.readyq.push_tail(ctx);
+      work_dirty_ = true;
       break;
     }
     case kBPoll: {
@@ -547,6 +1306,7 @@ void Vm::apply_unwind(unsigned w, const UnwindResult& r) {
 
 void Vm::do_restart(unsigned w, Addr ctx, Addr ret_pc, Addr f_fp, bool from_scheduler) {
   auto& W = workers_[w];
+  work_dirty_ = true;
   trace(stu::kTraceVmRestart, w, static_cast<std::uint64_t>(ctx),
         from_scheduler ? 1 : 0);
   const Addr bottom_fp = read_mem(ctx + kCtxBottomFp);
@@ -592,6 +1352,7 @@ bool Vm::serve_steal(unsigned w, Addr resume_pc, Addr fp, bool running) {
   if (W.steal_request_from < 0) return false;
   const int thief = W.steal_request_from;
   W.steal_request_from = -1;
+  work_dirty_ = true;  // a reply (even a rejection) is posted below
   auto& T = workers_[static_cast<std::size_t>(thief)];
 
   // Figure 12: hand out the readyq tail when there is one.
@@ -815,6 +1576,7 @@ std::string Vm::dump_logical_stacks() const {
 std::string Vm::metrics_json() const {
   std::ostringstream os;
   os << "{\"kind\":\"stvm\",\"workers\":" << cfg_.workers << ","
+     << "\"dispatch\":\"" << (threaded_ ? "threaded" : "switch") << "\","
      << "\"counters\":{"
      << "\"instructions\":" << stats_.instructions
      << ",\"suspends\":" << stats_.suspends << ",\"restarts\":" << stats_.restarts
@@ -839,6 +1601,16 @@ std::string Vm::metrics_json() const {
        << ",\"sets\":{\"E\":" << (W.exported.size() - retired) << ",\"R\":" << retired
        << ",\"X\":" << W.extended_sps.size() << "}"
        << ",\"readyq\":" << W.readyq.size() << "}";
+  }
+  os << "],";
+  os << "\"opcodes\":[";
+  bool first = true;
+  for (int i = 0; i < kNumRunOps; ++i) {
+    const std::uint64_t n = op_retired_[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    os << (first ? "" : ",") << "{\"op\":\"" << run_op_name(static_cast<RunOp>(i))
+       << "\",\"retired\":" << n << "}";
+    first = false;
   }
   os << "],";
   os << "\"histograms\":["

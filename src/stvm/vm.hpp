@@ -35,6 +35,7 @@
 
 #include "stvm/module.hpp"
 #include "stvm/postproc.hpp"
+#include "stvm/predecode.hpp"
 #include "util/max_heap.hpp"
 #include "util/metrics.hpp"
 #include "util/owner_deque.hpp"
@@ -57,7 +58,17 @@ struct VmConfig {
   /// Check after every instruction that SP is inside the worker's stack
   /// segment and at-or-above the top of every live exported frame (the
   /// Theorem 4 safety property, enforced dynamically).  For tests.
+  /// Implies unfused predecode so validation points match the switch
+  /// engine instruction-for-instruction.
   bool validate = false;
+  /// Interpreter engine.  kEnv reads ST_STVM_DISPATCH (switch|threaded,
+  /// default threaded); both engines are architecturally identical and
+  /// differentially fuzzed against each other (docs/OBSERVABILITY.md).
+  enum class Dispatch { kEnv, kSwitch, kThreaded };
+  Dispatch dispatch = Dispatch::kEnv;
+  /// Force the per-opcode retirement histogram on (it is otherwise
+  /// enabled only when ST_METRICS/ST_STATS observability is active).
+  bool count_opcodes = false;
 };
 
 struct VmStats {
@@ -110,8 +121,28 @@ class Vm {
   std::string dump_logical_stacks() const;
 
   /// This VM's section of the ST_METRICS snapshot (VmStats counters,
-  /// per-worker E/R/X set sizes, unwind-depth histogram).
+  /// per-worker E/R/X set sizes, unwind-depth histogram, per-opcode
+  /// retirement counts).
   std::string metrics_json() const;
+
+  /// Per-handler retired-dispatch counts, indexed by RunOp.  Populated
+  /// when VmConfig::count_opcodes or ST_METRICS/ST_STATS is on; the
+  /// threaded engine counts fused superinstructions under their own
+  /// RunOp, the switch engine only ever uses the plain Op mirrors.
+  /// Invariant when counting: sum over h of count[h] * run_op_len(h)
+  /// equals stats().instructions (epilogue supers whose first compare
+  /// exits the group early re-attribute that dispatch to its plain
+  /// components to keep this exact).
+  const std::array<std::uint64_t, kNumRunOps>& opcode_retired() const {
+    return op_retired_;
+  }
+
+  /// True when this VM runs the predecoded computed-goto engine.
+  bool dispatch_threaded() const { return threaded_; }
+
+  /// The run-form stream (empty when the switch engine is active);
+  /// exposes fusion coverage counters for tests and benches.
+  const Predecoded& predecoded() const { return pre_; }
 
  private:
   // ---- structure -------------------------------------------------------
@@ -151,8 +182,12 @@ class Vm {
 
   static constexpr Addr kNoReply = -2;
   static constexpr Addr kRejected = -1;
-  static constexpr Addr kBuiltinBase = 1 << 20;
-  static constexpr Addr kTrampBase = 1 << 21;
+  // kBuiltinBase / kTrampBase live in isa.hpp (shared with the predecoder).
+
+  /// Engine-flag bits folded into one word so the threaded engine's
+  /// dispatch tests a single (almost always zero) value.
+  static constexpr std::uint32_t kEngineValidate = 1;  ///< cfg_.validate
+  static constexpr std::uint32_t kEngineCount = 2;     ///< opcode histogram
 
   enum Builtin : int {
     kBAlloc,
@@ -177,6 +212,16 @@ class Vm {
   // ---- execution -------------------------------------------------------
   void step_worker(unsigned w);
   void exec_instr(unsigned w);
+  /// Runs up to one quantum on the predecoded stream with computed-goto
+  /// dispatch (vm.cpp bottom half; requires the GNU labels-as-values
+  /// extension -- the constructor falls back to the switch engine
+  /// elsewhere).
+  void exec_quantum_threaded(unsigned w);
+  /// The engine body, specialized on whether any observability hook
+  /// (validate / opcode counting) is active: the common instantiation
+  /// carries zero flag tests on the dispatch path.
+  template <bool kSlow>
+  void exec_quantum_threaded_impl(unsigned w);
   void idle_step(unsigned w);
   void do_builtin(unsigned w, int id);
   void take_trampoline(unsigned w, Addr token);
@@ -203,8 +248,17 @@ class Vm {
       trace_.emit(ev, static_cast<std::uint16_t>(w), stu::kTraceSrcStvm, a, b);
     }
   }
+  /// Shared bounds predicate for every memory accessor: one unsigned
+  /// compare covering both "below the guard word" and "past the end".
+  bool addr_ok(Addr a) const {
+    return static_cast<std::uint64_t>(a) - 1 <
+           static_cast<std::uint64_t>(memory_.size()) - 1;
+  }
   Word& mem(Addr a);
   Word read_mem(Addr a) const;
+  /// Cold out-of-line slow path for the threaded engine's inlined bounds
+  /// check; records the faulting architectural pc before throwing.
+  [[noreturn]] void mem_oob(unsigned w, Addr a, Addr at);
   void validate_worker(unsigned w) const;
   bool is_local(unsigned w, Addr addr) const;
   const ProcDescriptor* proc_of(Addr pc, const char* why) const;
@@ -213,6 +267,12 @@ class Vm {
   [[noreturn]] void fail(unsigned w, const std::string& msg) const;
 
   std::vector<Instr> code_;
+  Predecoded pre_;          ///< run-form stream (threaded engine only)
+  bool threaded_ = false;   ///< engine choice, resolved at construction
+  bool fuse_ = true;        ///< superinstruction fusion (ST_STVM_FUSE)
+  std::uint32_t engine_flags_ = 0;  ///< kEngine* bits, fixed at construction
+  bool work_dirty_ = true;  ///< work appeared since the last deadlock sweep
+  std::array<std::uint64_t, kNumRunOps> op_retired_{};
   DescriptorTable table_;
   Word max_args_ = 0;
   VmConfig cfg_;

@@ -2,7 +2,10 @@
 // pipeline: random programs are generated together with a C++ reference
 // evaluation; the compiled result must match on every seed.  Exercises
 // expression codegen (temporaries as frame slots across nested calls),
-// control flow, arrays and the calling standard end to end.
+// control flow, arrays and the calling standard end to end.  Every
+// program additionally runs under BOTH interpreter engines (portable
+// switch and predecoded threaded dispatch) and the engines must agree
+// on the result and on every architectural VmStats field.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -10,6 +13,7 @@
 
 #include "stvm/asm.hpp"
 #include "stvm/postproc.hpp"
+#include "stvm/programs.hpp"
 #include "stvm/stc.hpp"
 #include "stvm/verify.hpp"
 #include "stvm/vm.hpp"
@@ -22,12 +26,54 @@ using stvm::Word;
 /// Compiles STC source through the full pipeline AND statically verifies
 /// the postprocessed module (stvm/verify.hpp) before it is handed to the
 /// VM -- every fuzz-generated program is a verifier test case too.
-stvm::PostprocResult compile_verified(const std::string& src) {
-  stvm::PostprocResult prog =
-      stvm::postprocess(stvm::assemble(stvm::stc::compile_to_asm(src)));
+stvm::PostprocResult compile_verified(const std::string& src,
+                                      bool with_stdlib = false) {
+  std::string asm_text = stvm::stc::compile_to_asm(src);
+  if (with_stdlib) asm_text += "\n" + stvm::programs::stdlib();
+  stvm::PostprocResult prog = stvm::postprocess(stvm::assemble(asm_text));
   const stvm::VerifyReport report = stvm::verify_module(prog);
   EXPECT_TRUE(report.ok()) << report.summary();
   return prog;
+}
+
+/// Runs the program under both interpreter engines and asserts they
+/// agree on the result, the __st_print stream and every VmStats field.
+/// Worker stepping is virtual and deterministic, so this holds exactly
+/// even with suspension, stealing and migration in play -- predecode,
+/// superinstruction fusion and quantum hoisting must be architecturally
+/// invisible (DESIGN.md, "Predecoded run-form stream").
+Word run_differential(const stvm::PostprocResult& prog, const std::string& entry,
+                      const std::vector<Word>& args, unsigned workers = 1,
+                      int quantum = 64) {
+  auto run_one = [&](stvm::VmConfig::Dispatch d, stvm::VmStats* stats,
+                     std::vector<Word>* printed) {
+    stvm::VmConfig cfg;
+    cfg.workers = workers;
+    cfg.quantum = quantum;
+    cfg.dispatch = d;
+    stvm::Vm vm(prog, cfg);
+    const Word r = vm.run(entry, args);
+    *stats = vm.stats();
+    *printed = vm.output();
+    return r;
+  };
+  stvm::VmStats sw, th;
+  std::vector<Word> out_sw, out_th;
+  const Word r_sw = run_one(stvm::VmConfig::Dispatch::kSwitch, &sw, &out_sw);
+  const Word r_th = run_one(stvm::VmConfig::Dispatch::kThreaded, &th, &out_th);
+  EXPECT_EQ(r_sw, r_th) << "engines disagree on the result";
+  EXPECT_EQ(out_sw, out_th) << "engines disagree on the __st_print stream";
+  EXPECT_EQ(sw.instructions, th.instructions);
+  EXPECT_EQ(sw.suspends, th.suspends);
+  EXPECT_EQ(sw.restarts, th.restarts);
+  EXPECT_EQ(sw.resumes, th.resumes);
+  EXPECT_EQ(sw.steals_served, th.steals_served);
+  EXPECT_EQ(sw.steals_rejected, th.steals_rejected);
+  EXPECT_EQ(sw.frames_unwound, th.frames_unwound);
+  EXPECT_EQ(sw.shrink_reclaimed, th.shrink_reclaimed);
+  EXPECT_EQ(sw.retired_marks_seen, th.retired_marks_seen);
+  EXPECT_EQ(sw.trampolines_taken, th.trampolines_taken);
+  return r_th;
 }
 
 /// A random expression over variables a, b, c plus an equal reference
@@ -88,8 +134,7 @@ TEST_P(StcFuzzTest, RandomExpressionsMatchReference) {
     const std::string expr = gen.gen(4, env, expect);
     const std::string src = "func main(a, b, c) { exit(" + expr + "); }";
     SCOPED_TRACE(src);
-    stvm::Vm vm(compile_verified(src));
-    EXPECT_EQ(vm.run("main", env), expect);
+    EXPECT_EQ(run_differential(compile_verified(src), "main", env), expect);
   }
 }
 
@@ -114,8 +159,7 @@ TEST_P(StcFuzzTest, RandomAccumulationLoopsMatchReference) {
       "  exit(acc);\n"
       "}";
   SCOPED_TRACE(src);
-  stvm::Vm vm(compile_verified(src));
-  EXPECT_EQ(vm.run("main", {n}), expect);
+  EXPECT_EQ(run_differential(compile_verified(src), "main", {n}), expect);
 }
 
 TEST_P(StcFuzzTest, RandomArrayShuffleMatchesReference) {
@@ -147,8 +191,47 @@ TEST_P(StcFuzzTest, RandomArrayShuffleMatchesReference) {
       "  exit(acc);\n"
       "}";
   SCOPED_TRACE(src);
-  stvm::Vm vm(compile_verified(src));
-  EXPECT_EQ(vm.run("main", {}), expect);
+  EXPECT_EQ(run_differential(compile_verified(src), "main", {}), expect);
+}
+
+TEST_P(StcFuzzTest, ParallelProgramsMatchAcrossEngines) {
+  // Fork/join under a randomized schedule: every seed picks a worker
+  // count and quantum, so the engines are compared across suspension,
+  // stealing and frame migration -- including quanta small enough that
+  // fused superinstruction groups are entered with partial budget (the
+  // degrade path interleaves one architectural instruction at a time).
+  const char* kSrc = R"(
+    func task(n, result, jc) {
+      mem[result] = pfib(n);
+      jc_finish(jc);
+    }
+    func pfib(n) {
+      if (n < 2) { return n; }
+      poll();
+      var jc[2];
+      var a;
+      jc_init(&jc, 1);
+      async task(n - 1, &a, &jc);
+      var b = pfib(n - 2);
+      jc_join(&jc);
+      return a + b;
+    }
+    func main(n) { exit(pfib(n)); }
+  )";
+  stu::Xoshiro256 rng(GetParam() * 131 + 3);
+  const long n = rng.range(6, 13);
+  const unsigned workers = 1 + static_cast<unsigned>(rng.below(4));
+  const int quantum = static_cast<int>(rng.range(3, 64));
+  Word f0 = 0, f1 = 1;
+  for (long i = 0; i < n; ++i) {
+    const Word next = f0 + f1;
+    f0 = f1;
+    f1 = next;
+  }
+  SCOPED_TRACE("n=" + std::to_string(n) + " workers=" + std::to_string(workers) +
+               " quantum=" + std::to_string(quantum));
+  const stvm::PostprocResult prog = compile_verified(kSrc, /*with_stdlib=*/true);
+  EXPECT_EQ(run_differential(prog, "main", {n}, workers, quantum), f0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StcFuzzTest, ::testing::Range<std::uint64_t>(1, 25));

@@ -1,0 +1,248 @@
+// bench_io_server: concurrent-connection sweep over the st::io echo
+// server (docs/ASYNC_IO.md) -- the "async server" workload the paper
+// motivates in Section 1.1, measured instead of simulated.
+//
+// Default mode is self-contained: for each sweep point an in-process
+// echo server (fine-grain acceptor + one handler thread per connection)
+// and N client threads share one Runtime; every client sends
+// STMP_IO_REQS fixed-size requests and verifies each echo.  Per-request
+// round-trip latencies land in disjoint preallocated slots, so p50/p99
+// are exact (no histogram quantization).  Any dropped or corrupted
+// request fails the run (exit nonzero) -- CI treats this as a
+// correctness gate, not just a timing.
+//
+//   --port P      client-only mode: drive an external server on
+//                 127.0.0.1:P (e.g. `async_server --serve P`) instead of
+//                 an in-process one.  Halves the fd cost per connection.
+//   --json [path] machine-readable results (BENCH_io_server.json):
+//                 p50/p99/mean round-trip ns per sweep point.
+//
+// Environment:
+//   STMP_IO_CONNS    comma list of connection counts (default 64,512,4096;
+//                    CI uses 10000).  Clamped to RLIMIT_NOFILE headroom --
+//                    the bench raises the soft limit to the hard limit and
+//                    logs any clamp.
+//   STMP_IO_REQS     requests per connection (default 4)
+//   STMP_IO_WORKERS  workers in the shared Runtime (default 2)
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/resource.h>
+
+#include "bench/harness.hpp"
+#include "io/net.hpp"
+#include "runtime/runtime.hpp"
+#include "sync/join_counter.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+constexpr std::size_t kPayload = 32;
+
+long echo_session(st::io::TcpStream s) {
+  char buf[4096];
+  long total = 0;
+  for (;;) {
+    const ssize_t n = s.read(buf, sizeof buf);
+    if (n == 0) return total;
+    if (n < 0) return errno == ECANCELED ? total : -1;
+    if (!s.write_all(buf, static_cast<std::size_t>(n))) return -1;
+    total += n;
+  }
+}
+
+void run_acceptor(st::io::TcpListener& listener, st::JoinCounter& sessions_done) {
+  for (;;) {
+    auto s = listener.accept();
+    if (!s.has_value()) break;
+    sessions_done.add(1);
+    auto* boxed = new st::io::TcpStream(std::move(*s));
+    st::fork([boxed, &sessions_done] {
+      echo_session(std::move(*boxed));
+      delete boxed;
+      sessions_done.finish();
+    });
+  }
+}
+
+/// One client connection: `reqs` verified round trips, each latency into
+/// its own slot of `lat` (0 = request never completed).  Returns the
+/// number of requests that did NOT complete.
+long run_client(std::uint16_t port, long reqs, long id, std::uint64_t* lat) {
+  st::io::TcpStream s = st::io::dial("127.0.0.1", port);
+  if (!s.valid()) return reqs;
+  char out[kPayload], in[kPayload];
+  for (long m = 0; m < reqs; ++m) {
+    std::snprintf(out, sizeof out, "c%ld m%ld", id, m);
+    const std::uint64_t t0 = st::io::now_ns();
+    if (!s.write_all(out, kPayload) || !s.read_exact(in, kPayload) ||
+        std::memcmp(out, in, kPayload) != 0) {
+      return reqs - m;
+    }
+    const std::uint64_t dt = st::io::now_ns() - t0;
+    lat[m] = dt == 0 ? 1 : dt;  // 0 is the "dropped" sentinel
+  }
+  s.shutdown_write();
+  char drain[64];
+  while (s.read(drain, sizeof drain) > 0) {
+  }
+  return 0;
+}
+
+struct PointResult {
+  long conns = 0;
+  long completed = 0;
+  long dropped = 0;
+  double secs = 0;
+  std::uint64_t p50 = 0, p99 = 0, mean = 0;
+};
+
+/// One sweep cell: fresh Runtime, optional in-process server, N clients.
+PointResult run_point(long conns, long reqs, unsigned workers,
+                      std::uint16_t ext_port) {
+  PointResult res;
+  res.conns = conns;
+  st::Runtime rt(workers);
+  std::vector<std::uint64_t> lat(static_cast<std::size_t>(conns * reqs), 0);
+  std::atomic<long> dropped{0};
+  stu::WallTimer timer;
+  rt.run([&] {
+    st::io::TcpListener listener;
+    st::JoinCounter sessions_done(0);
+    st::JoinCounter acceptor_done(1);
+    std::uint16_t port = ext_port;
+    if (ext_port == 0) {
+      listener = st::io::TcpListener::listen(0);
+      if (!listener.valid()) {
+        std::perror("bench_io_server: listen");
+        dropped.fetch_add(conns * reqs);
+        return;
+      }
+      port = listener.port();
+      st::fork([&] {
+        run_acceptor(listener, sessions_done);
+        acceptor_done.finish();
+      });
+    } else {
+      acceptor_done.finish();
+    }
+    st::JoinCounter clients_done(conns);
+    for (long c = 0; c < conns; ++c) {
+      st::fork([&, c] {
+        const long miss = run_client(port, reqs, c, lat.data() + c * reqs);
+        if (miss > 0) dropped.fetch_add(miss, std::memory_order_relaxed);
+        clients_done.finish();
+      });
+    }
+    clients_done.join();
+    if (ext_port == 0) {
+      listener.close();
+      acceptor_done.join();
+      sessions_done.join();
+    }
+  });
+  res.secs = timer.seconds();
+  res.dropped = dropped.load();
+  // Exact percentiles over the completed requests.
+  lat.erase(std::remove(lat.begin(), lat.end(), std::uint64_t{0}), lat.end());
+  std::sort(lat.begin(), lat.end());
+  res.completed = static_cast<long>(lat.size());
+  if (!lat.empty()) {
+    res.p50 = lat[lat.size() / 2];
+    res.p99 = lat[(lat.size() * 99) / 100 < lat.size() ? (lat.size() * 99) / 100
+                                                       : lat.size() - 1];
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : lat) sum += v;
+    res.mean = sum / lat.size();
+  }
+  return res;
+}
+
+std::vector<long> parse_conns_list() {
+  std::vector<long> out;
+  const char* env = std::getenv("STMP_IO_CONNS");
+  std::string s = env != nullptr ? env : "64,512,4096";
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const long v = std::atol(s.c_str() + pos);
+    if (v > 0) out.push_back(v);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) out.push_back(64);
+  return out;
+}
+
+/// Raise RLIMIT_NOFILE to the hard limit; return how many concurrent
+/// connections fit (in-process mode costs two fds per connection).
+long fd_budget(bool in_process) {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return 1024;
+  if (rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &rl);
+    ::getrlimit(RLIMIT_NOFILE, &rl);
+  }
+  const long headroom = static_cast<long>(rl.rlim_cur) - 64;
+  return in_process ? headroom / 2 : headroom;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_json_flag(argc, argv, "io_server");
+  std::uint16_t ext_port = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0) {
+      ext_port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+    }
+  }
+  const long reqs = std::max(1L, stu::env_long("STMP_IO_REQS", 4));
+  const unsigned workers =
+      static_cast<unsigned>(std::max(1L, stu::env_long("STMP_IO_WORKERS", 2)));
+  const long budget = fd_budget(ext_port == 0);
+
+  bench::print_header(
+      "bench_io_server: concurrent-connection echo sweep (st::io)",
+      "Section 1.1 async-server motivation, measured on the epoll reactor");
+  std::printf("mode=%s reqs/conn=%ld workers=%u fd budget=%ld conns\n\n",
+              ext_port == 0 ? "in-process" : "external", reqs, workers, budget);
+  std::printf("%10s %10s %9s %9s %11s %11s %11s\n", "conns", "requests",
+              "dropped", "secs", "req/s", "p50(us)", "p99(us)");
+
+  bool ok = true;
+  for (long conns : parse_conns_list()) {
+    if (conns > budget) {
+      std::printf("  (clamping %ld -> %ld connections: RLIMIT_NOFILE)\n", conns,
+                  budget);
+      conns = budget;
+    }
+    const PointResult r = run_point(conns, reqs, workers, ext_port);
+    std::printf("%10ld %10ld %9ld %9.3f %11.0f %11.1f %11.1f\n", r.conns,
+                r.completed, r.dropped, r.secs,
+                r.secs > 0 ? static_cast<double>(r.completed) / r.secs : 0.0,
+                static_cast<double>(r.p50) / 1e3, static_cast<double>(r.p99) / 1e3);
+    const std::string cell = "io_server/conns=" + std::to_string(r.conns);
+    bench::json_record(cell + "/p50", static_cast<double>(r.p50) * 1e-9,
+                       r.completed);
+    bench::json_record(cell + "/p99", static_cast<double>(r.p99) * 1e-9,
+                       r.completed);
+    bench::json_record(cell + "/mean", static_cast<double>(r.mean) * 1e-9,
+                       r.completed);
+    if (r.dropped != 0 || r.completed != r.conns * reqs) {
+      std::printf("FAILED: %ld dropped requests at %ld connections\n", r.dropped,
+                  r.conns);
+      ok = false;
+    }
+  }
+  if (!bench::json_finish("io_server")) ok = false;
+  std::printf("\n%s\n", ok ? "OK: zero dropped requests" : "FAILED");
+  return ok ? 0 : 1;
+}

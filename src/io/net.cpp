@@ -1,0 +1,332 @@
+#include "io/net.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace st::io {
+
+namespace {
+
+// glibc declares __errno_location() __attribute__((const)), so the
+// compiler may cache or hoist the TLS address anywhere within a
+// function.  These frames suspend mid-body and can resume on a
+// *different OS thread* -- a cached location would then read or clobber
+// the old worker's errno (ThreadSanitizer sees it as a TLS race).  So:
+// inside any frame containing a suspension point, errno is only touched
+// through these noinline helpers, which re-resolve the location per
+// call, and through syscall wrappers that report errno by out-param.
+__attribute__((noinline)) void set_errno(int e) noexcept { errno = e; }
+
+__attribute__((noinline)) ssize_t sys_read(int fd, void* buf, std::size_t n,
+                                           int* err) noexcept {
+  const ssize_t r = ::read(fd, buf, n);
+  *err = r < 0 ? errno : 0;
+  return r;
+}
+
+__attribute__((noinline)) ssize_t sys_write(int fd, const void* buf,
+                                            std::size_t n, int* err) noexcept {
+  const ssize_t r = ::write(fd, buf, n);
+  *err = r < 0 ? errno : 0;
+  return r;
+}
+
+__attribute__((noinline)) int sys_accept(int fd, sockaddr* addr, socklen_t* len,
+                                         int* err) noexcept {
+  const int c = ::accept4(fd, addr, len, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  *err = c < 0 ? errno : 0;
+  return c;
+}
+
+__attribute__((noinline)) int sys_connect(int fd, const sockaddr* addr,
+                                          socklen_t len, int* err) noexcept {
+  const int r = ::connect(fd, addr, len);
+  *err = r != 0 ? errno : 0;
+  return r;
+}
+
+/// SO_ERROR fetch; returns 0 and clears *err on success-with-no-error.
+__attribute__((noinline)) int sys_sockerr(int fd, int* err) noexcept {
+  int soerr = 0;
+  socklen_t elen = sizeof soerr;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &elen) != 0) {
+    *err = errno;
+    return -1;
+  }
+  *err = soerr;
+  return soerr != 0 ? -1 : 0;
+}
+
+/// Releases the op bracket without clobbering the op's errno (op_exit may
+/// run ::close on the deferred path).  noinline for the same reason as
+/// the helpers above: the destructor runs after any suspension.
+struct OpGuard {
+  FdState& fs;
+  __attribute__((noinline)) ~OpGuard() {
+    const int saved = errno;
+    fs.op_exit();
+    errno = saved;
+  }
+};
+
+bool set_nonblock(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+IoFd::IoFd(int fd) {
+  if (fd < 0) return;
+  if (!set_nonblock(fd)) {
+    ::close(fd);
+    return;
+  }
+  state_ = std::make_shared<FdState>(fd);
+}
+
+void IoFd::close() {
+  if (state_ != nullptr) {
+    close_fd_state(state_);
+    state_.reset();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Would-block primitives: syscall, EAGAIN -> arm + suspend, retry.  The
+// retry-the-syscall shape makes spurious wakeups (stale oneshot events
+// on a reused fd number, EPOLLERR deliveries) harmless by construction.
+// ---------------------------------------------------------------------
+
+ssize_t read(IoFd& f, void* buf, std::size_t n) {
+  // Owned copy, not a reference to the handle's member: close() on
+  // another thread resets that member, and the cancelled op still runs
+  // its OpGuard against the state afterwards.
+  const std::shared_ptr<FdState> fs = f.state();
+  if (fs == nullptr) {
+    set_errno(EBADF);
+    return -1;
+  }
+  if (!fs->op_enter()) {
+    set_errno(ECANCELED);
+    return -1;
+  }
+  OpGuard g{*fs};
+  for (;;) {
+    int err = 0;
+    const ssize_t r = sys_read(fs->fd(), buf, n, &err);
+    if (r >= 0) return r;
+    if (err == EINTR) continue;
+    if (err != EAGAIN && err != EWOULDBLOCK) {
+      set_errno(err);
+      return -1;
+    }
+    if (!wait_on_fd(fs, /*dir_write=*/false)) return -1;
+  }
+}
+
+ssize_t write(IoFd& f, const void* buf, std::size_t n) {
+  const std::shared_ptr<FdState> fs = f.state();
+  if (fs == nullptr) {
+    set_errno(EBADF);
+    return -1;
+  }
+  if (!fs->op_enter()) {
+    set_errno(ECANCELED);
+    return -1;
+  }
+  OpGuard g{*fs};
+  for (;;) {
+    int err = 0;
+    const ssize_t r = sys_write(fs->fd(), buf, n, &err);
+    if (r >= 0) return r;
+    if (err == EINTR) continue;
+    if (err != EAGAIN && err != EWOULDBLOCK) {
+      set_errno(err);
+      return -1;
+    }
+    if (!wait_on_fd(fs, /*dir_write=*/true)) return -1;
+  }
+}
+
+int accept(IoFd& listener, sockaddr* addr, socklen_t* len) {
+  const std::shared_ptr<FdState> fs = listener.state();
+  if (fs == nullptr) {
+    set_errno(EBADF);
+    return -1;
+  }
+  if (!fs->op_enter()) {
+    set_errno(ECANCELED);
+    return -1;
+  }
+  OpGuard g{*fs};
+  for (;;) {
+    int err = 0;
+    const int c = sys_accept(fs->fd(), addr, len, &err);
+    if (c >= 0) return c;
+    if (err == ECONNABORTED || err == EINTR) continue;
+    if (err != EAGAIN && err != EWOULDBLOCK) {
+      set_errno(err);
+      return -1;
+    }
+    if (!wait_on_fd(fs, /*dir_write=*/false)) return -1;
+  }
+}
+
+int connect(IoFd& f, const sockaddr* addr, socklen_t len) {
+  const std::shared_ptr<FdState> fs = f.state();
+  if (fs == nullptr) {
+    set_errno(EBADF);
+    return -1;
+  }
+  if (!fs->op_enter()) {
+    set_errno(ECANCELED);
+    return -1;
+  }
+  OpGuard g{*fs};
+  int err = 0;
+  for (;;) {
+    if (sys_connect(fs->fd(), addr, len, &err) == 0) return 0;
+    if (err != EINTR) break;
+  }
+  if (err != EINPROGRESS) {
+    set_errno(err);
+    return -1;
+  }
+  if (!wait_on_fd(fs, /*dir_write=*/true)) return -1;
+  if (sys_sockerr(fs->fd(), &err) != 0) {
+    set_errno(err);
+    return -1;
+  }
+  return 0;
+}
+
+bool wait_readable(IoFd& f) {
+  const std::shared_ptr<FdState> fs = f.state();
+  if (fs == nullptr) {
+    set_errno(EBADF);
+    return false;
+  }
+  if (!fs->op_enter()) {
+    set_errno(ECANCELED);
+    return false;
+  }
+  OpGuard g{*fs};
+  return wait_on_fd(fs, /*dir_write=*/false);
+}
+
+bool wait_writable(IoFd& f) {
+  const std::shared_ptr<FdState> fs = f.state();
+  if (fs == nullptr) {
+    set_errno(EBADF);
+    return false;
+  }
+  if (!fs->op_enter()) {
+    set_errno(ECANCELED);
+    return false;
+  }
+  OpGuard g{*fs};
+  return wait_on_fd(fs, /*dir_write=*/true);
+}
+
+void sleep_for(std::chrono::microseconds d) {
+  Reactor& r = Reactor::current();
+  FdState::Waiter w;
+  const std::uint64_t deadline =
+      now_ns() + static_cast<std::uint64_t>(d.count() < 0 ? 0 : d.count()) * 1000ull;
+  // Owner-only heap: expiry can only run from this worker's poll, which
+  // cannot happen while this thread is still running on it -- so the
+  // waiter publication needs no lock before the suspend.
+  r.worker().trace(stu::kTraceIoTimer, reinterpret_cast<std::uintptr_t>(&w),
+                   static_cast<std::uint64_t>(d.count()));
+  r.add_timer(deadline, &w);
+  suspend(&w.cont);
+}
+
+// ---------------------------------------------------------------------
+// TCP wrappers
+// ---------------------------------------------------------------------
+
+bool TcpStream::write_all(const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t r = write(p, n);
+    if (r <= 0) return false;
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool TcpStream::read_exact(void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t r = read(p, n);
+    if (r <= 0) return false;  // EOF mid-message counts as failure
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void TcpStream::shutdown_write() noexcept {
+  if (fd_.valid()) ::shutdown(fd_.fd(), SHUT_WR);
+}
+
+TcpListener TcpListener::listen(std::uint16_t port, int backlog) {
+  TcpListener l;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return l;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return l;
+  }
+  socklen_t alen = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &alen);
+  l.fd_ = IoFd(fd);
+  l.port_ = ntohs(addr.sin_port);
+  return l;
+}
+
+std::optional<TcpStream> TcpListener::accept() {
+  const int c = io::accept(fd_, nullptr, nullptr);
+  if (c < 0) return std::nullopt;  // errno: ECANCELED after close(), etc.
+  return TcpStream(c);
+}
+
+TcpStream dial(const std::string& ipv4, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return TcpStream();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, ipv4.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    errno = EINVAL;
+    return TcpStream();
+  }
+  IoFd h(fd);
+  if (!h.valid()) return TcpStream();
+  if (io::connect(h, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    h.close();
+    errno = saved;
+    return TcpStream();
+  }
+  return TcpStream(std::move(h));
+}
+
+}  // namespace st::io

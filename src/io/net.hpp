@@ -1,0 +1,127 @@
+// Public fine-grain network I/O surface (docs/ASYNC_IO.md).
+//
+// Blocking-style calls, non-blocking workers: every operation here runs
+// the syscall in non-blocking mode and, on EAGAIN, suspends the calling
+// fine-grain thread through the per-worker epoll reactor (io/reactor.hpp)
+// until readiness resumes it.  The worker meanwhile runs other threads.
+//
+// Conventions (deliberately POSIX-shaped, no exceptions -- exceptions
+// cannot cross a fork boundary in this runtime):
+//   * ops return -1 / false with errno set on failure;
+//     errno == ECANCELED means close() cancelled the op from another
+//     thread while it was suspended.
+//   * all operations (and close, when waiters may be suspended) must be
+//     called on a worker, i.e. inside Runtime::run's dynamic extent.
+//   * an IoFd may be used from many fine-grain threads, but at most one
+//     suspended reader and one suspended writer at a time.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include "io/reactor.hpp"
+
+namespace st::io {
+
+/// Owning non-blocking fd handle registered with the reactor layer.
+/// Move-only; the destructor closes (cancelling suspended waiters).
+class IoFd {
+ public:
+  IoFd() = default;
+  /// Takes ownership and switches the fd to O_NONBLOCK.
+  explicit IoFd(int fd);
+  ~IoFd() { close(); }
+  IoFd(IoFd&& o) noexcept : state_(std::move(o.state_)) {}
+  IoFd& operator=(IoFd&& o) noexcept {
+    if (this != &o) {
+      close();
+      state_ = std::move(o.state_);
+    }
+    return *this;
+  }
+  IoFd(const IoFd&) = delete;
+  IoFd& operator=(const IoFd&) = delete;
+
+  bool valid() const noexcept { return state_ != nullptr && state_->fd() >= 0; }
+  int fd() const noexcept { return state_ != nullptr ? state_->fd() : -1; }
+  /// Cancels suspended waiters (they fail with ECANCELED), withdraws
+  /// epoll interest and closes the fd (deferred past in-flight ops).
+  void close();
+
+  const std::shared_ptr<FdState>& state() const noexcept { return state_; }
+
+ private:
+  std::shared_ptr<FdState> state_;
+};
+
+// -- would-block primitives ---------------------------------------------
+
+/// ::read, suspending on EAGAIN until readable.  0 = EOF.
+ssize_t read(IoFd& f, void* buf, std::size_t n);
+/// ::write, suspending on EAGAIN until writable.  May be short.
+ssize_t write(IoFd& f, const void* buf, std::size_t n);
+/// ::accept4(SOCK_NONBLOCK), suspending until a connection arrives.
+/// Returns the accepted fd (caller wraps it, e.g. in IoFd/TcpStream).
+int accept(IoFd& listener, sockaddr* addr, socklen_t* len);
+/// Non-blocking ::connect + suspend-until-writable + SO_ERROR check.
+int connect(IoFd& f, const sockaddr* addr, socklen_t len);
+/// Readiness-only waits (for protocols doing their own syscalls).
+bool wait_readable(IoFd& f);
+bool wait_writable(IoFd& f);
+
+/// timerfd-backed sleep: suspends this fine-grain thread, the worker
+/// keeps scheduling.  Feeds future timeout/cancellation work.
+void sleep_for(std::chrono::microseconds d);
+
+// -- TCP convenience wrappers -------------------------------------------
+
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  explicit TcpStream(IoFd&& fd) : fd_(std::move(fd)) {}
+  bool valid() const noexcept { return fd_.valid(); }
+  ssize_t read(void* buf, std::size_t n) { return io::read(fd_, buf, n); }
+  ssize_t write(const void* buf, std::size_t n) { return io::write(fd_, buf, n); }
+  /// Loops write() until all n bytes left; false (errno) on any failure.
+  bool write_all(const void* buf, std::size_t n);
+  /// Loops read() for exactly n bytes; false on EOF-short or error.
+  bool read_exact(void* buf, std::size_t n);
+  void shutdown_write() noexcept;
+  void close() { fd_.close(); }
+  int fd() const noexcept { return fd_.fd(); }
+
+ private:
+  IoFd fd_;
+};
+
+class TcpListener {
+ public:
+  TcpListener() = default;
+  /// Binds 0.0.0.0:port (port 0 = ephemeral; see port()) and listens.
+  /// valid() is false with errno set on failure.
+  static TcpListener listen(std::uint16_t port, int backlog = 1024);
+  bool valid() const noexcept { return fd_.valid(); }
+  std::uint16_t port() const noexcept { return port_; }
+  /// Suspends until a connection arrives; nullopt once closed (or on a
+  /// non-retryable accept error), with errno saying why.
+  std::optional<TcpStream> accept();
+  void close() { fd_.close(); }
+
+ private:
+  IoFd fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to an IPv4 dotted-quad (e.g. "127.0.0.1").  Invalid stream
+/// with errno on failure.
+TcpStream dial(const std::string& ipv4, std::uint16_t port);
+
+}  // namespace st::io

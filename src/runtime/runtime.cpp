@@ -285,6 +285,10 @@ Worker::Worker(Runtime& rt, unsigned id, std::size_t stacklet_bytes, std::size_t
   }
 }
 
+Worker::~Worker() {
+  delete io_poller_.load(std::memory_order_acquire);
+}
+
 void Worker::trace_record(stu::TraceEvent ev, std::uint64_t a, std::uint64_t b) noexcept {
   trace_.emit(ev, static_cast<std::uint16_t>(id_), stu::kTraceSrcRuntime, a, b);
 }
@@ -368,6 +372,11 @@ void Worker::publish_stats() noexcept {
   mirror_.steals_rejected.store(stats_.steals_rejected, std::memory_order_relaxed);
   mirror_.steals_cancelled.store(stats_.steals_cancelled, std::memory_order_relaxed);
   mirror_.tasks_completed.store(stats_.tasks_completed, std::memory_order_relaxed);
+  mirror_.io_wakeups.store(stats_.io_wakeups, std::memory_order_relaxed);
+  mirror_.io_events.store(stats_.io_events, std::memory_order_relaxed);
+  mirror_.io_timers.store(stats_.io_timers, std::memory_order_relaxed);
+  mirror_.io_migrations.store(stats_.io_migrations, std::memory_order_relaxed);
+  mirror_.io_cancels.store(stats_.io_cancels, std::memory_order_relaxed);
   hb_mirror_.store(hb_, std::memory_order_relaxed);
   publish_depth();
 }
@@ -460,6 +469,10 @@ void Worker::idle_backoff_step(int& spins, int& yields) {
     // Entering an idle episode: our deques are empty -- say so, so
     // thieves stop probing us and the park recheck sees the truth.
     publish_depth();
+    // Drain any already-ready I/O before backing off: a resumed waiter
+    // lands on our readyq and ends the episode immediately.
+    IoPoller* io = io_poller();
+    if (io != nullptr && io->has_pending() && io->poll(0) > 0) return;
   }
   if (spins < pol.spin) {
     ++spins;
@@ -473,6 +486,14 @@ void Worker::idle_backoff_step(int& spins, int& yields) {
   }
   spins = 0;
   yields = 0;
+  // Stage 3.  A reactor with suspended waiters folds epoll_wait into the
+  // backoff: readiness, timer expiry and notify_work (eventfd) all wake
+  // it, so futex-parking here would just add a second sleeper to kick.
+  IoPoller* io = io_poller();
+  if (io != nullptr && io->has_pending()) {
+    rt_.io_block_worker(*this);
+    return;
+  }
   if (pol.park) {
     rt_.park_worker(*this);
   } else {
@@ -485,6 +506,13 @@ void Worker::scheduler_loop() {
   int spins = 0, yields = 0;
   while (!rt_.done()) {
     serve_steal_request();
+    // Busy workers still drain their epoll set, decimated so the syscall
+    // stays off the per-task fast path (idle workers poll every episode).
+    IoPoller* io = io_poller();
+    if (io != nullptr && io->has_pending() && --io_poll_countdown_ <= 0) {
+      io_poll_countdown_ = kIoPollEvery;
+      io->poll(0);
+    }
     if (!readyq_.empty()) {
       // Figure 12: schedule the head of readyq when the chain is empty.
       Continuation* c = readyq_.pop_head();
@@ -550,6 +578,7 @@ Runtime::Runtime(RuntimeConfig cfg) {
   idle_.yields = static_cast<int>(stu::env_long("ST_YIELD", 8));
   idle_.park_timeout_us = stu::env_long("ST_PARK_TIMEOUT_US", 2000);
   idle_.load_victim = stu::env_string("ST_VICTIM", "load") != "random";
+  idle_.io_wait_us = stu::env_long("ST_IO_WAIT_US", 2000);
   published_load_ =
       std::vector<stu::CacheAligned<std::atomic<std::uint32_t>>>(cfg.workers);
   workers_.reserve(cfg.workers);
@@ -610,7 +639,8 @@ Runtime::~Runtime() {
                  "[st-stats runtime workers=%u] forks=%llu suspends=%llu resumes=%llu "
                  "tasks=%llu steal{attempts=%llu served=%llu received=%llu rejected=%llu "
                  "cancelled=%llu} region{high_water=%llu heap_fallbacks=%llu "
-                 "scavenges=%llu trims=%llu}\n",
+                 "scavenges=%llu trims=%llu} io{wakeups=%llu events=%llu "
+                 "timers=%llu migrations=%llu cancels=%llu}\n",
                  num_workers(), static_cast<unsigned long long>(s.forks),
                  static_cast<unsigned long long>(s.suspends),
                  static_cast<unsigned long long>(s.resumes),
@@ -623,7 +653,12 @@ Runtime::~Runtime() {
                  static_cast<unsigned long long>(s.region_high_water),
                  static_cast<unsigned long long>(s.heap_fallbacks),
                  static_cast<unsigned long long>(s.region_scavenges),
-                 static_cast<unsigned long long>(s.region_trims));
+                 static_cast<unsigned long long>(s.region_trims),
+                 static_cast<unsigned long long>(s.io_wakeups),
+                 static_cast<unsigned long long>(s.io_events),
+                 static_cast<unsigned long long>(s.io_timers),
+                 static_cast<unsigned long long>(s.io_migrations),
+                 static_cast<unsigned long long>(s.io_cancels));
     if (stu::metrics_enabled()) {
       // ST_STATS grows latency percentile tables when metrics were on.
       const double ns = stu::trace_ns_per_tick();
@@ -637,6 +672,8 @@ Runtime::~Runtime() {
           {"steal_cancel_latency_ns", ns, &WorkerMetrics::steal_cancel_latency},
           {"suspend_to_restart_ns", ns, &WorkerMetrics::suspend_to_restart},
           {"fork_deque_depth", 1.0, &WorkerMetrics::deque_depth},
+          {"io_wait_ns", ns, &WorkerMetrics::io_wait},
+          {"io_ready_batch", 1.0, &WorkerMetrics::io_ready_batch},
       };
       for (const Row& row : rows) {
         stu::HistogramSnapshot merged;
@@ -723,6 +760,18 @@ void Runtime::notify_work() noexcept {
     futex_wake_all(work_epoch_);
 #endif
   }
+  // Workers hiding in epoll_wait instead of the futex get an eventfd
+  // poke.  The counter read pairs with io_block_worker's seq_cst
+  // increment exactly like the parked_ protocol; a wake() that lands
+  // before the epoll_wait is sticky (the eventfd stays readable), so
+  // there is no lost-wakeup window at all on this path.
+  if (io_blocked_.load(std::memory_order_seq_cst) > 0) {
+    for (auto& w : workers_) {
+      if (w->io_blocked()) {
+        if (IoPoller* io = w->io_poller()) io->wake();
+      }
+    }
+  }
 }
 
 void Runtime::park_worker(Worker& self) {
@@ -765,6 +814,35 @@ void Runtime::park_worker(Worker& self) {
 #endif
 }
 
+void Runtime::io_block_worker(Worker& self) {
+  // Mirror of park_worker with the futex swapped for the reactor's
+  // epoll_wait.  Publication first: stats() treats an io-blocked worker's
+  // mirror as current, and thieves must see our zero depth.
+  self.publish_stats();
+  io_blocked_.fetch_add(1, std::memory_order_seq_cst);
+  self.set_io_blocked(true);
+  bool work = done() || injected_count_.load(std::memory_order_acquire) > 0 ||
+              (self.poll_word() & (Worker::kPollSteal | Worker::kPollSample)) != 0;
+  if (!work) {
+    for (unsigned i = 0; i < num_workers(); ++i) {
+      if (i != self.id() && published_load(i) > 0) {
+        work = true;
+        break;
+      }
+    }
+  }
+  // Even when the recheck found work we still poll nonblockingly: ready
+  // fds feed the readyq ahead of a steal attempt.  A notify_work racing
+  // with the flag set above wrote the eventfd, which stays readable until
+  // drained -- a blocking poll returns immediately rather than sleeping
+  // through the new work.
+  IoPoller* io = self.io_poller();
+  io->poll(work ? 0 : idle_.io_wait_us);
+  self.set_io_blocked(false);
+  io_blocked_.fetch_sub(1, std::memory_order_seq_cst);
+  if (self.poll_word() != 0) self.poll_slow();
+}
+
 void Runtime::request_sample_all() const noexcept {
   for (const auto& w : workers_) w->post_poll_bits(Worker::kPollSample);
 }
@@ -796,7 +874,7 @@ RuntimeStats Runtime::stats() const {
     for (const auto& w : workers_) {
       if (w.get() == self) continue;
       while ((w->poll_word() & Worker::kPollSample) != 0 && !w->parked() &&
-             std::chrono::steady_clock::now() < deadline) {
+             !w->io_blocked() && std::chrono::steady_clock::now() < deadline) {
         std::this_thread::yield();
       }
     }
@@ -816,6 +894,11 @@ RuntimeStats Runtime::stats() const {
     out.steals_rejected += get(m.steals_rejected);
     out.steals_cancelled += get(m.steals_cancelled);
     out.tasks_completed += get(m.tasks_completed);
+    out.io_wakeups += get(m.io_wakeups);
+    out.io_events += get(m.io_events);
+    out.io_timers += get(m.io_timers);
+    out.io_migrations += get(m.io_migrations);
+    out.io_cancels += get(m.io_cancels);
     StackRegion& r = w->region();
     out.region_high_water += r.high_water();
     out.heap_fallbacks += r.heap_fallbacks();
@@ -841,7 +924,11 @@ std::string Runtime::metrics_json() const {
      << ",\"region_high_water\":" << agg.region_high_water
      << ",\"heap_fallbacks\":" << agg.heap_fallbacks
      << ",\"region_scavenges\":" << agg.region_scavenges
-     << ",\"region_trims\":" << agg.region_trims << "},";
+     << ",\"region_trims\":" << agg.region_trims
+     << ",\"io_wakeups\":" << agg.io_wakeups << ",\"io_events\":" << agg.io_events
+     << ",\"io_timers\":" << agg.io_timers
+     << ",\"io_migrations\":" << agg.io_migrations
+     << ",\"io_cancels\":" << agg.io_cancels << "},";
   os << "\"per_worker\":[";
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     Worker& w = *workers_[i];
@@ -856,6 +943,7 @@ std::string Runtime::metrics_json() const {
                                   : "?")
        << "\""
        << ",\"parked\":" << (w.parked() ? 1 : 0)
+       << ",\"io_blocked\":" << (w.io_blocked() ? 1 : 0)
        << ",\"heartbeat\":" << w.heartbeat_count()
        << ",\"fork_deque\":" << w.fork_deque().size()
        << ",\"readyq\":" << w.readyq().size()
@@ -881,6 +969,8 @@ std::string Runtime::metrics_json() const {
       {"steal_cancel_latency", "ns", ns, &WorkerMetrics::steal_cancel_latency},
       {"suspend_to_restart", "ns", ns, &WorkerMetrics::suspend_to_restart},
       {"fork_deque_depth", "tasks", 1.0, &WorkerMetrics::deque_depth},
+      {"io_wait", "ns", ns, &WorkerMetrics::io_wait},
+      {"io_ready_batch", "events", 1.0, &WorkerMetrics::io_ready_batch},
   };
   os << "\"histograms\":[";
   bool first = true;

@@ -81,6 +81,7 @@ struct IdlePolicy {
   int yields = 8;            ///< ST_YIELD: sched yields (stage 2)
   long park_timeout_us = 2000;  ///< ST_PARK_TIMEOUT_US: belt-and-braces wake
   bool load_victim = true;   ///< ST_VICTIM=load|random
+  long io_wait_us = 2000;    ///< ST_IO_WAIT_US: stage-3 epoll_wait timeout
 };
 
 /// Aggregated counters over all workers (see WorkerStats).
@@ -91,6 +92,8 @@ struct RuntimeStats {
   std::uint64_t tasks_completed = 0;
   std::uint64_t region_high_water = 0, heap_fallbacks = 0;
   std::uint64_t region_scavenges = 0, region_trims = 0;
+  std::uint64_t io_wakeups = 0, io_events = 0, io_timers = 0;
+  std::uint64_t io_migrations = 0, io_cancels = 0;
 };
 
 class Runtime {
@@ -164,6 +167,17 @@ class Runtime {
   /// or when the recheck found work.
   void park_worker(Worker& self);
 
+  /// Stage-3 variant for workers whose reactor has suspended waiters:
+  /// block in epoll_wait (ST_IO_WAIT_US) instead of the futex so fd
+  /// readiness, timer expiry and notify_work (via IoPoller::wake) all end
+  /// the sleep.  Same publication contract as park_worker.
+  void io_block_worker(Worker& self);
+
+  /// Workers currently blocked inside their reactor's epoll_wait.
+  unsigned io_blocked_workers() const noexcept {
+    return io_blocked_.load(std::memory_order_acquire);
+  }
+
   /// Post kPollSample to every worker (monitor tick / stats()).
   void request_sample_all() const noexcept;
 
@@ -188,6 +202,7 @@ class Runtime {
   /// contract; wraparound is harmless (pure inequality check).
   alignas(stu::kCacheLine) std::atomic<std::uint32_t> work_epoch_{0};
   std::atomic<unsigned> parked_{0};
+  std::atomic<unsigned> io_blocked_{0};
 };
 
 // ---------------------------------------------------------------------

@@ -70,6 +70,24 @@ struct StealRequest {
   Continuation reply;
 };
 
+/// Runtime-side view of a per-worker I/O reactor (implemented in src/io,
+/// which layers *above* the runtime).  The owner worker folds poll() into
+/// its idle backoff; notify_work() calls wake() on io-blocked workers so
+/// an epoll_wait never outlives the work it is hiding from.
+class IoPoller {
+ public:
+  virtual ~IoPoller() = default;
+  /// True when some fine-grain thread is suspended on an fd or a timer of
+  /// this reactor (owner-called; gates the idle-path epoll folding).
+  virtual bool has_pending() const noexcept = 0;
+  /// Drain ready events, resuming waiters onto the owner's readyq.
+  /// timeout_us <= 0 polls nonblockingly; returns the number of waiters
+  /// resumed.  Owner worker only.
+  virtual int poll(long timeout_us) = 0;
+  /// Any thread: force a blocked poll() to return promptly (eventfd).
+  virtual void wake() noexcept = 0;
+};
+
 /// Per-worker counters.  Plain fields: written only by the owning worker
 /// thread, read by nobody else.  The owner copies them into the atomic
 /// WorkerStatsMirror from the slow path (publish_stats); readers go
@@ -84,6 +102,11 @@ struct WorkerStats {
   std::uint64_t steals_rejected = 0;
   std::uint64_t steals_cancelled = 0;
   std::uint64_t tasks_completed = 0;
+  std::uint64_t io_wakeups = 0;     ///< epoll_wait returns with >= 1 event
+  std::uint64_t io_events = 0;      ///< waiters resumed by readiness/expiry
+  std::uint64_t io_timers = 0;      ///< sleep_for expiries delivered
+  std::uint64_t io_migrations = 0;  ///< fd interest re-homed after a steal
+  std::uint64_t io_cancels = 0;     ///< waiters cancelled by close()
 };
 
 /// Racy-reader copy of WorkerStats (relaxed atomics, single publisher).
@@ -97,6 +120,11 @@ struct WorkerStatsMirror {
   std::atomic<std::uint64_t> steals_rejected{0};
   std::atomic<std::uint64_t> steals_cancelled{0};
   std::atomic<std::uint64_t> tasks_completed{0};
+  std::atomic<std::uint64_t> io_wakeups{0};
+  std::atomic<std::uint64_t> io_events{0};
+  std::atomic<std::uint64_t> io_timers{0};
+  std::atomic<std::uint64_t> io_migrations{0};
+  std::atomic<std::uint64_t> io_cancels{0};
 };
 
 /// What the worker is doing right now, for the monitor's classification
@@ -115,6 +143,8 @@ struct WorkerMetrics {
   stu::LogHistogram steal_cancel_latency;///< post -> withdrawn, ticks
   stu::LogHistogram suspend_to_restart;  ///< suspend() -> dispatch, ticks
   stu::LogHistogram deque_depth;         ///< fork-deque depth, decimated sample
+  stu::LogHistogram io_wait;             ///< fd-suspend arm -> readiness, ticks
+  stu::LogHistogram io_ready_batch;      ///< events per epoll_wait return (counts)
 };
 
 class alignas(stu::kCacheLine) Worker {
@@ -130,7 +160,13 @@ class alignas(stu::kCacheLine) Worker {
   /// (power-of-two decimation; also the deque_depth sampling rate).
   static constexpr int kDepthSampleEvery = 64;
 
+  /// Scheduler-loop cadence of the nonblocking reactor poll while the
+  /// worker is busy (a saturated worker must still drain its epoll set;
+  /// idle workers poll on every backoff episode instead).
+  static constexpr int kIoPollEvery = 64;
+
   Worker(Runtime& rt, unsigned id, std::size_t stacklet_bytes, std::size_t region_slots);
+  ~Worker();
 
   /// The scheduler loop of Figure 12 (runs on the worker's OS thread),
   /// with the staged idle backoff: pause spin -> yield -> futex park.
@@ -236,6 +272,28 @@ class alignas(stu::kCacheLine) Worker {
     parked_.store(p, std::memory_order_release);
   }
 
+  /// The worker's I/O reactor, installed lazily by src/io on the first
+  /// would-block operation run on this worker (owner stores; any thread
+  /// may read -- notify_work walks these to wake blocked pollers).  The
+  /// worker owns the poller and deletes it at destruction.
+  IoPoller* io_poller() const noexcept {
+    return io_poller_.load(std::memory_order_acquire);
+  }
+  void install_io_poller(IoPoller* p) noexcept {
+    io_poller_.store(p, std::memory_order_release);
+  }
+
+  /// True while the worker is blocked inside io_poller()->poll() in place
+  /// of a futex park (stage 3 of the idle backoff).  Same contract as
+  /// parked(): mirrors were published first, stats() treats them as
+  /// current, and notify_work must wake() the reactor.
+  bool io_blocked() const noexcept {
+    return io_blocked_.load(std::memory_order_acquire);
+  }
+  void set_io_blocked(bool b) noexcept {
+    io_blocked_.store(b, std::memory_order_release);
+  }
+
   WorkerMetrics& metrics() noexcept { return metrics_; }
   const WorkerMetrics& metrics() const noexcept { return metrics_; }
 
@@ -275,6 +333,9 @@ class alignas(stu::kCacheLine) Worker {
   std::atomic<std::uint64_t> hb_mirror_{0};
   std::atomic<std::uint32_t> phase_{0};  // WorkerPhase::kIdle
   std::atomic<bool> parked_{false};
+  std::atomic<bool> io_blocked_{false};
+  std::atomic<IoPoller*> io_poller_{nullptr};
+  int io_poll_countdown_ = kIoPollEvery;
   // Cross-worker mailboxes on their own line: thieves CAS the port and
   // fetch_or the poll word; the owner polls the word every fork.
   alignas(stu::kCacheLine) std::atomic<std::uint32_t> poll_word_{0};

@@ -86,6 +86,7 @@ const char* kEventNames[kTraceEventCount] = {
     "steal-cancelled",
     "stacklet-alloc", "heap-fallback",
     "vm-suspend", "vm-restart", "vm-shrink", "vm-migrate",
+    "io-wait", "io-ready", "io-wake", "io-timer", "io-migrate", "io-cancel",
 };
 
 constexpr std::uint64_t kGroupSteal =
@@ -97,6 +98,9 @@ constexpr std::uint64_t kGroupVm = bit(kTraceVmSuspend) | bit(kTraceVmRestart) |
 constexpr std::uint64_t kGroupSched = bit(kTraceFork) | bit(kTraceSuspend) |
                                       bit(kTraceResume) | bit(kTraceResumeRun) |
                                       bit(kTraceRestart) | bit(kTraceTaskComplete);
+constexpr std::uint64_t kGroupIo = bit(kTraceIoWait) | bit(kTraceIoReady) |
+                                   bit(kTraceIoWake) | bit(kTraceIoTimer) |
+                                   bit(kTraceIoMigrate) | bit(kTraceIoCancel);
 
 void append_escaped(std::string& out, const char* s) {
   for (; *s != '\0'; ++s) {
@@ -134,6 +138,8 @@ std::uint64_t trace_parse_mask(const std::string& spec) {
       mask |= kGroupVm;
     } else if (tok == "sched") {
       mask |= kGroupSched;
+    } else if (tok == "io") {
+      mask |= kGroupIo;
     } else {
       for (int e = 0; e < kTraceEventCount; ++e) {
         if (tok == kEventNames[e]) mask |= std::uint64_t{1} << e;
@@ -341,7 +347,7 @@ std::string trace_to_json(std::vector<TraceRecord> records) {
   // (record field a); resume edges key on the Continuation address.  Ids
   // are assigned at flow start so address reuse cannot conflate
   // negotiations.
-  std::map<std::uint64_t, std::uint64_t> steal_flow, resume_flow;
+  std::map<std::uint64_t, std::uint64_t> steal_flow, resume_flow, io_flow;
   std::uint64_t next_flow_id = 1;
 
   auto emit_flow = [&](const char* ph, const char* cat, std::uint64_t id,
@@ -400,6 +406,21 @@ std::string trace_to_json(std::vector<TraceRecord> records) {
         if (it != resume_flow.end()) {
           emit_flow("f", "resume", it->second, r);
           resume_flow.erase(it);
+        }
+        break;
+      }
+      case kTraceIoWait: {
+        const std::uint64_t id = next_flow_id++;
+        io_flow[r.a] = id;
+        emit_flow("s", "io", id, r);
+        break;
+      }
+      case kTraceIoReady:
+      case kTraceIoCancel: {
+        auto it = io_flow.find(r.a);
+        if (it != io_flow.end()) {
+          emit_flow("f", "io", it->second, r);
+          io_flow.erase(it);
         }
         break;
       }

@@ -67,6 +67,13 @@ enum TraceEvent : std::uint16_t {
   kTraceVmRestart,       ///< RA/parent-FP slot patch (Figure 7)
   kTraceVmShrink,        ///< retired maxima popped, SP raised (Section 5.2)
   kTraceVmMigrate,       ///< Figure 9 two-suspend + restart steal dance
+  // Reactor events (src/io): the suspend/restart <-> epoll handshake.
+  kTraceIoWait,          ///< would-block op armed interest and suspended
+  kTraceIoReady,         ///< readiness fired; the waiter's continuation resumed
+  kTraceIoWake,          ///< epoll_wait returned (a=ready count, b=timeout us)
+  kTraceIoTimer,         ///< sleep_for armed / timer expiry resumed a sleeper
+  kTraceIoMigrate,       ///< fd interest moved to the calling worker's reactor
+  kTraceIoCancel,        ///< close() cancelled a suspended waiter
   kTraceEventCount,
 };
 static_assert(kTraceEventCount <= 64, "event mask is a uint64_t bitset");

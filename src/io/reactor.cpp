@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "util/env.hpp"
+#include "util/sched_log.hpp"
 #include "util/metrics.hpp"
 
 namespace st::io {
@@ -237,6 +238,14 @@ void Reactor::deliver(FdState::Waiter* w, std::uint32_t events) {
     if (now > w->t_arm) w_.metrics().io_wait.record(now - w->t_arm);
   }
   w_.trace(stu::kTraceIoReady, reinterpret_cast<std::uintptr_t>(w), events);
+  // Io-readiness delivery order is a scheduling decision (which waiter
+  // inside an epoll batch resumes first).  Recorded for the schedule log;
+  // replay cannot steer the kernel, so these interleave as context only.
+  if (stu::sched_recording()) [[unlikely]] {
+    stu::sched_record(stu::kSchedIoReady, static_cast<std::uint16_t>(w_.id()),
+                      stu::kTraceSrcRuntime, reinterpret_cast<std::uintptr_t>(w),
+                      events, &w_.trace_ring());
+  }
   resume(&w->cont);
 }
 

@@ -18,6 +18,7 @@
 #include "runtime/monitor.hpp"
 #include "util/env.hpp"
 #include "util/metrics.hpp"
+#include "util/sched_log.hpp"
 #include "util/trace_export.hpp"
 
 namespace st {
@@ -323,10 +324,18 @@ void Worker::poll_slow() noexcept {
         ++stats_.steals_served;
         trace(stu::kTraceStealServed, reinterpret_cast<std::uintptr_t>(r),
               reinterpret_cast<std::uintptr_t>(task));
+        if (stu::sched_recording()) [[unlikely]] {
+          stu::sched_record(stu::kSchedServe, static_cast<std::uint16_t>(id_),
+                            stu::kTraceSrcRuntime, r->thief, 1, &trace_);
+        }
         r->state.store(StealRequest::kServed, std::memory_order_release);
       } else {
         ++stats_.steals_rejected;
         trace(stu::kTraceStealRejected, reinterpret_cast<std::uintptr_t>(r));
+        if (stu::sched_recording()) [[unlikely]] {
+          stu::sched_record(stu::kSchedServe, static_cast<std::uint16_t>(id_),
+                            stu::kTraceSrcRuntime, r->thief, 0, &trace_);
+        }
         r->state.store(StealRequest::kRejected, std::memory_order_release);
       }
       publish_depth();  // occupancy changed (or a stale value cost a reject)
@@ -394,7 +403,42 @@ void Worker::sample_depth() noexcept {
 }
 
 bool Worker::try_steal_and_run() {
-  Worker* victim = rt_.choose_victim(rng_, id_);
+  // Schedule record/replay seam (util/sched_log.hpp).  Recording logs
+  // one kSchedVictim per *posted* probe (after the port CAS, so every
+  // logged probe has a matching kSchedStealResult) -- idle-loop calls
+  // that found no victim are not logged, keeping spin logs small.
+  // Replay consumes the probe/outcome pair up front and steers toward
+  // them: the recorded victim is forced, a recorded "served" suppresses
+  // the cancel timeout (bounded -- see below), a recorded "cancelled"
+  // withdraws immediately.  OS-thread timing can still disagree; every
+  // unhonored decision counts as divergence.
+  Worker* victim = nullptr;
+  stu::SchedDecision forced_outcome{};
+  bool have_outcome = false;
+  if (stu::sched_replaying()) [[unlikely]] {
+    stu::SchedDecision d;
+    if (stu::sched_replay_next(stu::kSchedVictim, static_cast<std::uint16_t>(id_),
+                               stu::kTraceSrcRuntime, &d, &trace_)) {
+      if (d.a < rt_.num_workers() && d.a != id_) {
+        victim = &rt_.worker(static_cast<unsigned>(d.a));
+      } else {
+        stu::sched_note_divergence(stu::kSchedVictim, static_cast<std::uint16_t>(id_),
+                                   stu::kTraceSrcRuntime, d.seq, d.a, id_,
+                                   "forced victim id invalid");
+      }
+      // Consume the paired outcome even when the victim was unusable so
+      // later negotiations stay aligned with their own pairs.
+      have_outcome = stu::sched_replay_next(stu::kSchedStealResult,
+                                            static_cast<std::uint16_t>(id_),
+                                            stu::kTraceSrcRuntime, &forced_outcome,
+                                            &trace_);
+      if (victim == nullptr) return false;
+    } else {
+      victim = rt_.choose_victim(rng_, id_);  // log exhausted: free-run
+    }
+  } else {
+    victim = rt_.choose_victim(rng_, id_);
+  }
   if (victim == nullptr) return false;
   ++stats_.steal_attempts;
   set_phase(WorkerPhase::kStealing);
@@ -402,8 +446,16 @@ bool Worker::try_steal_and_run() {
   const std::uint64_t t0 = timed ? stu::trace_clock() : 0;
 
   StealRequest req;
+  req.thief = static_cast<std::uint32_t>(id_);
   StealRequest* expected = nullptr;
   if (!victim->port().compare_exchange_strong(expected, &req, std::memory_order_acq_rel)) {
+    if (have_outcome) {
+      stu::sched_note_divergence(stu::kSchedStealResult,
+                                 static_cast<std::uint16_t>(id_),
+                                 stu::kTraceSrcRuntime, forced_outcome.seq,
+                                 forced_outcome.a, stu::kSchedOutcomeRejected,
+                                 "victim port already claimed");
+    }
     set_phase(WorkerPhase::kIdle);
     return false;  // someone else is already negotiating with this victim
   }
@@ -411,12 +463,28 @@ bool Worker::try_steal_and_run() {
   // that clears the bit concurrently re-observes the request next poll).
   victim->post_poll_bits(kPollSteal);
   trace(stu::kTraceStealPosted, reinterpret_cast<std::uintptr_t>(&req), victim->id());
+  if (stu::sched_recording()) [[unlikely]] {
+    stu::sched_record(stu::kSchedVictim, static_cast<std::uint16_t>(id_),
+                      stu::kTraceSrcRuntime, victim->id(), 0, &trace_);
+  }
+
+  // A recorded "served" waits well past the normal limit for the victim
+  // to deliver (the bound keeps a mutated schedule from hanging the
+  // thief); a recorded "cancelled" withdraws at the first opportunity.
+  int cancel_after = kStealSpinLimit;
+  if (have_outcome) {
+    if (forced_outcome.a == stu::kSchedOutcomeServed) {
+      cancel_after = kStealSpinLimit * 64;
+    } else if (forced_outcome.a == stu::kSchedOutcomeCancelled) {
+      cancel_after = 0;
+    }
+  }
 
   int spins = 0;
   bool cancel_tried = false;
   while (req.state.load(std::memory_order_acquire) == StealRequest::kPosted) {
     serve_steal_request();  // stay responsive to requests aimed at us
-    if (++spins > kStealSpinLimit && !cancel_tried) {
+    if (++spins > cancel_after && !cancel_tried) {
       cancel_tried = true;
       StealRequest* me = &req;
       if (victim->port().compare_exchange_strong(me, nullptr, std::memory_order_acq_rel)) {
@@ -425,6 +493,18 @@ bool Worker::try_steal_and_run() {
         // the spin-limit constant.
         ++stats_.steals_cancelled;
         trace(stu::kTraceStealCancelled, reinterpret_cast<std::uintptr_t>(&req), victim->id());
+        if (stu::sched_recording()) [[unlikely]] {
+          stu::sched_record(stu::kSchedStealResult, static_cast<std::uint16_t>(id_),
+                            stu::kTraceSrcRuntime, stu::kSchedOutcomeCancelled,
+                            victim->id(), &trace_);
+        }
+        if (have_outcome && forced_outcome.a != stu::kSchedOutcomeCancelled) {
+          stu::sched_note_divergence(stu::kSchedStealResult,
+                                     static_cast<std::uint16_t>(id_),
+                                     stu::kTraceSrcRuntime, forced_outcome.seq,
+                                     forced_outcome.a, stu::kSchedOutcomeCancelled,
+                                     "negotiation cancelled");
+        }
         if (timed) metrics_.steal_cancel_latency.record(stu::trace_clock() - t0);
         set_phase(WorkerPhase::kIdle);
         return false;
@@ -437,7 +517,24 @@ bool Worker::try_steal_and_run() {
   // time is the steal latency.
   if (timed) metrics_.steal_latency.record(stu::trace_clock() - t0);
 
-  if (req.state.load(std::memory_order_acquire) != StealRequest::kServed) {
+  const bool served = req.state.load(std::memory_order_acquire) == StealRequest::kServed;
+  if (stu::sched_recording()) [[unlikely]] {
+    stu::sched_record(stu::kSchedStealResult, static_cast<std::uint16_t>(id_),
+                      stu::kTraceSrcRuntime,
+                      served ? stu::kSchedOutcomeServed : stu::kSchedOutcomeRejected,
+                      victim->id(), &trace_);
+  }
+  if (have_outcome &&
+      forced_outcome.a != (served ? stu::kSchedOutcomeServed
+                                  : stu::kSchedOutcomeRejected)) {
+    stu::sched_note_divergence(stu::kSchedStealResult, static_cast<std::uint16_t>(id_),
+                               stu::kTraceSrcRuntime, forced_outcome.seq,
+                               forced_outcome.a,
+                               served ? stu::kSchedOutcomeServed
+                                      : stu::kSchedOutcomeRejected,
+                               "negotiation resolved differently");
+  }
+  if (!served) {
     set_phase(WorkerPhase::kIdle);
     return false;
   }
@@ -569,6 +666,7 @@ void Worker::scheduler_loop() {
 Runtime::Runtime(RuntimeConfig cfg) {
   stu::trace_configure_from_env();  // first-runtime process configuration
   stu::metrics_configure_from_env();
+  stu::sched_configure_from_env();
   if (cfg.workers == 0) cfg.workers = 1;
   idle_.park = cfg.park >= 0 ? cfg.park != 0 : stu::env_long("ST_PARK", 1) != 0;
 #if !defined(__linux__)
@@ -703,11 +801,27 @@ void Runtime::inject(std::function<void()> fn) {
 
 bool Runtime::pop_injected(std::function<void()>& out) {
   if (injected_count_.load(std::memory_order_acquire) == 0) return false;
+  // Replay gate: which worker claims an injected root is a scheduling
+  // decision (it decides where the whole computation tree grows from).
+  // If the log says another worker took this root, step aside; the gate
+  // abandons an unclaimable head after bounded refusals so a log from a
+  // different worker count cannot wedge the loop.
+  const std::uint16_t me = tl_worker != nullptr
+                               ? static_cast<std::uint16_t>(tl_worker->id())
+                               : static_cast<std::uint16_t>(0xffff);
+  if (stu::sched_replaying()) [[unlikely]] {
+    if (!stu::sched_replay_root_claim(me, stu::kTraceSrcRuntime)) return false;
+  }
   stu::SpinGuard g(inject_lock_);
   if (injected_.empty()) return false;
   injected_count_.fetch_sub(1, std::memory_order_acq_rel);
   out = std::move(injected_.front());
   injected_.erase(injected_.begin());
+  if (stu::sched_recording()) [[unlikely]] {
+    stu::sched_record(stu::kSchedRoot, me, stu::kTraceSrcRuntime,
+                      injected_.size(), 0,
+                      tl_worker != nullptr ? &tl_worker->trace_ring() : nullptr);
+  }
   return true;
 }
 
@@ -805,7 +919,22 @@ void Runtime::park_worker(Worker& self) {
       }
     }
   }
-  if (!work) futex_wait(work_epoch_, epoch, idle_.park_timeout_us);
+  if (!work) {
+    // Park/wake edges are recorded (not steered): replay cannot force a
+    // futex to sleep, but the edges interleave into the schedule log so
+    // a shrunk schedule shows who was asleep around the failure.
+    if (stu::sched_recording()) [[unlikely]] {
+      stu::sched_record(stu::kSchedPark, static_cast<std::uint16_t>(self.id()),
+                        stu::kTraceSrcRuntime, epoch, 0, &self.trace_ring());
+    }
+    futex_wait(work_epoch_, epoch, idle_.park_timeout_us);
+    if (stu::sched_recording()) [[unlikely]] {
+      stu::sched_record(stu::kSchedUnpark, static_cast<std::uint16_t>(self.id()),
+                        stu::kTraceSrcRuntime,
+                        work_epoch_.load(std::memory_order_seq_cst), 0,
+                        &self.trace_ring());
+    }
+  }
   self.set_parked(false);
   parked_.fetch_sub(1, std::memory_order_seq_cst);
   // Service anything that landed while we were out (steal posts are

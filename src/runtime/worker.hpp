@@ -67,6 +67,7 @@ struct Continuation {
 struct StealRequest {
   enum State : std::uint32_t { kPosted = 0, kServed = 1, kRejected = 2 };
   std::atomic<std::uint32_t> state{kPosted};
+  std::uint32_t thief = 0;  ///< requesting worker id (schedule log payload)
   Continuation reply;
 };
 

@@ -7,6 +7,7 @@
 
 #include "stvm/verify.hpp"
 #include "util/env.hpp"
+#include "util/sched_log.hpp"
 #include "util/trace_export.hpp"
 
 namespace stvm {
@@ -31,6 +32,7 @@ Vm::Vm(const PostprocResult& program, VmConfig cfg)
     : code_(program.module.code), cfg_(cfg), rng_(cfg.steal_seed) {
   stu::trace_configure_from_env();
   stu::metrics_configure_from_env();
+  stu::sched_configure_from_env();
   stu::trace_ring_register(&trace_);
   metrics_provider_ =
       stu::MetricsRegistry::instance().add_provider([this] { return metrics_json(); });
@@ -278,14 +280,49 @@ void Vm::step_worker(unsigned w) {
     idle_step(w);
     return;
   }
-  if (threaded_) {
-    exec_quantum_threaded(w);
-    return;
+  // Schedule record/replay seam (util/sched_log.hpp).  The quantum
+  // length is the VM's one timing-like degree of freedom: replay forces
+  // the budget to the instruction count the recorded quantum actually
+  // retired, making preemption points land on the same architectural
+  // instruction regardless of engine (both engines charge the budget
+  // once per architectural instruction).
+  int budget = cfg_.quantum;
+  const bool recording = stu::sched_recording();
+  stu::SchedDecision forced{};
+  bool have_forced = false;
+  if (stu::sched_replaying()) [[unlikely]] {
+    // Consume without the trace ride-along: recording emits its
+    // kTraceSched *after* the quantum runs (the instruction count is
+    // only known then), so replay defers its re-emission to the same
+    // point to keep the two trace streams bit-identical.
+    if (stu::sched_replay_next(stu::kSchedQuantum, static_cast<std::uint16_t>(w),
+                               stu::kTraceSrcStvm, &forced)) {
+      have_forced = true;
+      // A mutated log can carry any value; clamp so progress is
+      // guaranteed and the budget fits the engines' int arithmetic.
+      budget = forced.a < 1 ? 1
+               : forced.a > 0x40000000ull ? 0x40000000
+                                          : static_cast<int>(forced.a);
+    }
   }
-  for (int i = 0; i < cfg_.quantum; ++i) {
-    exec_instr(w);
-    if (cfg_.validate) validate_worker(w);
-    if (W.idle || W.halted || result_.has_value()) break;
+  const std::uint64_t before = stats_.instructions;
+  if (threaded_) {
+    exec_quantum_threaded(w, budget);
+  } else {
+    for (int i = 0; i < budget; ++i) {
+      exec_instr(w);
+      if (cfg_.validate) validate_worker(w);
+      if (W.idle || W.halted || result_.has_value()) break;
+    }
+  }
+  if (recording) [[unlikely]] {
+    stu::sched_record(stu::kSchedQuantum, static_cast<std::uint16_t>(w),
+                      stu::kTraceSrcStvm, stats_.instructions - before,
+                      static_cast<std::uint64_t>(W.pc), &trace_);
+  }
+  if (have_forced && stu::trace_enabled(stu::kTraceSched)) [[unlikely]] {
+    trace_.emit(stu::kTraceSched, static_cast<std::uint16_t>(w),
+                stu::kTraceSrcStvm, forced.seq, forced.kind);
   }
 }
 
@@ -322,21 +359,62 @@ void Vm::idle_step(unsigned w) {
     // deepest readyq.  When every queue is empty, fall back to the
     // blind random probe -- a running victim with an empty readyq can
     // still hand over work via the Figure 9 logical-stack migration.
+    //
+    // Schedule record/replay: every probe outcome is logged 1:1
+    // (including "found nobody", kSchedNoVictim) so replay can force the
+    // exact probe sequence.  `b` marks whether the rng fallback drew a
+    // number; replay re-draws in that case so the rng stream stays
+    // aligned with the recorded run even past the end of the log.
     int victim = -1;
-    std::size_t best_depth = 0;
-    for (unsigned v = 0; v < cfg_.workers; ++v) {
-      if (v == w || workers_[v].halted || workers_[v].steal_request_from >= 0) continue;
-      const std::size_t depth = workers_[v].readyq.size();
-      if (depth > best_depth) {
-        best_depth = depth;
-        victim = static_cast<int>(v);
+    bool used_rng = false;
+    bool forced = false;
+    if (stu::sched_replaying()) [[unlikely]] {
+      stu::SchedDecision d;
+      if (stu::sched_replay_next(stu::kSchedVictim, static_cast<std::uint16_t>(w),
+                                 stu::kTraceSrcStvm, &d, &trace_)) {
+        forced = true;
+        if (d.b != 0) (void)rng_.below(cfg_.workers - 1);
+        if (d.a == stu::kSchedNoVictim) {
+          victim = -1;
+        } else if (d.a < cfg_.workers && d.a != w && !workers_[d.a].halted &&
+                   workers_[d.a].steal_request_from < 0) {
+          victim = static_cast<int>(d.a);
+        } else {
+          // Mutated/foreign log: the forced victim is not probeable in
+          // this state.  Skip the probe deterministically.
+          stu::sched_note_divergence(stu::kSchedVictim,
+                                     static_cast<std::uint16_t>(w),
+                                     stu::kTraceSrcStvm, d.seq, d.a,
+                                     stu::kSchedNoVictim,
+                                     "forced victim not probeable");
+          victim = -1;
+        }
       }
     }
-    if (victim < 0) {
-      unsigned r = static_cast<unsigned>(rng_.below(cfg_.workers - 1));
-      if (r >= w) ++r;
-      if (workers_[r].steal_request_from < 0 && !workers_[r].halted) {
-        victim = static_cast<int>(r);
+    if (!forced) {
+      std::size_t best_depth = 0;
+      for (unsigned v = 0; v < cfg_.workers; ++v) {
+        if (v == w || workers_[v].halted || workers_[v].steal_request_from >= 0) continue;
+        const std::size_t depth = workers_[v].readyq.size();
+        if (depth > best_depth) {
+          best_depth = depth;
+          victim = static_cast<int>(v);
+        }
+      }
+      if (victim < 0) {
+        unsigned r = static_cast<unsigned>(rng_.below(cfg_.workers - 1));
+        used_rng = true;
+        if (r >= w) ++r;
+        if (workers_[r].steal_request_from < 0 && !workers_[r].halted) {
+          victim = static_cast<int>(r);
+        }
+      }
+      if (stu::sched_recording()) [[unlikely]] {
+        stu::sched_record(stu::kSchedVictim, static_cast<std::uint16_t>(w),
+                          stu::kTraceSrcStvm,
+                          victim >= 0 ? static_cast<std::uint64_t>(victim)
+                                      : stu::kSchedNoVictim,
+                          used_rng ? 1 : 0, &trace_);
       }
     }
     if (victim >= 0) {
@@ -471,16 +549,16 @@ void Vm::exec_instr(unsigned w) {
 
 #if defined(__GNUC__)
 
-void Vm::exec_quantum_threaded(unsigned w) {
+void Vm::exec_quantum_threaded(unsigned w, int budget) {
   if (engine_flags_ == 0) {
-    exec_quantum_threaded_impl<false>(w);
+    exec_quantum_threaded_impl<false>(w, budget);
   } else {
-    exec_quantum_threaded_impl<true>(w);
+    exec_quantum_threaded_impl<true>(w, budget);
   }
 }
 
 template <bool kSlow>
-void Vm::exec_quantum_threaded_impl(unsigned w) {
+void Vm::exec_quantum_threaded_impl(unsigned w, int budget) {
   static const void* const kL[] = {
       &&L_li, &&L_mov, &&L_add, &&L_sub, &&L_mul, &&L_div, &&L_addi, &&L_subi,
       &&L_ld, &&L_st, &&L_call, &&L_callr, &&L_jmp, &&L_jr, &&L_beq, &&L_bne,
@@ -508,7 +586,6 @@ void Vm::exec_quantum_threaded_impl(unsigned w) {
   const std::int64_t code_size = static_cast<std::int64_t>(code_.size());
   // kSlow == false folds every flag test below away at compile time.
   const std::uint32_t flags = kSlow ? engine_flags_ : 0;
-  int budget = cfg_.quantum;
   // Fold retired-instruction count into the global counter on every exit
   // path, including exceptions escaping builtins or fault handlers.
   struct Flush {
@@ -1107,8 +1184,9 @@ engine_exit:
 
 #else  // non-GNU toolchains: the constructor never selects this engine
 
-void Vm::exec_quantum_threaded(unsigned w) {
+void Vm::exec_quantum_threaded(unsigned w, int budget) {
   (void)w;
+  (void)budget;
   throw VmError("threaded dispatch requires the GNU labels-as-values extension");
 }
 

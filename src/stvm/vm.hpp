@@ -212,16 +212,17 @@ class Vm {
   // ---- execution -------------------------------------------------------
   void step_worker(unsigned w);
   void exec_instr(unsigned w);
-  /// Runs up to one quantum on the predecoded stream with computed-goto
-  /// dispatch (vm.cpp bottom half; requires the GNU labels-as-values
-  /// extension -- the constructor falls back to the switch engine
-  /// elsewhere).
-  void exec_quantum_threaded(unsigned w);
+  /// Runs up to one quantum (`budget` architectural instructions; the
+  /// schedule-replay seam in step_worker may force a non-default value)
+  /// on the predecoded stream with computed-goto dispatch (vm.cpp bottom
+  /// half; requires the GNU labels-as-values extension -- the
+  /// constructor falls back to the switch engine elsewhere).
+  void exec_quantum_threaded(unsigned w, int budget);
   /// The engine body, specialized on whether any observability hook
   /// (validate / opcode counting) is active: the common instantiation
   /// carries zero flag tests on the dispatch path.
   template <bool kSlow>
-  void exec_quantum_threaded_impl(unsigned w);
+  void exec_quantum_threaded_impl(unsigned w, int budget);
   void idle_step(unsigned w);
   void do_builtin(unsigned w, int id);
   void take_trampoline(unsigned w, Addr token);

@@ -87,6 +87,7 @@ const char* kEventNames[kTraceEventCount] = {
     "stacklet-alloc", "heap-fallback",
     "vm-suspend", "vm-restart", "vm-shrink", "vm-migrate",
     "io-wait", "io-ready", "io-wake", "io-timer", "io-migrate", "io-cancel",
+    "sched-decision",
 };
 
 constexpr std::uint64_t kGroupSteal =
@@ -205,17 +206,24 @@ namespace {
 /// g.lock.
 void flush_locked(TraceGlobals& g, const TraceRing& ring) {
   if (ring.empty()) return;
-  std::vector<TraceRecord> records = ring.snapshot();
-  const std::uint64_t h = ring.emitted();
+  // The head must be the one snapshot() based its copy on: reading
+  // emitted() *after* the copy (as this used to) lets a concurrent
+  // writer -- the crash-dump path flushes rings whose workers are still
+  // running -- advance the head in between, shifting the watermark base
+  // and re-exporting (or skipping) records on wraparound.  snapshot()
+  // itself drops any record overwritten mid-copy, so `head -
+  // records.size()` is exactly the index of the first returned record.
+  std::uint64_t head = 0;
+  std::vector<TraceRecord> records = ring.snapshot(&head);
   std::size_t skip = 0;
   auto it = g.live_rings.find(&ring);
   if (it != g.live_rings.end()) {
-    const std::uint64_t base = h - records.size();
+    const std::uint64_t base = head - records.size();
     if (it->second > base) {
       skip = static_cast<std::size_t>(
           std::min<std::uint64_t>(it->second - base, records.size()));
     }
-    it->second = h;
+    if (head > it->second) it->second = head;
   }
   g.sink.insert(g.sink.end(), records.begin() + static_cast<std::ptrdiff_t>(skip),
                 records.end());
@@ -365,11 +373,23 @@ std::string trace_to_json(std::vector<TraceRecord> records) {
     const char* name = trace_event_name(static_cast<TraceEvent>(r.event));
     std::string obj = "{\"name\":\"";
     append_escaped(obj, name);
-    std::snprintf(buf, sizeof buf,
-                  "\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%u,\"tid\":%u,"
-                  "\"ts\":%.3f,\"dur\":0,\"args\":{\"a\":%" PRIu64 ",\"b\":%" PRIu64 "}}",
-                  r.src == kTraceSrcStvm ? "stvm" : "runtime", r.src, r.worker,
-                  ts_us(r.tsc), r.a, r.b);
+    if (r.event == kTraceSched) {
+      // Schedule-clock ride-along (util/sched_log.hpp): a = Lamport seq,
+      // b = SchedKind.  Exported as a named "seq" arg so trace_lint can
+      // check the clock and viewers can correlate with the .sched file.
+      std::snprintf(buf, sizeof buf,
+                    "\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%u,\"tid\":%u,"
+                    "\"ts\":%.3f,\"dur\":0,\"args\":{\"seq\":%" PRIu64
+                    ",\"kind\":%" PRIu64 "}}",
+                    r.src == kTraceSrcStvm ? "stvm" : "runtime", r.src, r.worker,
+                    ts_us(r.tsc), r.a, r.b);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%u,\"tid\":%u,"
+                    "\"ts\":%.3f,\"dur\":0,\"args\":{\"a\":%" PRIu64 ",\"b\":%" PRIu64 "}}",
+                    r.src == kTraceSrcStvm ? "stvm" : "runtime", r.src, r.worker,
+                    ts_us(r.tsc), r.a, r.b);
+    }
     obj += buf;
     emit_raw(obj);
 
@@ -605,6 +625,43 @@ bool trace_json_lint(const std::string& text, std::string* err) {
     return false;
   }
   return true;
+}
+
+std::uint64_t trace_schedule_digest(const std::vector<TraceRecord>& records) {
+  // Small payloads (worker ids, counts, outcome codes) hash as
+  // themselves; larger ones (addresses, tokens) get a dense first-
+  // appearance numbering.  The renaming is injective, so two record
+  // sequences collide only if they are equal up to a consistent renaming
+  // of large payloads -- exactly the equivalence replay promises.
+  std::map<std::uint64_t, std::uint64_t> names;
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto norm = [&names](std::uint64_t v) {
+    if (v < 4096) return v;
+    const auto [it, fresh] = names.emplace(v, names.size() + 4096);
+    (void)fresh;
+    return it->second;
+  };
+  for (const TraceRecord& r : records) {
+    // The sched-decision ride-alongs are markers *about* the schedule,
+    // not effects of it: a replayed prefix re-emits only the prefix's
+    // markers, so including them would make every prefix trivially
+    // differ from the full run.  Excluding them gives shrink its
+    // invariant -- replaying an unmutated prefix digests equal to the
+    // free-run baseline -- while every real event still counts.
+    if (r.event == kTraceSched) continue;
+    mix(r.event);
+    mix(r.worker);
+    mix(r.src);
+    mix(norm(r.a));
+    mix(norm(r.b));
+  }
+  return h;
 }
 
 }  // namespace stu

@@ -95,6 +95,17 @@ double trace_ns_per_tick();
 void trace_sink_clear();
 std::vector<TraceRecord> trace_sink_snapshot();
 
+/// Order-sensitive FNV-1a digest of a trace for replay-determinism
+/// checks (tools/st_replay, sched_replay_test): hashes (event, worker,
+/// src, a, b) per record in sequence order, excluding timestamps and
+/// the kTraceSched ride-along markers (so a replayed log prefix can be
+/// compared against a free-run baseline that logged nothing).  Any
+/// payload >= 4096 -- pointers, tokens, large counts -- is renamed to a
+/// dense id by first appearance, so the digest is stable across ASLR
+/// while still distinguishing any two schedules that differ in event
+/// order or in which earlier object a payload refers to.
+std::uint64_t trace_schedule_digest(const std::vector<TraceRecord>& records);
+
 /// Merge-sorts `records` by timestamp and renders Chrome trace_event
 /// JSON (the {"traceEvents": [...]} object form).
 std::string trace_to_json(std::vector<TraceRecord> records);

@@ -74,6 +74,11 @@ enum TraceEvent : std::uint16_t {
   kTraceIoTimer,         ///< sleep_for armed / timer expiry resumed a sleeper
   kTraceIoMigrate,       ///< fd interest moved to the calling worker's reactor
   kTraceIoCancel,        ///< close() cancelled a suspended waiter
+  // Schedule record/replay (util/sched_log.hpp): a nondeterministic
+  // decision was logged (a = Lamport seq, b = SchedKind).  Appended last
+  // so the numeric values of every earlier event -- and therefore saved
+  // ST_TRACE_EVENTS masks -- stay stable.
+  kTraceSched,           ///< schedule decision recorded/replayed
   kTraceEventCount,
 };
 static_assert(kTraceEventCount <= 64, "event mask is a uint64_t bitset");
@@ -132,8 +137,9 @@ extern std::atomic<std::size_t> g_trace_ring_capacity;
 /// Single-writer bounded ring of TraceRecords.  The writer is the owning
 /// worker; `snapshot`/`size`/`dropped` are meant for after the writer has
 /// quiesced (the head counter is released on every emit, so a racy read
-/// sees a consistent prefix, but records mid-overwrite are the reader's
-/// problem -- exactly the discipline WorkerStats already uses).
+/// sees a consistent prefix).  snapshot() additionally re-reads the head
+/// after copying and discards anything the writer overwrote meanwhile,
+/// so the crash-dump flush never exports torn or duplicated records.
 class TraceRing {
  public:
   /// capacity 0 = take g_trace_ring_capacity at first emit.  Rounded up
@@ -184,16 +190,31 @@ class TraceRing {
   std::size_t capacity() const noexcept { return buf_.size(); }
   bool empty() const noexcept { return emitted() == 0; }
 
-  /// Retained records, oldest first.  Call only after the writer has
-  /// quiesced.
-  std::vector<TraceRecord> snapshot() const {
+  /// Retained records, oldest first.  Safe against a concurrent writer
+  /// (the crash-dump path): the head is read once before the copy
+  /// (returned via `head_out`, the exporter's watermark base) and again
+  /// after it, and any copied record the writer may have overwritten in
+  /// between -- index < new head - capacity -- is dropped rather than
+  /// returned torn or duplicated.
+  std::vector<TraceRecord> snapshot(std::uint64_t* head_out = nullptr) const {
     std::vector<TraceRecord> out;
-    const std::uint64_t h = emitted();
-    if (h == 0 || buf_.empty()) return out;
-    const std::uint64_t n = h < buf_.size() ? h : buf_.size();
+    const std::uint64_t h1 = emitted();
+    if (head_out != nullptr) *head_out = h1;
+    if (h1 == 0 || buf_.empty()) return out;
+    const std::uint64_t n = h1 < buf_.size() ? h1 : buf_.size();
     out.reserve(static_cast<std::size_t>(n));
-    for (std::uint64_t i = h - n; i < h; ++i) {
+    for (std::uint64_t i = h1 - n; i < h1; ++i) {
       out.push_back(buf_[static_cast<std::size_t>(i) & (buf_.size() - 1)]);
+    }
+    const std::uint64_t h2 = emitted();
+    if (h2 > h1 && h2 > buf_.size()) {
+      const std::uint64_t oldest_valid = h2 - buf_.size();
+      const std::uint64_t begin = h1 - n;
+      if (oldest_valid > begin) {
+        const std::uint64_t torn = oldest_valid - begin;
+        out.erase(out.begin(),
+                  out.begin() + static_cast<std::ptrdiff_t>(torn < n ? torn : n));
+      }
     }
     return out;
   }

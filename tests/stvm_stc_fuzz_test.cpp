@@ -18,6 +18,7 @@
 #include "stvm/verify.hpp"
 #include "stvm/vm.hpp"
 #include "util/rng.hpp"
+#include "util/sched_log.hpp"
 
 namespace {
 
@@ -232,6 +233,95 @@ TEST_P(StcFuzzTest, ParallelProgramsMatchAcrossEngines) {
                " quantum=" + std::to_string(quantum));
   const stvm::PostprocResult prog = compile_verified(kSrc, /*with_stdlib=*/true);
   EXPECT_EQ(run_differential(prog, "main", {n}, workers, quantum), f0);
+}
+
+TEST_P(StcFuzzTest, RecordMutateReplayAgreesAcrossEngines) {
+  // Schedule-fuzzing round (docs/OBSERVABILITY.md): record a run's
+  // schedule with one engine, perturb one quantum decision, then force
+  // the mutated schedule back through BOTH engines.  The perturbed
+  // schedule is one no free-run would produce, so this drives the
+  // interpreters through interleavings ordinary differential fuzzing
+  // cannot reach -- and they must still agree exactly, because forced
+  // quanta are charged per architectural instruction on both.
+  const char* kSrc = R"(
+    func task(n, result, jc) {
+      mem[result] = pfib(n);
+      jc_finish(jc);
+    }
+    func pfib(n) {
+      if (n < 2) { return n; }
+      poll();
+      var jc[2];
+      var a;
+      jc_init(&jc, 1);
+      async task(n - 1, &a, &jc);
+      var b = pfib(n - 2);
+      jc_join(&jc);
+      return a + b;
+    }
+    func main(n) { exit(pfib(n)); }
+  )";
+  stu::Xoshiro256 rng(GetParam() * 257 + 11);
+  const long n = rng.range(7, 12);
+  const unsigned workers = 2 + static_cast<unsigned>(rng.below(3));
+  const int quantum = static_cast<int>(rng.range(3, 17));
+  Word f0 = 0, f1 = 1;
+  for (long i = 0; i < n; ++i) {
+    const Word next = f0 + f1;
+    f0 = f1;
+    f1 = next;
+  }
+  SCOPED_TRACE("n=" + std::to_string(n) + " workers=" + std::to_string(workers) +
+               " quantum=" + std::to_string(quantum));
+  const stvm::PostprocResult prog = compile_verified(kSrc, /*with_stdlib=*/true);
+
+  auto run_one = [&](stvm::VmConfig::Dispatch d, stvm::VmStats* stats) {
+    stvm::VmConfig cfg;
+    cfg.workers = workers;
+    cfg.quantum = quantum;
+    cfg.dispatch = d;
+    stvm::Vm vm(prog, cfg);
+    const Word r = vm.run("main", {n});
+    *stats = vm.stats();
+    return r;
+  };
+
+  // Record with the switch engine.
+  stu::sched_set_record();
+  stvm::VmStats rec_stats;
+  const Word rec = run_one(stvm::VmConfig::Dispatch::kSwitch, &rec_stats);
+  std::vector<stu::SchedDecision> log = stu::sched_take_recorded();
+  stu::sched_set_off();
+  EXPECT_EQ(rec, f0);
+  ASSERT_FALSE(log.empty());
+
+  // Halve one mid-log quantum (pick one with room to shrink).
+  for (std::size_t i = log.size() / 2; i < log.size(); ++i) {
+    if (log[i].kind == stu::kSchedQuantum && log[i].a > 1) {
+      log[i].a /= 2;
+      break;
+    }
+  }
+
+  stvm::VmStats sw, th;
+  stu::sched_set_replay(log);
+  const Word r_sw = run_one(stvm::VmConfig::Dispatch::kSwitch, &sw);
+  stu::sched_set_replay(log);
+  const Word r_th = run_one(stvm::VmConfig::Dispatch::kThreaded, &th);
+  stu::sched_set_off();
+
+  EXPECT_EQ(r_sw, f0) << "a schedule mutation must not change the result";
+  EXPECT_EQ(r_th, f0);
+  EXPECT_EQ(sw.instructions, th.instructions);
+  EXPECT_EQ(sw.suspends, th.suspends);
+  EXPECT_EQ(sw.restarts, th.restarts);
+  EXPECT_EQ(sw.resumes, th.resumes);
+  EXPECT_EQ(sw.steals_served, th.steals_served);
+  EXPECT_EQ(sw.steals_rejected, th.steals_rejected);
+  EXPECT_EQ(sw.frames_unwound, th.frames_unwound);
+  EXPECT_EQ(sw.shrink_reclaimed, th.shrink_reclaimed);
+  EXPECT_EQ(sw.retired_marks_seen, th.retired_marks_seen);
+  EXPECT_EQ(sw.trampolines_taken, th.trampolines_taken);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StcFuzzTest, ::testing::Range<std::uint64_t>(1, 25));

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/trace_export.hpp"
@@ -193,6 +194,112 @@ TEST(TraceExport, RuntimeAndVmSourcesGetSeparateProcessGroups) {
   EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
   EXPECT_NE(json.find("stvm"), std::string::npos);
   stu::trace_sink_clear();
+}
+
+TEST(TraceRing, SnapshotReportsWriterHead) {
+  TraceRing ring(16);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    ring.emit(stu::kTraceFork, 0, stu::kTraceSrcRuntime, i);
+  }
+  std::uint64_t head = 0;
+  const std::vector<TraceRecord> recs = ring.snapshot(&head);
+  EXPECT_EQ(head, 40u);
+  ASSERT_EQ(recs.size(), 16u);
+  // First retained record sits at absolute index head - size.
+  EXPECT_EQ(recs.front().a, head - recs.size());
+  EXPECT_EQ(recs.back().a, 39u);
+}
+
+// The crash-dump flush path (trace_flush_live) must stay correct across
+// ring wraparound: the watermark is the writer's absolute head, not the
+// number of retained records, so a ring that overflowed between flushes
+// contributes each surviving record exactly once -- the overwritten ones
+// are dropped, never duplicated or re-read.
+TEST(TraceExport, LiveFlushAfterWraparoundDropsOldestWithoutDuplication) {
+  TraceRing ring(16);
+  stu::trace_sink_clear();
+  stu::trace_ring_register(&ring);
+
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    ring.emit(stu::kTraceFork, 2, stu::kTraceSrcRuntime, i);
+  }
+  EXPECT_EQ(ring.dropped(), 24u);
+  stu::trace_flush_live();
+  std::vector<TraceRecord> sink = stu::trace_sink_snapshot();
+  ASSERT_EQ(sink.size(), 16u) << "exporter must drop the 24 overwritten records";
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(sink[i].a, 24 + i) << "oldest surviving record first, no tears";
+  }
+
+  // Second flush after more emissions: only the new records appear; the
+  // 16 already flushed are behind the watermark even though the ring
+  // still retains some of them.
+  for (std::uint64_t i = 40; i < 48; ++i) {
+    ring.emit(stu::kTraceFork, 2, stu::kTraceSrcRuntime, i);
+  }
+  stu::trace_flush_live();
+  sink = stu::trace_sink_snapshot();
+  ASSERT_EQ(sink.size(), 24u);
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    EXPECT_EQ(sink[i].a, 24 + i) << "watermark must prevent re-flushing";
+  }
+
+  // A flush with nothing new contributes nothing.
+  stu::trace_flush_live();
+  EXPECT_EQ(stu::trace_sink_snapshot().size(), 24u);
+
+  // Wrap far past the watermark, then flush: watermark snaps forward to
+  // the new head without double-counting the skipped region.
+  for (std::uint64_t i = 48; i < 120; ++i) {
+    ring.emit(stu::kTraceFork, 2, stu::kTraceSrcRuntime, i);
+  }
+  stu::trace_flush(ring);  // destructor-style flush is watermark-aware too
+  sink = stu::trace_sink_snapshot();
+  ASSERT_EQ(sink.size(), 40u);
+  EXPECT_EQ(sink.back().a, 119u);
+  EXPECT_EQ(sink[24].a, 104u) << "only the 16 retained post-wrap records flush";
+
+  stu::trace_ring_unregister(&ring);
+  stu::trace_sink_clear();
+}
+
+TEST(TraceExport, ScheduleDigestIgnoresTimestampsAndMarkers) {
+  auto rec = [](stu::TraceEvent ev, std::uint64_t tsc, std::uint64_t a,
+                std::uint64_t b) {
+    TraceRecord r{};
+    r.tsc = tsc;
+    r.a = a;
+    r.b = b;
+    r.event = static_cast<std::uint16_t>(ev);
+    r.worker = 0;
+    r.src = stu::kTraceSrcStvm;
+    return r;
+  };
+  const std::vector<TraceRecord> base = {
+      rec(stu::kTraceFork, 10, 1, 2),
+      rec(stu::kTraceSuspend, 20, 0x7f00001000ull, 0),  // pointer-like payload
+      rec(stu::kTraceResume, 30, 0x7f00001000ull, 1),
+  };
+  // Same schedule, shifted timestamps, extra sched markers, different
+  // (ASLR-style) pointer payloads with the same aliasing structure.
+  std::vector<TraceRecord> same = {
+      rec(stu::kTraceFork, 1000, 1, 2),
+      rec(stu::kTraceSched, 1001, 7, 4),  // ride-along marker: excluded
+      rec(stu::kTraceSuspend, 2000, 0x55aa00002000ull, 0),
+      rec(stu::kTraceResume, 3000, 0x55aa00002000ull, 1),
+  };
+  EXPECT_EQ(stu::trace_schedule_digest(base), stu::trace_schedule_digest(same));
+
+  // A genuinely different schedule (payload refers to a new object
+  // rather than the earlier one) must change the digest.
+  std::vector<TraceRecord> diff = base;
+  diff[2].a = 0x7f00009999ull;
+  EXPECT_NE(stu::trace_schedule_digest(base), stu::trace_schedule_digest(diff));
+
+  // Event order matters.
+  std::vector<TraceRecord> swapped = base;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_NE(stu::trace_schedule_digest(base), stu::trace_schedule_digest(swapped));
 }
 
 TEST(JsonLint, AcceptsValidDocuments) {

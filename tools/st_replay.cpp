@@ -1,0 +1,535 @@
+// st_replay: schedule-log tooling for the record/replay layer
+// (util/sched_log.hpp, docs/OBSERVABILITY.md).
+//
+//   st_replay lint   <log.sched>                 structural validation
+//   st_replay dump   <log.sched> [--limit N]     human-readable listing
+//   st_replay record  --out L [run opts]         record a builtin STVM run
+//   st_replay replay  --log L [--times N] [...]  replay N times, assert
+//                                                bit-identical trace digests
+//   st_replay mutate  --log L --out M [--op slide|swap] [--at K]
+//   st_replay shrink  --log L --out S [run opts] minimal failing prefix
+//   st_replay selftest [--out artifact]          record -> mutate -> replay
+//                                                -> shrink, end to end
+//
+// Run opts: --program fib|pfib|psum  --n N  --workers W  --quantum Q
+//           --dispatch switch|threaded
+//
+// The STVM runs on one OS thread, so a replayed log forces a bit-exact
+// architectural schedule: `replay` asserts equal results, VmStats and
+// trace digests across repetitions, and `shrink` binary-searches the
+// shortest log prefix whose forced replay still diverges from the
+// free-run baseline digest (replaying a prefix of an *unmutated* log
+// reproduces the baseline exactly -- every forced decision equals the
+// natural one -- so the predicate flips at the mutated decision and the
+// search is sound).
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stvm/programs.hpp"
+#include "stvm/vm.hpp"
+#include "util/sched_log.hpp"
+#include "util/trace_export.hpp"
+#include "util/trace_ring.hpp"
+
+namespace {
+
+struct RunOpts {
+  std::string program = "pfib";
+  long n = 10;
+  unsigned workers = 3;
+  int quantum = 7;
+  stvm::VmConfig::Dispatch dispatch = stvm::VmConfig::Dispatch::kThreaded;
+};
+
+struct RunOutcome {
+  stvm::Word result = 0;
+  stvm::VmStats stats;
+  std::uint64_t digest = 0;
+};
+
+struct Builtin {
+  const std::string& (*source)();
+  const char* entry;
+};
+
+const std::map<std::string, Builtin>& builtins() {
+  static const std::map<std::string, Builtin> b = {
+      {"fib", {stvm::programs::fib, "main"}},
+      {"pfib", {stvm::programs::pfib, "pmain"}},
+      {"psum", {stvm::programs::psum, "psum_main"}},
+  };
+  return b;
+}
+
+bool stats_equal(const stvm::VmStats& x, const stvm::VmStats& y) {
+  return x.instructions == y.instructions && x.suspends == y.suspends &&
+         x.restarts == y.restarts && x.resumes == y.resumes &&
+         x.steals_served == y.steals_served &&
+         x.steals_rejected == y.steals_rejected &&
+         x.frames_unwound == y.frames_unwound &&
+         x.shrink_reclaimed == y.shrink_reclaimed &&
+         x.retired_marks_seen == y.retired_marks_seen &&
+         x.trampolines_taken == y.trampolines_taken;
+}
+
+/// One VM run under whatever sched mode is currently set.  Tracing is
+/// forced on (the digest is computed from the VM's own ring, before the
+/// destructor flushes it to the global sink).
+RunOutcome run_once(const RunOpts& o) {
+  const auto it = builtins().find(o.program);
+  if (it == builtins().end()) {
+    std::fprintf(stderr, "unknown program '%s' (fib|pfib|psum)\n",
+                 o.program.c_str());
+    std::exit(2);
+  }
+  stu::trace_set_mask(stu::kTraceAll);
+  // Shrink replays the program hundreds of times; assemble it once.
+  static std::map<std::string, stvm::PostprocResult> cache;
+  auto cached = cache.find(o.program);
+  if (cached == cache.end()) {
+    cached = cache.emplace(o.program,
+                           stvm::programs::compile(it->second.source())).first;
+  }
+  const stvm::PostprocResult& prog = cached->second;
+  stvm::VmConfig cfg;
+  cfg.workers = o.workers;
+  cfg.quantum = o.quantum;
+  cfg.dispatch = o.dispatch;
+  stvm::Vm vm(prog, cfg);
+  RunOutcome out;
+  out.result = vm.run(it->second.entry, {static_cast<stvm::Word>(o.n)});
+  out.stats = vm.stats();
+  out.digest = stu::trace_schedule_digest(vm.trace_ring().snapshot());
+  return out;
+}
+
+RunOutcome run_free(const RunOpts& o) {
+  stu::sched_set_off();
+  return run_once(o);
+}
+
+RunOutcome run_replay(const RunOpts& o, const std::vector<stu::SchedDecision>& log) {
+  stu::sched_set_replay(log);
+  RunOutcome out = run_once(o);
+  stu::sched_set_off();
+  return out;
+}
+
+std::vector<stu::SchedDecision> run_record(const RunOpts& o, RunOutcome* outcome) {
+  stu::sched_set_record();
+  RunOutcome out = run_once(o);
+  stu::sched_set_off();
+  if (outcome != nullptr) *outcome = out;
+  return stu::sched_take_recorded();
+}
+
+std::vector<stu::SchedDecision> load_or_die(const std::string& path) {
+  std::vector<stu::SchedDecision> log;
+  std::string err;
+  if (!stu::sched_read_file(path, &log, &err)) {
+    std::fprintf(stderr, "st_replay: %s: %s\n", path.c_str(), err.c_str());
+    std::exit(2);
+  }
+  if (!stu::sched_lint(log, &err)) {
+    std::fprintf(stderr, "st_replay: %s: lint: %s\n", path.c_str(), err.c_str());
+    std::exit(2);
+  }
+  return log;
+}
+
+void save_or_die(const std::string& path, const std::vector<stu::SchedDecision>& log) {
+  std::string err;
+  if (!stu::sched_write_file(path, log, &err)) {
+    std::fprintf(stderr, "st_replay: cannot write %s: %s\n", path.c_str(),
+                 err.c_str());
+    std::exit(2);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Mutation: one decision changed, everything else intact.
+// ---------------------------------------------------------------------
+
+/// slide: halve the instruction count of the --at'th kSchedQuantum
+/// decision (moving that preemption earlier); victim decisions rotate to
+/// the next worker instead.  swap: exchange the payloads of the --at'th
+/// decision and the next decision of the same (src, worker, kind) --
+/// i.e. reorder two adjacent choices made by one decision slot.
+bool mutate_log(std::vector<stu::SchedDecision>& log, const std::string& op,
+                std::size_t at, unsigned workers) {
+  if (log.empty()) return false;
+  if (at >= log.size()) at = log.size() / 2;
+  if (op == "swap") {
+    for (std::size_t j = at + 1; j < log.size(); ++j) {
+      if (log[j].kind == log[at].kind && log[j].worker == log[at].worker &&
+          log[j].src == log[at].src) {
+        std::swap(log[at].a, log[j].a);
+        std::swap(log[at].b, log[j].b);
+        return log[at].a != log[j].a || log[at].b != log[j].b;
+      }
+    }
+    return false;
+  }
+  // slide
+  stu::SchedDecision& d = log[at];
+  if (d.kind == stu::kSchedQuantum) {
+    if (d.a <= 1) return false;
+    d.a = d.a / 2;
+    return true;
+  }
+  if (d.kind == stu::kSchedVictim && d.a != stu::kSchedNoVictim && workers > 1) {
+    std::uint64_t v = (d.a + 1) % workers;
+    if (v == d.worker) v = (v + 1) % workers;
+    if (v == d.a) return false;
+    d.a = v;
+    return true;
+  }
+  return false;
+}
+
+/// Finds a mutation (preferring quantum slides near the middle) whose
+/// effect is *immediate*: both the full mutated log and the log
+/// truncated right after the mutated decision must replay to a digest
+/// different from `baseline`.  The immediacy requirement matters: a
+/// lone perturbation can "wash out" -- change nothing observable until
+/// later forced decisions drift -- which leaves nothing for a prefix
+/// shrink to find.  Returns the mutated log and the index mutated, or
+/// an empty log if no candidate qualifies.
+std::vector<stu::SchedDecision> find_failing_mutation(
+    const RunOpts& o, const std::vector<stu::SchedDecision>& log,
+    std::uint64_t baseline, std::size_t* mutated_at) {
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if ((log[i].kind == stu::kSchedQuantum && log[i].a > 1) ||
+        (log[i].kind == stu::kSchedVictim && log[i].a != stu::kSchedNoVictim)) {
+      candidates.push_back(i);
+    }
+  }
+  // Middle-out order: mutations near the middle leave a meaningful
+  // prefix for shrink to find.
+  std::vector<std::size_t> order;
+  const std::size_t mid = candidates.size() / 2;
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    const std::size_t off = (k + 1) / 2;
+    const std::size_t idx = (k % 2 == 0) ? mid + off : mid - off;
+    if (idx < candidates.size()) order.push_back(candidates[idx]);
+  }
+  for (const std::size_t at : order) {
+    std::vector<stu::SchedDecision> m = log;
+    if (!mutate_log(m, "slide", at, o.workers)) continue;
+    if (run_replay(o, m).digest == baseline) continue;
+    const std::vector<stu::SchedDecision> trunc(
+        m.begin(), m.begin() + static_cast<std::ptrdiff_t>(at + 1));
+    if (run_replay(o, trunc).digest == baseline) continue;
+    if (mutated_at != nullptr) *mutated_at = at;
+    return m;
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------
+// Shrink: minimal failing prefix.
+// ---------------------------------------------------------------------
+
+std::size_t shrink_prefix(const RunOpts& o, const std::vector<stu::SchedDecision>& log,
+                          std::uint64_t baseline) {
+  // P(K) := digest(replay(log[0..K))) != baseline.  Prefixes of an
+  // unmutated log replay to the baseline exactly (every forced decision
+  // equals the natural one), so P is false up to the first bad decision
+  // -- but it is NOT monotone beyond it: a longer prefix can drift back
+  // onto the baseline schedule.  So bracket the first failure by
+  // galloping (doubling) and scan the bracket forward.  The result is
+  // always a failing prefix whose predecessor-in-bracket passes; it is
+  // the global minimum whenever every prefix below that minimum passes
+  // (true by construction for the log prefix up to a single mutation).
+  const auto fails = [&](std::size_t k) {
+    const std::vector<stu::SchedDecision> prefix(
+        log.begin(), log.begin() + static_cast<std::ptrdiff_t>(k));
+    return run_replay(o, prefix).digest != baseline;
+  };
+  std::size_t lo = 0;  // largest known-passing length
+  std::size_t hi = 1;
+  while (hi < log.size() && !fails(hi)) {
+    lo = hi;
+    hi = hi * 2 < log.size() ? hi * 2 : log.size();
+  }
+  // First failure lies in (lo, hi] if anywhere; the bracket bound is the
+  // one probed point, so scan the interior exactly.
+  for (std::size_t k = lo + 1; k <= hi; ++k) {
+    if (fails(k)) return k;
+  }
+  return log.size();
+}
+
+// ---------------------------------------------------------------------
+// Argument parsing / subcommands
+// ---------------------------------------------------------------------
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: st_replay <lint|dump|record|replay|mutate|shrink|selftest>\n"
+               "  lint <log>\n"
+               "  dump <log> [--limit N]\n"
+               "  record --out <log> [run opts]\n"
+               "  replay --log <log> [--times N] [run opts]\n"
+               "  mutate --log <log> --out <log> [--op slide|swap] [--at K]\n"
+               "  shrink --log <log> --out <log> [run opts]\n"
+               "  selftest [--out <artifact>]\n"
+               "run opts: --program fib|pfib|psum --n N --workers W --quantum Q\n"
+               "          --dispatch switch|threaded\n");
+  return 2;
+}
+
+struct Args {
+  RunOpts run;
+  std::string log, out, op = "slide";
+  std::size_t at = static_cast<std::size_t>(-1);
+  int times = 3;
+  std::size_t limit = 40;
+  std::string positional;
+};
+
+bool parse(int argc, char** argv, int first, Args* a) {
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--log" && (v = next())) a->log = v;
+    else if (arg == "--out" && (v = next())) a->out = v;
+    else if (arg == "--op" && (v = next())) a->op = v;
+    else if (arg == "--at" && (v = next())) a->at = std::strtoull(v, nullptr, 0);
+    else if (arg == "--times" && (v = next())) a->times = std::atoi(v);
+    else if (arg == "--limit" && (v = next())) a->limit = std::strtoull(v, nullptr, 0);
+    else if (arg == "--program" && (v = next())) a->run.program = v;
+    else if (arg == "--n" && (v = next())) a->run.n = std::atol(v);
+    else if (arg == "--workers" && (v = next())) a->run.workers = static_cast<unsigned>(std::atoi(v));
+    else if (arg == "--quantum" && (v = next())) a->run.quantum = std::atoi(v);
+    else if (arg == "--dispatch" && (v = next())) {
+      a->run.dispatch = std::strcmp(v, "switch") == 0
+                            ? stvm::VmConfig::Dispatch::kSwitch
+                            : stvm::VmConfig::Dispatch::kThreaded;
+    } else if (!arg.empty() && arg[0] != '-' && a->positional.empty()) {
+      a->positional = arg;
+    } else {
+      std::fprintf(stderr, "st_replay: bad argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_lint(const Args& a) {
+  const std::string path = a.log.empty() ? a.positional : a.log;
+  if (path.empty()) return usage();
+  const std::vector<stu::SchedDecision> log = load_or_die(path);
+  std::printf("st_replay: %s: OK (%zu decisions)\n", path.c_str(), log.size());
+  return 0;
+}
+
+int cmd_dump(const Args& a) {
+  const std::string path = a.log.empty() ? a.positional : a.log;
+  if (path.empty()) return usage();
+  const std::vector<stu::SchedDecision> log = load_or_die(path);
+  const std::size_t n = log.size() < a.limit ? log.size() : a.limit;
+  for (std::size_t i = 0; i < n; ++i) {
+    const stu::SchedDecision& d = log[i];
+    std::printf("%6" PRIu64 "  %s/worker %u  %-12s a=%" PRIu64 " b=%" PRIu64 "\n",
+                d.seq, d.src == stu::kTraceSrcStvm ? "stvm" : "runtime",
+                static_cast<unsigned>(d.worker), stu::sched_kind_name(d.kind),
+                d.a, d.b);
+  }
+  if (n < log.size()) {
+    std::printf("... %zu more (--limit)\n", log.size() - n);
+  }
+  std::printf("%zu decisions total\n", log.size());
+  return 0;
+}
+
+int cmd_record(const Args& a) {
+  if (a.out.empty()) return usage();
+  RunOutcome out;
+  const std::vector<stu::SchedDecision> log = run_record(a.run, &out);
+  save_or_die(a.out, log);
+  std::printf("st_replay: recorded %zu decisions to %s (result=%" PRId64
+              ", digest=%016" PRIx64 ")\n",
+              log.size(), a.out.c_str(), static_cast<std::int64_t>(out.result),
+              out.digest);
+  return 0;
+}
+
+int cmd_replay(const Args& a) {
+  const std::string path = a.log.empty() ? a.positional : a.log;
+  if (path.empty() || a.times < 1) return usage();
+  const std::vector<stu::SchedDecision> log = load_or_die(path);
+  RunOutcome first;
+  for (int r = 0; r < a.times; ++r) {
+    const RunOutcome out = run_replay(a.run, log);
+    if (r == 0) {
+      first = out;
+      continue;
+    }
+    if (out.digest != first.digest || out.result != first.result ||
+        !stats_equal(out.stats, first.stats)) {
+      std::fprintf(stderr,
+                   "st_replay: replay %d disagrees with replay 0 "
+                   "(digest %016" PRIx64 " vs %016" PRIx64 ")\n",
+                   r, out.digest, first.digest);
+      return 1;
+    }
+  }
+  const stu::SchedCounters c = stu::sched_counters();
+  std::printf("st_replay: %d replays bit-identical (digest=%016" PRIx64
+              ", result=%" PRId64 ", divergence=%" PRIu64 ")\n",
+              a.times, first.digest, static_cast<std::int64_t>(first.result),
+              c.divergence);
+  return 0;
+}
+
+int cmd_mutate(const Args& a) {
+  if (a.log.empty() || a.out.empty()) return usage();
+  std::vector<stu::SchedDecision> log = load_or_die(a.log);
+  std::size_t at = a.at;
+  if (at == static_cast<std::size_t>(-1)) at = log.size() / 2;
+  // Walk forward from --at until a decision admits the requested op.
+  for (std::size_t i = at; i < log.size(); ++i) {
+    std::vector<stu::SchedDecision> m = log;
+    if (mutate_log(m, a.op, i, a.run.workers)) {
+      save_or_die(a.out, m);
+      std::printf("st_replay: %s decision %zu (%s) -> %s\n", a.op.c_str(), i,
+                  stu::sched_kind_name(log[i].kind), a.out.c_str());
+      return 0;
+    }
+  }
+  std::fprintf(stderr, "st_replay: no mutable decision at or after %zu\n", at);
+  return 1;
+}
+
+int cmd_shrink(const Args& a) {
+  if (a.log.empty() || a.out.empty()) return usage();
+  const std::vector<stu::SchedDecision> log = load_or_die(a.log);
+  const std::uint64_t baseline = run_free(a.run).digest;
+  if (run_replay(a.run, log).digest == baseline) {
+    std::fprintf(stderr,
+                 "st_replay: schedule is not failing (replay matches the "
+                 "free-run digest); nothing to shrink\n");
+    return 1;
+  }
+  const std::size_t k = shrink_prefix(a.run, log, baseline);
+  const std::vector<stu::SchedDecision> prefix(log.begin(),
+                                               log.begin() + static_cast<std::ptrdiff_t>(k));
+  save_or_die(a.out, prefix);
+  std::printf("st_replay: shrunk %zu -> %zu decisions (first failing prefix) -> %s\n",
+              log.size(), k, a.out.c_str());
+  return k < log.size() ? 0 : 1;
+}
+
+/// End-to-end exercise used by the sched_replay_smoke ctest and the CI
+/// fuzz-replay step: record a run, check replay determinism, find a
+/// digest-changing mutation, shrink it, and require the shrunk prefix to
+/// be strictly smaller yet still failing.  Writes the shrunk schedule to
+/// --out (the CI failure artifact).
+int cmd_selftest(const Args& a) {
+  RunOpts o = a.run;
+  RunOutcome rec;
+  const std::vector<stu::SchedDecision> log = run_record(o, &rec);
+  std::string err;
+  if (!stu::sched_lint(log, &err)) {
+    std::fprintf(stderr, "selftest: recorded log fails lint: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("selftest: recorded %zu decisions (digest=%016" PRIx64 ")\n",
+              log.size(), rec.digest);
+
+  // Replay determinism: 3 forced replays must reproduce the recorded
+  // run's digest, result and VmStats bit-for-bit.
+  for (int r = 0; r < 3; ++r) {
+    const RunOutcome out = run_replay(o, log);
+    if (out.digest != rec.digest || out.result != rec.result ||
+        !stats_equal(out.stats, rec.stats)) {
+      std::fprintf(stderr,
+                   "selftest: replay %d diverged from the recorded run "
+                   "(digest %016" PRIx64 " vs %016" PRIx64 ")\n",
+                   r, out.digest, rec.digest);
+      return 1;
+    }
+  }
+  std::printf("selftest: 3 replays bit-identical to the recorded run\n");
+
+  // One mutation round: find a decision whose change alters the schedule.
+  std::size_t at = 0;
+  const std::vector<stu::SchedDecision> mutated =
+      find_failing_mutation(o, log, rec.digest, &at);
+  if (mutated.empty()) {
+    std::fprintf(stderr, "selftest: no digest-changing mutation found\n");
+    return 1;
+  }
+  std::printf("selftest: mutation at decision %zu changes the schedule\n", at);
+
+  // Mutated schedules must still replay deterministically.
+  const RunOutcome m1 = run_replay(o, mutated);
+  const RunOutcome m2 = run_replay(o, mutated);
+  if (m1.digest != m2.digest || m1.result != m2.result ||
+      !stats_equal(m1.stats, m2.stats)) {
+    std::fprintf(stderr, "selftest: mutated replay is nondeterministic\n");
+    return 1;
+  }
+  // The architectural result must survive any schedule: pfib computes
+  // the same value no matter the interleaving.
+  if (m1.result != rec.result) {
+    std::fprintf(stderr, "selftest: mutated schedule changed the result\n");
+    return 1;
+  }
+
+  // Shrink to the minimal failing prefix; must be strictly smaller.
+  const std::size_t k = shrink_prefix(o, mutated, rec.digest);
+  if (k >= mutated.size()) {
+    std::fprintf(stderr, "selftest: shrink failed to reduce (%zu of %zu)\n", k,
+                 mutated.size());
+    return 1;
+  }
+  // Every prefix short of the mutation replays to the baseline, so the
+  // minimal failing prefix must reach at least the mutated decision.
+  if (k <= at) {
+    std::fprintf(stderr,
+                 "selftest: shrink stopped at %zu, before the mutation at "
+                 "index %zu\n",
+                 k, at);
+    return 1;
+  }
+  if (!a.out.empty()) {
+    const std::vector<stu::SchedDecision> prefix(
+        mutated.begin(), mutated.begin() + static_cast<std::ptrdiff_t>(k));
+    save_or_die(a.out, prefix);
+    std::printf("selftest: shrunk schedule (%zu decisions) -> %s\n", k,
+                a.out.c_str());
+  }
+  std::printf("selftest: OK (%zu -> %zu decisions)\n", mutated.size(), k);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  Args a;
+  if (!parse(argc, argv, 2, &a)) return usage();
+  // Plenty of ring so the digest covers the whole run without wrap.
+  stu::g_trace_ring_capacity.store(std::size_t{1} << 18,
+                                   std::memory_order_relaxed);
+  if (cmd == "lint") return cmd_lint(a);
+  if (cmd == "dump") return cmd_dump(a);
+  if (cmd == "record") return cmd_record(a);
+  if (cmd == "replay") return cmd_replay(a);
+  if (cmd == "mutate") return cmd_mutate(a);
+  if (cmd == "shrink") return cmd_shrink(a);
+  if (cmd == "selftest") return cmd_selftest(a);
+  return usage();
+}

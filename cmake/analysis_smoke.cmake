@@ -1,0 +1,75 @@
+# Race-exploration smoke (ctest `analysis_smoke`): the acceptance gate
+# for the happens-before explorer (docs/ANALYSIS.md).
+#
+#   1. `st_replay explore` must find the planted STVM lost update (the
+#      racy builtin's result flips from 2 to 1 when a preemption lands
+#      between the load and the store) within a small DPOR budget, and
+#      the shrunk violating schedule must pass the schedule lint.
+#   2. The run must be byte-reproducible: a second identical invocation
+#      writes an identical coverage-stats file.
+#   3. The fetchadd variant (`clean`) must stay violation-free.
+#   4. Random mutation at 10x the DPOR budget must NOT find the
+#      violation -- the partial-order pruning is what earns the find.
+#
+# Parameters: -DST_REPLAY=..., -DOUTDIR=... (see tests/CMakeLists.txt).
+# CI uploads ${OUTDIR} (stats + violating schedules) as an artifact.
+if(NOT ST_REPLAY OR NOT OUTDIR)
+  message(FATAL_ERROR "analysis_smoke.cmake needs -DST_REPLAY and -DOUTDIR")
+endif()
+
+file(MAKE_DIRECTORY "${OUTDIR}")
+
+set(racy_opts --program racy --n 40 --workers 2 --quantum 7)
+
+# 1. DPOR finds the planted violation.
+execute_process(
+  COMMAND "${ST_REPLAY}" explore ${racy_opts} --budget 64 --must-find
+          --out "${OUTDIR}/racy_violation.sched"
+          --stats "${OUTDIR}/racy_stats.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "explore --must-find missed the planted race (rc=${rc})")
+endif()
+foreach(artifact racy_violation.sched racy_violation.sched.min)
+  execute_process(COMMAND "${ST_REPLAY}" lint "${OUTDIR}/${artifact}"
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "violating schedule ${artifact} fails sched_lint (rc=${rc})")
+  endif()
+endforeach()
+
+# 2. Byte-reproducible coverage stats.
+execute_process(
+  COMMAND "${ST_REPLAY}" explore ${racy_opts} --budget 64 --must-find
+          --stats "${OUTDIR}/racy_stats_repeat.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "repeat explore run failed (rc=${rc})")
+endif()
+file(READ "${OUTDIR}/racy_stats.json" stats_a)
+file(READ "${OUTDIR}/racy_stats_repeat.json" stats_b)
+if(NOT stats_a STREQUAL stats_b)
+  message(FATAL_ERROR "explore coverage stats are not byte-reproducible:\n${stats_a}\nvs\n${stats_b}")
+endif()
+
+# 3. The synchronized variant stays quiet.
+execute_process(
+  COMMAND "${ST_REPLAY}" explore --program clean --n 40 --workers 2 --quantum 7
+          --budget 16 --must-not-find
+          --stats "${OUTDIR}/clean_stats.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "explore flagged the fetchadd-clean program (rc=${rc})")
+endif()
+
+# 4. Random mutation at 10x the budget misses what DPOR found.
+execute_process(
+  COMMAND "${ST_REPLAY}" explore ${racy_opts} --strategy random --seed 1
+          --budget 640 --must-not-find
+          --stats "${OUTDIR}/racy_random_stats.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "random control unexpectedly found (or failed) at 10x budget (rc=${rc})")
+endif()
+
+message(STATUS "analysis_smoke ok: DPOR find + reproducible stats + clean quiet + random miss")

@@ -1,0 +1,195 @@
+#include "analysis/hb.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+namespace sta {
+namespace {
+
+using Clock = std::vector<std::uint64_t>;
+
+void join(Clock& dst, const Clock& src) {
+  if (dst.size() < src.size()) dst.resize(src.size(), 0);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i] > dst[i]) dst[i] = src[i];
+  }
+}
+
+/// component `i` of a clock that may not have grown to `i` yet.
+std::uint64_t at(const Clock& c, std::size_t i) {
+  return i < c.size() ? c[i] : 0;
+}
+
+std::uint64_t thread_key(const stu::SchedDecision& d) {
+  return (static_cast<std::uint64_t>(d.src) << 16) | d.worker;
+}
+
+/// Pairing key for the derived Figure-10 steal edge:
+/// victim's kSchedServe(a = thief, b = served) releases to the thief's
+/// kSchedStealResult(a = Served, b = victim), FIFO per channel.
+std::uint64_t serve_key(std::uint32_t src, std::uint64_t victim, std::uint64_t thief) {
+  return (static_cast<std::uint64_t>(src) << 40) | (victim << 20) | thief;
+}
+
+const char* access_kind_name(stu::SchedAccessKind k) {
+  switch (k) {
+    case stu::kSchedAccessRead: return "read";
+    case stu::kSchedAccessWrite: return "write";
+    case stu::kSchedAccessAtomic: return "atomic";
+    default: return "?";
+  }
+}
+
+/// Race-check state of one plain cell: the last write plus every read
+/// since it (FastTrack's read set; a covered write resets it).
+struct PlainCell {
+  bool has_write = false;
+  std::size_t write_thread = 0;
+  std::uint64_t write_clock = 0;
+  stu::SchedDecision write_dec{};
+  std::unordered_map<std::size_t, std::pair<std::uint64_t, stu::SchedDecision>> reads;
+};
+
+}  // namespace
+
+HbReport hb_analyze(const std::vector<stu::SchedDecision>& log) {
+  HbReport report;
+
+  // Pass 1: thread set (dense ids) and the sync-cell set.  Atomicity is
+  // a whole-log property: one fetchadd anywhere makes the cell a
+  // synchronization cell for all of its accesses.
+  std::map<std::uint64_t, std::size_t> thread_ids;
+  std::set<std::uint64_t> sync_cells;
+  for (const stu::SchedDecision& d : log) {
+    thread_ids.emplace(thread_key(d), 0);
+    if (d.kind == stu::kSchedAccess && hb_access_kind(d) == stu::kSchedAccessAtomic) {
+      sync_cells.insert(d.a);
+    }
+  }
+  std::size_t next_id = 0;
+  for (auto& [key, id] : thread_ids) id = next_id++;
+  report.stats.threads = thread_ids.size();
+  report.stats.sync_cells = sync_cells.size();
+
+  // Pass 2: the clock walk.
+  std::vector<Clock> vc(thread_ids.size());
+  for (Clock& c : vc) c.assign(thread_ids.size(), 0);
+  // (token, class) -> releaser clock; a release replaces (tokens recycle).
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Clock> released;
+  std::map<std::uint64_t, std::deque<Clock>> serves;
+  std::map<std::uint64_t, Clock> cell_clock;       // sync cells
+  std::unordered_map<std::uint64_t, PlainCell> plain;  // race-checked cells
+
+  const auto conflict = [&](std::uint64_t obj, const stu::SchedDecision& a,
+                            const stu::SchedDecision& b) {
+    ++report.stats.conflicts;
+    HbRace r;
+    r.obj = obj;
+    r.first = a;
+    r.second = b;
+    report.races.push_back(r);
+  };
+
+  for (const stu::SchedDecision& d : log) {
+    const std::size_t t = thread_ids.at(thread_key(d));
+    Clock& me = vc[t];
+    switch (d.kind) {
+      case stu::kSchedHbRelease:
+        released[{d.a, d.b}] = me;
+        break;
+      case stu::kSchedHbAcquire: {
+        const auto it = released.find({d.a, d.b});
+        if (it != released.end()) {
+          join(me, it->second);
+          ++report.stats.edges;
+        }
+        break;
+      }
+      case stu::kSchedServe:
+        if (d.b == 1) {  // served: release toward the thief in d.a
+          serves[serve_key(d.src, d.worker, d.a)].push_back(me);
+        }
+        break;
+      case stu::kSchedStealResult:
+        if (d.a == stu::kSchedOutcomeServed) {
+          auto& q = serves[serve_key(d.src, d.b, d.worker)];
+          if (!q.empty()) {
+            join(me, q.front());
+            q.pop_front();
+            ++report.stats.edges;
+          }
+        }
+        break;
+      case stu::kSchedIoReady:
+        // Delivery releases under the waiter's token; the woken side's
+        // reactor seam acquires (token, Io).
+        released[{d.a, stu::kSchedHbIo}] = me;
+        break;
+      case stu::kSchedAccess: {
+        ++report.stats.accesses;
+        ++me[t];
+        const stu::SchedAccessKind kind = hb_access_kind(d);
+        if (sync_cells.count(d.a) != 0) {
+          // Message-passing order: join what the cell carries; deposits
+          // (writes and RMWs) publish the accessor's clock into it.
+          Clock& cell = cell_clock[d.a];
+          join(me, cell);
+          if (kind != stu::kSchedAccessRead) cell = me;
+          break;
+        }
+        PlainCell& c = plain[d.a];
+        if (kind == stu::kSchedAccessRead) {
+          if (c.has_write && c.write_thread != t &&
+              at(me, c.write_thread) < c.write_clock) {
+            conflict(d.a, c.write_dec, d);
+          }
+          c.reads[t] = {me[t], d};
+        } else {
+          if (c.has_write && c.write_thread != t &&
+              at(me, c.write_thread) < c.write_clock) {
+            conflict(d.a, c.write_dec, d);
+          }
+          for (const auto& [rt, rd] : c.reads) {
+            if (rt != t && at(me, rt) < rd.first) conflict(d.a, rd.second, d);
+          }
+          c.has_write = true;
+          c.write_thread = t;
+          c.write_clock = me[t];
+          c.write_dec = d;
+          c.reads.clear();
+        }
+        break;
+      }
+      default:
+        break;  // scheduling decisions proper carry no order of their own
+    }
+  }
+  report.stats.plain_cells = plain.size();
+  return report;
+}
+
+std::string hb_format_races(const HbReport& report) {
+  std::string out;
+  char line[256];
+  for (const HbRace& r : report.races) {
+    const auto side = [](const stu::SchedDecision& d) {
+      return std::make_tuple(access_kind_name(hb_access_kind(d)),
+                             static_cast<unsigned>(d.worker), hb_access_aux(d));
+    };
+    const auto [k1, w1, x1] = side(r.first);
+    const auto [k2, w2, x2] = side(r.second);
+    std::snprintf(line, sizeof line,
+                  "race on %" PRIu64 ": %s@worker%u/%" PRIu64
+                  " <-> %s@worker%u/%" PRIu64 "\n",
+                  r.obj, k1, w1, x1, k2, w2, x2);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace sta

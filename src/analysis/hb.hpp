@@ -1,0 +1,97 @@
+// Happens-before race analysis over the stmp-sched-v1 decision log
+// (docs/ANALYSIS.md).
+//
+// When annotation is on (ST_SCHED_ANNOTATE / sched_set_annotate), the
+// recorded log carries three observation kinds besides the scheduling
+// decisions proper: kSchedAccess (an annotated shared-memory access with
+// its retired-instruction position), and kSchedHbRelease/kSchedHbAcquire
+// (continuation handoffs, join-counter wakes, lock sections, io
+// deliveries).  This module rebuilds the partial order those records
+// induce with per-thread vector clocks and flags conflicting accesses
+// that the order does not separate -- the classic happens-before race
+// definition, specialized to the log's edge taxonomy:
+//
+//   * program order: records of one (src, worker) thread, in seq order.
+//   * release/acquire by token: a kSchedHbRelease stores the releaser's
+//     clock under (token, class); the matching kSchedHbAcquire joins it.
+//     A release REPLACES the stored clock -- tokens (context addresses,
+//     stack slots) are recycled, and carrying a stale clock forward
+//     would forge order between unrelated handoffs.
+//   * steal handoff: a victim's kSchedServe (served) releases to the
+//     thief's matching kSchedStealResult (Figure-10 negotiation); paired
+//     FIFO per (src, victim, thief).
+//   * io delivery: kSchedIoReady releases under (waiter token, Io); the
+//     woken waiter's seam emits the acquire.
+//   * synchronization cells: any cell the log ever saw accessed
+//     atomically (fetchadd, publish slots, native atomics) carries
+//     message-passing order instead of being race-checked -- a write
+//     deposits the writer's clock in the cell, any access joins it.
+//     This is what makes the Figure-8 jc_finish publication spin (a
+//     *plain* load polling a slot an atomic publish fills) a
+//     synchronization idiom rather than a false positive.
+//
+// Plain cells get a FastTrack-style check: last write (and the reads
+// since it) must be ordered before every later conflicting access.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/sched_log.hpp"
+
+namespace sta {
+
+/// Accessors for the packed kSchedAccess payload
+/// (b = aux << kSchedAccessAuxShift | kind).
+inline stu::SchedAccessKind hb_access_kind(const stu::SchedDecision& d) {
+  return static_cast<stu::SchedAccessKind>(
+      d.b & ((std::uint64_t{1} << stu::kSchedAccessAuxShift) - 1));
+}
+inline std::uint64_t hb_access_aux(const stu::SchedDecision& d) {
+  return d.b >> stu::kSchedAccessAuxShift;
+}
+
+/// One unordered conflicting pair.  Full decision copies, in seq order
+/// (`first.seq < second.seq`): the explorer reads worker and aux out of
+/// them to compute its preempt-before-access quantum splits.
+struct HbRace {
+  std::uint64_t obj = 0;  ///< the contested cell (kSchedAccess `a`)
+  stu::SchedDecision first{};
+  stu::SchedDecision second{};
+};
+
+struct HbStats {
+  std::size_t threads = 0;     ///< distinct (src, worker) lanes seen
+  std::size_t accesses = 0;    ///< kSchedAccess records
+  std::size_t sync_cells = 0;  ///< cells carrying message-passing order
+  std::size_t plain_cells = 0; ///< cells race-checked
+  std::size_t edges = 0;       ///< release->acquire joins honored
+  std::size_t conflicts = 0;   ///< unordered pairs found (pre-dedup)
+};
+
+struct HbReport {
+  /// Every unordered conflicting pair the FastTrack state witnessed, in
+  /// seq order of the second access.  Deliberately NOT deduplicated by
+  /// cell: the explorer derives a quantum-split candidate from *each*
+  /// side of each pair, and a lost update needs the pair whose second
+  /// side is the other worker's write, which per-cell dedup would drop.
+  /// Consumers wanting one diagnostic per cell can key on `obj`.
+  std::vector<HbRace> races;
+  HbStats stats;
+};
+
+/// Rebuilds the happens-before order of `log` and returns every
+/// conflicting access pair it does not cover.  Two passes: the first
+/// collects the thread set and the sync-cell set (atomicity is a
+/// whole-log property -- jc_init's plain stores to a counter later
+/// touched by fetchadd are initialization, not races), the second walks
+/// in seq order maintaining the clocks.  Annotation-free logs yield an
+/// empty report.
+HbReport hb_analyze(const std::vector<stu::SchedDecision>& log);
+
+/// One line per race: "race on <obj>: <kind>@worker/aux <-> ..." --
+/// diagnostics for tools and test failure messages.
+std::string hb_format_races(const HbReport& report);
+
+}  // namespace sta

@@ -21,6 +21,8 @@ namespace {
 // call, and through syscall wrappers that report errno by out-param.
 __attribute__((noinline)) void set_errno(int e) noexcept { errno = e; }
 
+__attribute__((noinline)) int saved_errno() noexcept { return errno; }
+
 __attribute__((noinline)) ssize_t sys_read(int fd, void* buf, std::size_t n,
                                            int* err) noexcept {
   const ssize_t r = ::read(fd, buf, n);
@@ -289,9 +291,9 @@ TcpListener TcpListener::listen(std::uint16_t port, int backlog) {
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
       ::listen(fd, backlog) != 0) {
-    const int saved = errno;
+    const int saved = saved_errno();
     ::close(fd);
-    errno = saved;
+    set_errno(saved);
     return l;
   }
   socklen_t alen = sizeof addr;
@@ -315,15 +317,17 @@ TcpStream dial(const std::string& ipv4, std::uint16_t port) {
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, ipv4.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
-    errno = EINVAL;
+    set_errno(EINVAL);
     return TcpStream();
   }
   IoFd h(fd);
   if (!h.valid()) return TcpStream();
   if (io::connect(h, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const int saved = errno;
+    // io::connect suspends: this frame may resume on a different OS
+    // thread, so the errno fetch must re-resolve the TLS location.
+    const int saved = saved_errno();
     h.close();
-    errno = saved;
+    set_errno(saved);
     return TcpStream();
   }
   return TcpStream(std::move(h));

@@ -10,6 +10,7 @@
 #include <sys/timerfd.h>
 #include <unistd.h>
 
+#include "runtime/annotate.hpp"
 #include "util/env.hpp"
 #include "util/sched_log.hpp"
 #include "util/metrics.hpp"
@@ -24,6 +25,8 @@ namespace {
 // suspends, so its errno writes go through this per-call re-resolver
 // (same discipline as net.cpp).
 __attribute__((noinline)) void set_errno(int e) noexcept { errno = e; }
+
+__attribute__((noinline)) int saved_errno() noexcept { return errno; }
 
 }  // namespace
 
@@ -167,7 +170,8 @@ bool Reactor::arm(const std::shared_ptr<FdState>& fs, std::uint32_t events) noex
     reg_[fs->fd()] = fs;
   }
   if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fs->fd(), &ev) != 0) {
-    if (errno != EEXIST || ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fs->fd(), &ev) != 0) {
+    if (saved_errno() != EEXIST ||
+        ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fs->fd(), &ev) != 0) {
       stu::SpinGuard g(reg_lock_);
       reg_.erase(fs->fd());
       return false;
@@ -201,12 +205,15 @@ int Reactor::dispatch_fd(int fd, std::uint32_t events) {
   FdState::Waiter* rd = nullptr;
   FdState::Waiter* wr = nullptr;
   fs->lock.lock();
+  hb::acquire(&fs->lock, stu::kSchedHbLock);
   const bool err = (events & (EPOLLERR | EPOLLHUP)) != 0;
   if (fs->reader != nullptr && (err || (events & (EPOLLIN | EPOLLRDHUP)) != 0)) {
+    hb::access(&fs->reader, stu::kSchedAccessWrite, hb::kSiteFdWaiter);
     rd = fs->reader;
     fs->reader = nullptr;
   }
   if (fs->writer != nullptr && (err || (events & EPOLLOUT) != 0)) {
+    hb::access(&fs->writer, stu::kSchedAccessWrite, hb::kSiteFdWaiter);
     wr = fs->writer;
     fs->writer = nullptr;
   }
@@ -216,6 +223,7 @@ int Reactor::dispatch_fd(int fd, std::uint32_t events) {
       (fs->reader != nullptr ? (EPOLLIN | EPOLLRDHUP) : 0u) |
       (fs->writer != nullptr ? EPOLLOUT : 0u);
   if (remain != 0 && fs->armed == this) arm(fs, remain);
+  hb::release(&fs->lock, stu::kSchedHbLock);
   fs->lock.unlock();
   int n = 0;
   if (rd != nullptr) {
@@ -230,6 +238,7 @@ int Reactor::dispatch_fd(int fd, std::uint32_t events) {
 }
 
 void Reactor::deliver(FdState::Waiter* w, std::uint32_t events) {
+  hb::access(&w->events, stu::kSchedAccessWrite, hb::kSiteFdWaiter);
   w->events = events;
   sub_waiter();
   ++w_.stats().io_events;
@@ -303,7 +312,9 @@ bool wait_on_fd(const std::shared_ptr<FdState>& fs, bool dir_write) {
   Reactor& mine = Reactor::current();
   FdState::Waiter waiter;
   fs->lock.lock();
+  hb::acquire(&fs->lock, stu::kSchedHbLock);
   if (fs->closing.load(std::memory_order_seq_cst)) {
+    hb::release(&fs->lock, stu::kSchedHbLock);
     fs->lock.unlock();
     set_errno(ECANCELED);
     return false;
@@ -325,13 +336,16 @@ bool wait_on_fd(const std::shared_ptr<FdState>& fs, bool dir_write) {
   }
   FdState::Waiter*& slot = dir_write ? fs->writer : fs->reader;
   assert(slot == nullptr && "one waiter per direction");
+  hb::access(&slot, stu::kSchedAccessWrite, hb::kSiteFdWaiter);
   slot = &waiter;
   waiter.t_arm = stu::metrics_enabled() ? stu::trace_clock() : 0;
   const std::uint32_t interest =
       (fs->reader != nullptr ? (EPOLLIN | EPOLLRDHUP) : 0u) |
       (fs->writer != nullptr ? EPOLLOUT : 0u);
   if (!target->arm(fs, interest)) {
+    hb::access(&slot, stu::kSchedAccessWrite, hb::kSiteFdWaiter);
     slot = nullptr;
+    hb::release(&fs->lock, stu::kSchedHbLock);
     fs->lock.unlock();
     return false;  // epoll_ctl errno (EPERM for plain files, EBADF, ...)
   }
@@ -339,8 +353,16 @@ bool wait_on_fd(const std::shared_ptr<FdState>& fs, bool dir_write) {
   w->trace(stu::kTraceIoWait, reinterpret_cast<std::uintptr_t>(&waiter),
            static_cast<std::uint64_t>(fs->fd()));
   if (target != &mine) target->poke_owner();
+  // As in JoinCounter::join, the lock-release edge is recorded before the
+  // suspend whose switch callback performs the real unlock.
+  hb::release(&fs->lock, stu::kSchedHbLock);
   suspend(&waiter.cont,
           [](void* p) { static_cast<stu::Spinlock*>(p)->unlock(); }, &fs->lock);
+  // Woken: join the delivering reactor's clock (kSchedIoReady releases
+  // under this waiter's token; a cancel wake has no Io release and the
+  // acquire degrades to the Ctx edge alone).
+  hb::acquire(&waiter, stu::kSchedHbIo);
+  hb::access(&waiter.cancelled, stu::kSchedAccessRead, hb::kSiteFdWaiter);
   if (waiter.cancelled) {
     set_errno(ECANCELED);
     return false;
@@ -354,19 +376,25 @@ void close_fd_state(const std::shared_ptr<FdState>& fs) {
   FdState::Waiter* wr = nullptr;
   Reactor* armed = nullptr;
   fs->lock.lock();
+  hb::acquire(&fs->lock, stu::kSchedHbLock);
   if (fs->closing.exchange(true, std::memory_order_seq_cst)) {
+    hb::release(&fs->lock, stu::kSchedHbLock);
     fs->lock.unlock();
     return;  // concurrent/repeated close
   }
+  hb::access(&fs->reader, stu::kSchedAccessWrite, hb::kSiteFdWaiter);
   rd = fs->reader;
   fs->reader = nullptr;
+  hb::access(&fs->writer, stu::kSchedAccessWrite, hb::kSiteFdWaiter);
   wr = fs->writer;
   fs->writer = nullptr;
   armed = fs->armed;
   if (armed != nullptr) armed->forget(*fs);
+  hb::release(&fs->lock, stu::kSchedHbLock);
   fs->lock.unlock();
   for (FdState::Waiter* w : {rd, wr}) {
     if (w == nullptr) continue;
+    hb::access(&w->cancelled, stu::kSchedAccessWrite, hb::kSiteFdWaiter);
     w->cancelled = true;
     armed->sub_waiter();
     Worker* self = tl_worker;

@@ -15,6 +15,7 @@
 #include <unistd.h>
 #endif
 
+#include "runtime/annotate.hpp"
 #include "runtime/monitor.hpp"
 #include "util/env.hpp"
 #include "util/metrics.hpp"
@@ -202,6 +203,9 @@ void suspend(Continuation* c, void (*after)(void*), void* arg) {
   ++w->stats().suspends;
   w->heartbeat();
   w->trace(stu::kTraceSuspend, reinterpret_cast<std::uintptr_t>(c));
+  // Everything done so far happens-before whoever resumes through `c`
+  // (the matching acquire sits after the st_ctx_swap below).
+  hb::release(c, stu::kSchedHbCtx);
   c->t_suspend = stu::metrics_enabled() ? stu::trace_clock() : 0;
   SwitchMsg m{after, arg};
   SwitchMsg* mp = after != nullptr ? &m : nullptr;
@@ -222,7 +226,11 @@ void suspend(Continuation* c, void (*after)(void*), void* arg) {
 #endif
   }
   auto* back = static_cast<SwitchMsg*>(st_ctx_swap(&c->sp, target, mp));
-  // Resumed, possibly on a different worker.
+  // Resumed, possibly on a different worker: join the clock of whoever
+  // handed `c` back (resume/restart re-release the token, and their
+  // clocks cover the suspender's by the lock/steal edges that delivered
+  // `c` to them, so the replace loses nothing).
+  hb::acquire(c, stu::kSchedHbCtx);
   run_switch_msg(back);
 }
 
@@ -232,6 +240,7 @@ void resume(Continuation* c) {
   ++w->stats().resumes;
   w->heartbeat();
   w->trace(stu::kTraceResume, reinterpret_cast<std::uintptr_t>(c));
+  hb::release(c, stu::kSchedHbCtx);
   w->readyq().push_tail(c);
   // The readyq tail is immediately stealable: publish it, and run the
   // slow path if thieves are parked (they must be woken) or waiting.
@@ -246,6 +255,7 @@ void restart(Continuation* c) {
   assert(w != nullptr && "st::restart must be called on a worker");
   w->heartbeat();
   w->trace(stu::kTraceRestart, reinterpret_cast<std::uintptr_t>(c));
+  hb::release(c, stu::kSchedHbCtx);
   record_resume_latency(w, c);
   Continuation parent;
   w->fork_deque().push_head(&parent);
@@ -303,6 +313,7 @@ void Worker::poll_slow() noexcept {
   // Clear the serviceable bits *before* acting on them: a remote post
   // racing with the clear re-sets its bit and is seen at the next poll
   // (in particular a thief that CASes the port after our exchange).
+  hb::access(this, stu::kSchedAccessAtomic, hb::kSitePollWord);
   const std::uint32_t bits =
       poll_word_.fetch_and(~(kPollSteal | kPollSample), std::memory_order_acquire);
   if (bits & kPollSteal) {
@@ -461,6 +472,7 @@ bool Worker::try_steal_and_run() {
   }
   // Port claimed: raise the victim's poll bit (after the CAS, so a victim
   // that clears the bit concurrently re-observes the request next poll).
+  hb::access(victim, stu::kSchedAccessAtomic, hb::kSitePollWord);
   victim->post_poll_bits(kPollSteal);
   trace(stu::kTraceStealPosted, reinterpret_cast<std::uintptr_t>(&req), victim->id());
   if (stu::sched_recording()) [[unlikely]] {

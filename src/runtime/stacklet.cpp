@@ -8,6 +8,7 @@
 #include <new>
 #include <stdexcept>
 
+#include "runtime/annotate.hpp"
 #include "util/env.hpp"
 
 namespace st {
@@ -62,6 +63,7 @@ Stacklet* StackRegion::allocate() {
   // happens-after the dying stacklet's last writes.  The derived count is
   // a hint only, so a fruitless scan is possible and simply falls through
   // to the heap.
+  hb::access(&released_, stu::kSchedAccessAtomic, hb::kSiteStackletCounter);
   if (retired_slots() > 0) {
     for (std::size_t slot = slots_; slot-- > 0;) {
       std::uint8_t expect = kRetired;
@@ -96,6 +98,7 @@ void StackRegion::release(Stacklet* s) noexcept {
   // The retirement mark itself is the analog of zeroing the
   // return-address slot; only the owner moves the bump pointer, so any
   // worker may store it.
+  hb::access(&r->released_, stu::kSchedAccessAtomic, hb::kSiteStackletCounter);
   r->released_.fetch_add(1, std::memory_order_relaxed);
   r->state_[s->slot].store(kRetired, std::memory_order_release);
 }

@@ -530,6 +530,170 @@ fill_done:
   return src;
 }
 
+const std::string& racy() {
+  static const std::string src = R"(
+; Planted lost-update race.  racy_task polls at entry (so the parent's
+; continuation can migrate and the second task really runs on another
+; worker), pads for n iterations to widen the window, then bumps the
+; shared cell with a plain read-modify-write.  clean_task is the fix:
+; the same bump via fetchadd.
+.proc racy_task
+racy_task:
+    subi sp, sp, 8
+    st lr, [sp + 7]
+    st fp, [sp + 6]
+    addi fp, sp, 8
+    call __st_poll
+    ld r2, [fp + 1]
+rt_pad1:
+    li r3, 1
+    blt r2, r3, rt_inc
+    subi r2, r2, 1
+    jmp rt_pad1
+rt_inc:
+    ld r0, [fp + 0]
+    ld r1, [r0 + 0]        ; racy load
+    addi r1, r1, 1
+    st r1, [r0 + 0]        ; racy store (lost update when preempted here)
+    ld r2, [fp + 1]
+rt_pad2:
+    li r3, 1
+    blt r2, r3, rt_fin
+    subi r2, r2, 1
+    jmp rt_pad2
+rt_fin:
+    ld r0, [fp + 2]
+    st r0, [sp + 0]
+    call jc_finish
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+
+.proc clean_task
+clean_task:
+    subi sp, sp, 8
+    st lr, [sp + 7]
+    st fp, [sp + 6]
+    addi fp, sp, 8
+    call __st_poll
+    ld r2, [fp + 1]
+ct_pad1:
+    li r3, 1
+    blt r2, r3, ct_inc
+    subi r2, r2, 1
+    jmp ct_pad1
+ct_inc:
+    ld r0, [fp + 0]
+    li r1, 1
+    fetchadd r2, [r0 + 0], r1   ; the fix: atomic bump
+    ld r2, [fp + 1]
+ct_pad2:
+    li r3, 1
+    blt r2, r3, ct_fin
+    subi r2, r2, 1
+    jmp ct_pad2
+ct_fin:
+    ld r0, [fp + 2]
+    st r0, [sp + 0]
+    call jc_finish
+    ld lr, [fp - 1]
+    mov sp, fp
+    ld fp, [fp - 2]
+    jr lr
+.endproc
+
+; racy_main(n): cell = alloc(1) = 0; fork racy_task(cell, n, &jc) twice;
+; join; exit(mem[cell]).  Expected 2 on any schedule that keeps each
+; bump atomic; 1 when the explorer splits a quantum inside the window.
+.proc racy_main
+racy_main:
+    subi sp, sp, 12
+    st lr, [sp + 11]
+    st fp, [sp + 10]
+    addi fp, sp, 12
+    st r4, [fp - 3]
+    li r0, 1
+    st r0, [sp + 0]
+    call __st_alloc
+    mov r4, r0
+    li r1, 0
+    st r1, [r4 + 0]
+    addi r2, fp, -5
+    st r2, [sp + 0]
+    li r3, 2
+    st r3, [sp + 1]
+    call jc_init
+    call __st_fork_block_begin
+    st r4, [sp + 0]
+    ld r0, [fp + 0]
+    st r0, [sp + 1]
+    addi r2, fp, -5
+    st r2, [sp + 2]
+    call racy_task
+    call __st_fork_block_end
+    call __st_fork_block_begin
+    st r4, [sp + 0]
+    ld r0, [fp + 0]
+    st r0, [sp + 1]
+    addi r2, fp, -5
+    st r2, [sp + 2]
+    call racy_task
+    call __st_fork_block_end
+    addi r2, fp, -5
+    st r2, [sp + 0]
+    call jc_join
+    ld r0, [r4 + 0]
+    st r0, [sp + 0]
+    call __st_exit
+.endproc
+
+.proc clean_main
+clean_main:
+    subi sp, sp, 12
+    st lr, [sp + 11]
+    st fp, [sp + 10]
+    addi fp, sp, 12
+    st r4, [fp - 3]
+    li r0, 1
+    st r0, [sp + 0]
+    call __st_alloc
+    mov r4, r0
+    li r1, 0
+    st r1, [r4 + 0]
+    addi r2, fp, -5
+    st r2, [sp + 0]
+    li r3, 2
+    st r3, [sp + 1]
+    call jc_init
+    call __st_fork_block_begin
+    st r4, [sp + 0]
+    ld r0, [fp + 0]
+    st r0, [sp + 1]
+    addi r2, fp, -5
+    st r2, [sp + 2]
+    call clean_task
+    call __st_fork_block_end
+    call __st_fork_block_begin
+    st r4, [sp + 0]
+    ld r0, [fp + 0]
+    st r0, [sp + 1]
+    addi r2, fp, -5
+    st r2, [sp + 2]
+    call clean_task
+    call __st_fork_block_end
+    addi r2, fp, -5
+    st r2, [sp + 0]
+    call jc_join
+    ld r0, [r4 + 0]
+    st r0, [sp + 0]
+    call __st_exit
+.endproc
+)";
+  return src;
+}
+
 PostprocResult compile(const std::string& source, bool with_stdlib) {
   std::string full = source;
   if (with_stdlib) full += "\n" + stdlib();

@@ -43,6 +43,17 @@ const std::string& scenario1();
 /// (fork one half, recurse into the other, join).  Returns n*(n+1)/2.
 const std::string& psum();
 
+/// Planted data race for the happens-before analyzer and the explorer
+/// (docs/ANALYSIS.md worked example).  Two entry points share one source:
+///   racy_main(n): forks two tasks that each pad for n iterations, then
+///     bump a shared cell with a plain ld/addi/st (the bug), pad again
+///     and signal the join counter.  Returns mem[cell]: 2 when the
+///     increments serialize, 1 when a preemption lands inside the
+///     load/store window (the lost update the explorer must find).
+///   clean_main(n): the same program with the bump done by fetchadd --
+///     the fixed control, always 2, zero races.
+const std::string& racy();
+
 /// Assembles `source` (plus the stdlib if with_stdlib) and runs the
 /// postprocessor.
 PostprocResult compile(const std::string& source, bool with_stdlib = true);

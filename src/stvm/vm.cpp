@@ -110,6 +110,13 @@ Vm::Vm(const PostprocResult& program, VmConfig cfg)
 #if !defined(__GNUC__)
   threaded = false;  // the computed-goto engine needs labels-as-values
 #endif
+  // Access annotation (util/sched_log.hpp kSchedAccess) needs the
+  // per-instruction seam only the switch engine has, so an annotating
+  // run forces it.  Schedules are engine-agnostic (both engines charge
+  // budget per architectural instruction), so an analysis or explored
+  // interleaving from a switch-engine run transfers to the threaded one.
+  annotate_ = stu::sched_annotating();
+  if (annotate_) threaded = false;
   threaded_ = threaded;
   fuse_ = stu::env_long("ST_STVM_FUSE", 1) != 0 && !cfg_.validate;
   if (threaded_) pre_ = predecode(code_, fuse_);
@@ -373,7 +380,10 @@ void Vm::idle_step(unsigned w) {
       if (stu::sched_replay_next(stu::kSchedVictim, static_cast<std::uint16_t>(w),
                                  stu::kTraceSrcStvm, &d, &trace_)) {
         forced = true;
-        if (d.b != 0) (void)rng_.below(cfg_.workers - 1);
+        if (d.b != 0) {
+          (void)rng_.below(cfg_.workers - 1);
+          used_rng = true;
+        }
         if (d.a == stu::kSchedNoVictim) {
           victim = -1;
         } else if (d.a < cfg_.workers && d.a != w && !workers_[d.a].halted &&
@@ -409,13 +419,16 @@ void Vm::idle_step(unsigned w) {
           victim = static_cast<int>(r);
         }
       }
-      if (stu::sched_recording()) [[unlikely]] {
-        stu::sched_record(stu::kSchedVictim, static_cast<std::uint16_t>(w),
-                          stu::kTraceSrcStvm,
-                          victim >= 0 ? static_cast<std::uint64_t>(victim)
-                                      : stu::kSchedNoVictim,
-                          used_rng ? 1 : 0, &trace_);
-      }
+    }
+    // Recorded whether the probe was free or forced: in replay+record
+    // mode (the explorer) the output log must be complete -- the probe
+    // as *applied*, so the re-recorded schedule replays standalone.
+    if (stu::sched_recording()) [[unlikely]] {
+      stu::sched_record(stu::kSchedVictim, static_cast<std::uint16_t>(w),
+                        stu::kTraceSrcStvm,
+                        victim >= 0 ? static_cast<std::uint64_t>(victim)
+                                    : stu::kSchedNoVictim,
+                        used_rng ? 1 : 0, &trace_);
     }
     if (victim >= 0) {
       workers_[static_cast<std::size_t>(victim)].steal_request_from = static_cast<int>(w);
@@ -458,12 +471,24 @@ void Vm::exec_instr(unsigned w) {
       break;
     case Op::kAddi: R[ins.rd] = R[ins.ra] + ins.imm; ++W.pc; break;
     case Op::kSubi: R[ins.rd] = R[ins.ra] - ins.imm; ++W.pc; break;
-    case Op::kLd: R[ins.rd] = mem(R[ins.ra] + ins.imm); ++W.pc; break;
-    case Op::kSt: mem(R[ins.ra] + ins.imm) = R[ins.rd]; ++W.pc; break;
+    case Op::kLd: {
+      const Addr a = R[ins.ra] + ins.imm;  // before rd clobbers ra (rd == ra)
+      R[ins.rd] = mem(a);
+      note_access(w, a, stu::kSchedAccessRead);
+      ++W.pc;
+      break;
+    }
+    case Op::kSt:
+      mem(R[ins.ra] + ins.imm) = R[ins.rd];
+      note_access(w, R[ins.ra] + ins.imm, stu::kSchedAccessWrite);
+      ++W.pc;
+      break;
     case Op::kFetchAdd: {
-      Word& slot = mem(R[ins.ra] + ins.imm);
+      const Addr a = R[ins.ra] + ins.imm;
+      Word& slot = mem(a);
       R[ins.rd] = slot;
       slot += R[ins.rb];
+      note_access(w, a, stu::kSchedAccessAtomic);
       ++W.pc;
       break;
     }
@@ -1252,6 +1277,9 @@ void Vm::do_builtin(unsigned w, int id) {
       trace(stu::kTraceVmSuspend, w, static_cast<std::uint64_t>(ctx),
             static_cast<std::uint64_t>(n));
       const UnwindResult r = unwind(w, ctx, W.regs[kLr], W.regs[kFp], n);
+      // Whoever later restarts ctx (possibly on another worker after a
+      // steal) acquires everything this logical thread did up to here.
+      note_hb_release(w, ctx);
       apply_unwind(w, r);
       break;
     }
@@ -1264,7 +1292,12 @@ void Vm::do_builtin(unsigned w, int id) {
       ++stats_.suspends;
       trace(stu::kTraceVmSuspend, w, static_cast<std::uint64_t>(ctx), 1);
       const UnwindResult r = unwind(w, ctx, W.regs[kLr], W.regs[kFp], 1);
+      note_hb_release(w, ctx);
       mem(slot) = ctx;
+      // The publish is atomic at builtin granularity: mark the slot a
+      // synchronization cell so the Figure-8 finisher's plain-load spin
+      // on it pairs with this write instead of racing it.
+      note_access(w, slot, stu::kSchedAccessAtomic);
       apply_unwind(w, r);
       break;
     }
@@ -1277,6 +1310,7 @@ void Vm::do_builtin(unsigned w, int id) {
     case kBResume: {
       const Addr ctx = read_mem(sp + 0);
       ++stats_.resumes;
+      note_hb_release(w, ctx);  // readyq/steal consumers acquire at restart
       W.readyq.push_tail(ctx);
       work_dirty_ = true;
       break;
@@ -1387,6 +1421,10 @@ void Vm::do_restart(unsigned w, Addr ctx, Addr ret_pc, Addr f_fp, bool from_sche
   work_dirty_ = true;
   trace(stu::kTraceVmRestart, w, static_cast<std::uint64_t>(ctx),
         from_scheduler ? 1 : 0);
+  // Every path a continuation travels (readyq pop, steal reply, Figure-9
+  // migration, user restart) funnels through here: pair the suspender's
+  // release so the restarting worker inherits its history.
+  note_hb_acquire(w, ctx);
   const Addr bottom_fp = read_mem(ctx + kCtxBottomFp);
   const Addr ra_slot = read_mem(ctx + kCtxBottomRaSlot);
   const Addr pfp_slot = read_mem(ctx + kCtxBottomPfpSlot);
@@ -1451,6 +1489,7 @@ bool Vm::serve_steal(unsigned w, Addr resume_pc, Addr fp, bool running) {
       const UnwindResult s1 = unwind(w, c1, resume_pc, fp, forks - 1);
       ++stats_.suspends;
       const UnwindResult s2 = unwind(w, c2, s1.resume_pc, s1.fp, 1);
+      note_hb_release(w, c2);  // the thief acquires at its do_restart
       T.steal_reply = c2;
       ++stats_.steals_served;
       ++stats_.restarts;

@@ -40,6 +40,7 @@
 #include "util/metrics.hpp"
 #include "util/owner_deque.hpp"
 #include "util/rng.hpp"
+#include "util/sched_log.hpp"
 #include "util/trace_ring.hpp"
 
 namespace stvm {
@@ -249,6 +250,32 @@ class Vm {
       trace_.emit(ev, static_cast<std::uint16_t>(w), stu::kTraceSrcStvm, a, b);
     }
   }
+  /// HB annotation seams (src/analysis/hb.hpp): log an architectural
+  /// memory access / a continuation-handoff edge onto the decision
+  /// clock.  `aux` of an access is the global retired-instruction count,
+  /// which identifies the access's position inside its quantum for the
+  /// explorer's preempt-before-access splits.
+  void note_access(unsigned w, Addr addr, stu::SchedAccessKind k) {
+    if (annotate_) [[unlikely]] {
+      stu::sched_access(static_cast<std::uint16_t>(w), stu::kTraceSrcStvm,
+                        static_cast<std::uint64_t>(addr), k, stats_.instructions,
+                        &trace_);
+    }
+  }
+  void note_hb_release(unsigned w, Addr token) {
+    if (annotate_) [[unlikely]] {
+      stu::sched_hb_release(static_cast<std::uint16_t>(w), stu::kTraceSrcStvm,
+                            static_cast<std::uint64_t>(token), stu::kSchedHbCtx,
+                            &trace_);
+    }
+  }
+  void note_hb_acquire(unsigned w, Addr token) {
+    if (annotate_) [[unlikely]] {
+      stu::sched_hb_acquire(static_cast<std::uint16_t>(w), stu::kTraceSrcStvm,
+                            static_cast<std::uint64_t>(token), stu::kSchedHbCtx,
+                            &trace_);
+    }
+  }
   /// Shared bounds predicate for every memory accessor: one unsigned
   /// compare covering both "below the guard word" and "past the end".
   bool addr_ok(Addr a) const {
@@ -270,6 +297,7 @@ class Vm {
   std::vector<Instr> code_;
   Predecoded pre_;          ///< run-form stream (threaded engine only)
   bool threaded_ = false;   ///< engine choice, resolved at construction
+  bool annotate_ = false;   ///< HB access annotation (sched_annotating() at ctor)
   bool fuse_ = true;        ///< superinstruction fusion (ST_STVM_FUSE)
   std::uint32_t engine_flags_ = 0;  ///< kEngine* bits, fixed at construction
   bool work_dirty_ = true;  ///< work appeared since the last deadlock sweep

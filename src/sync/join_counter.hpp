@@ -13,6 +13,7 @@
 
 #include <cassert>
 
+#include "runtime/annotate.hpp"
 #include "runtime/runtime.hpp"
 #include "util/spinlock.hpp"
 
@@ -31,24 +32,37 @@ class JoinCounter {
   /// the last finish() unless a join() is still outstanding.
   void add(long k = 1) {
     stu::SpinGuard g(lock_);
+    hb::acquire(&lock_, stu::kSchedHbLock);
+    hb::access(&n_, stu::kSchedAccessWrite, hb::kSiteJoinCount);
     n_ += k;
+    hb::release(&lock_, stu::kSchedHbLock);
   }
 
   long outstanding() const {
     stu::SpinGuard g(lock_);
-    return n_;
+    hb::acquire(&lock_, stu::kSchedHbLock);
+    hb::access(&n_, stu::kSchedAccessRead, hb::kSiteJoinCount);
+    const long n = n_;
+    hb::release(&lock_, stu::kSchedHbLock);
+    return n;
   }
 
   /// Declares the completion of one task; wakes the waiter when the
   /// count reaches zero.
   void finish() {
     lock_.lock();
+    hb::acquire(&lock_, stu::kSchedHbLock);
     assert(n_ > 0 && "finish() without matching add()");
+    hb::access(&n_, stu::kSchedAccessWrite, hb::kSiteJoinCount);
     Continuation* to_wake = nullptr;
     if (--n_ == 0 && waiting_ != nullptr) {
+      hb::access(&waiting_, stu::kSchedAccessWrite, hb::kSiteJoinWaiter);
       to_wake = waiting_;
       waiting_ = nullptr;
+    } else {
+      hb::access(&waiting_, stu::kSchedAccessRead, hb::kSiteJoinWaiter);
     }
+    hb::release(&lock_, stu::kSchedHbLock);
     lock_.unlock();
     if (to_wake != nullptr) {
       if (policy_ == WakePolicy::kDeferred) {
@@ -62,13 +76,22 @@ class JoinCounter {
   /// Waits for the count to reach zero.  At most one waiter.
   void join() {
     lock_.lock();
+    hb::acquire(&lock_, stu::kSchedHbLock);
+    hb::access(&n_, stu::kSchedAccessRead, hb::kSiteJoinCount);
     if (n_ == 0) {
+      hb::release(&lock_, stu::kSchedHbLock);
       lock_.unlock();
       return;
     }
     assert(waiting_ == nullptr && "only one thread may wait on a join counter");
     Continuation c;
+    hb::access(&waiting_, stu::kSchedAccessWrite, hb::kSiteJoinWaiter);
     waiting_ = &c;
+    // The lock-release edge is recorded here, though the real unlock
+    // runs in the switch callback below: only the (already ordered)
+    // context switch separates the record from the unlock, so the edge
+    // is sound and the finisher's acquire joins everything up to it.
+    hb::release(&lock_, stu::kSchedHbLock);
     // The lock is released by the context we suspend to, *after* c's sp
     // has been written by the switch -- a finisher can therefore never
     // observe a half-built continuation (the lost-wakeup race of naive

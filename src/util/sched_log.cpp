@@ -13,6 +13,7 @@
 namespace stu {
 
 std::atomic<std::uint32_t> g_sched_mode{kSchedModeOff};
+std::atomic<std::uint32_t> g_sched_annotate{0};
 
 namespace {
 
@@ -54,8 +55,13 @@ const char* mode_name(std::uint32_t m) {
   switch (m) {
     case kSchedModeRecord: return "record";
     case kSchedModeReplay: return "replay";
+    case kSchedModeRecord | kSchedModeReplay: return "replay+record";
     default: return "off";
   }
+}
+
+bool is_annotation_kind(std::uint16_t kind) {
+  return kind == kSchedAccess || kind == kSchedHbRelease || kind == kSchedHbAcquire;
 }
 
 std::string render_metrics() {
@@ -90,6 +96,7 @@ void load_replay_locked(SchedState& s, std::vector<SchedDecision> log) {
   s.root_refusals = 0;
   s.first_divergence_reported = false;
   for (const SchedDecision& d : log) {
+    if (is_annotation_kind(d.kind)) continue;  // observations, never forced
     if (d.kind == kSchedRoot) {
       s.roots.push_back(d);
     } else {
@@ -146,6 +153,9 @@ void sched_configure_from_env() {
       }
       std::atexit(write_recorded_at_exit);
       g_sched_mode.store(kSchedModeRecord, std::memory_order_relaxed);
+    }
+    if (env_long("ST_SCHED_ANNOTATE", 0) != 0) {
+      g_sched_annotate.store(1, std::memory_order_relaxed);
     }
   });
 }
@@ -247,6 +257,24 @@ void sched_note_divergence(SchedKind kind, std::uint16_t worker, TraceSource src
   }
 }
 
+void sched_access(std::uint16_t worker, TraceSource src, std::uint64_t obj,
+                  SchedAccessKind kind, std::uint64_t aux, TraceRing* ring) {
+  sched_record(kSchedAccess, worker, src, obj,
+               (aux << kSchedAccessAuxShift) | static_cast<std::uint64_t>(kind), ring);
+}
+
+void sched_hb_release(std::uint16_t worker, TraceSource src, std::uint64_t token,
+                      SchedHbClass cls, TraceRing* ring) {
+  sched_record(kSchedHbRelease, worker, src, token,
+               static_cast<std::uint64_t>(cls), ring);
+}
+
+void sched_hb_acquire(std::uint16_t worker, TraceSource src, std::uint64_t token,
+                      SchedHbClass cls, TraceRing* ring) {
+  sched_record(kSchedHbAcquire, worker, src, token,
+               static_cast<std::uint64_t>(cls), ring);
+}
+
 void sched_set_off() {
   g_sched_mode.store(kSchedModeOff, std::memory_order_relaxed);
   SchedState& s = state();
@@ -274,6 +302,21 @@ void sched_set_replay(std::vector<SchedDecision> log) {
     ensure_provider_locked(s);
   }
   g_sched_mode.store(kSchedModeReplay, std::memory_order_relaxed);
+}
+
+void sched_set_replay_record(std::vector<SchedDecision> log) {
+  SchedState& s = state();
+  {
+    std::lock_guard<std::mutex> g(s.lock);
+    load_replay_locked(s, std::move(log));
+    s.recorded.clear();
+    ensure_provider_locked(s);
+  }
+  g_sched_mode.store(kSchedModeRecord | kSchedModeReplay, std::memory_order_relaxed);
+}
+
+void sched_set_annotate(bool on) {
+  g_sched_annotate.store(on ? 1 : 0, std::memory_order_relaxed);
 }
 
 std::vector<SchedDecision> sched_take_recorded() {
@@ -312,8 +355,29 @@ const char* sched_kind_name(std::uint16_t kind) noexcept {
     case kSchedPark: return "park";
     case kSchedUnpark: return "unpark";
     case kSchedIoReady: return "io-ready";
+    case kSchedAccess: return "access";
+    case kSchedHbRelease: return "hb-release";
+    case kSchedHbAcquire: return "hb-acquire";
     default: return "?";
   }
+}
+
+std::uint64_t sched_schedule_digest(const std::vector<SchedDecision>& log) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const SchedDecision& d : log) {
+    mix(d.kind);
+    mix(d.worker);
+    mix(d.src);
+    mix(d.a);
+    mix(d.b);
+  }
+  return h;
 }
 
 bool sched_write_file(const std::string& path, const std::vector<SchedDecision>& log,
@@ -423,6 +487,18 @@ bool sched_lint(const std::vector<SchedDecision>& log, std::string* err) {
     }
     if (d.kind == kSchedQuantum && d.a == 0) {
       std::snprintf(buf, sizeof(buf), "decision %zu: zero-length quantum", i);
+      return fail(buf);
+    }
+    if (d.kind == kSchedAccess &&
+        (d.b & ((1u << kSchedAccessAuxShift) - 1)) >= kSchedAccessKindCount) {
+      std::snprintf(buf, sizeof(buf), "decision %zu: bad access kind %llu", i,
+                    static_cast<unsigned long long>(d.b & 3));
+      return fail(buf);
+    }
+    if ((d.kind == kSchedHbRelease || d.kind == kSchedHbAcquire) &&
+        (d.b == 0 || d.b >= kSchedHbClassCount)) {
+      std::snprintf(buf, sizeof(buf), "decision %zu: bad hb edge class %llu", i,
+                    static_cast<unsigned long long>(d.b));
       return fail(buf);
     }
   }

@@ -67,7 +67,45 @@ enum SchedKind : std::uint16_t {
   /// The io reactor delivered readiness to a waiter.
   /// a = waiter token, b = ready event mask.
   kSchedIoReady = 7,
-  kSchedKindCount = 8,
+  /// Annotation records (src/analysis/hb.hpp): observations riding the
+  /// decision clock, never forced back by replay.
+  /// An annotated shared-memory access.  a = object id (address),
+  /// b = (aux << 2) | SchedAccessKind.  For STVM accesses aux is the
+  /// global retired-instruction count at the access, which lets the
+  /// explorer compute the quantum split that preempts just before it;
+  /// native accesses carry a site id.
+  kSchedAccess = 8,
+  /// A happens-before release: everything this thread did so far is
+  /// ordered before whoever later acquires the same token.
+  /// a = token (continuation/lock/counter address), b = SchedHbClass.
+  kSchedHbRelease = 9,
+  /// The acquire pairing a release by token.  a = token, b = SchedHbClass.
+  kSchedHbAcquire = 10,
+  kSchedKindCount = 11,
+};
+
+/// kSchedAccess `b` low bits.
+enum SchedAccessKind : std::uint64_t {
+  kSchedAccessRead = 0,
+  kSchedAccessWrite = 1,
+  /// Atomic read-modify-write (STVM fetchadd, native fetch_add/fetch_or,
+  /// builtin-granularity publishes).  Any cell ever touched atomically is
+  /// classified as a synchronization cell by the analyzer: its accesses
+  /// carry happens-before instead of being race-checked.
+  kSchedAccessAtomic = 2,
+  kSchedAccessKindCount = 3,
+};
+inline constexpr std::uint64_t kSchedAccessAuxShift = 2;
+
+/// kSchedHbRelease/kSchedHbAcquire `b`: which seam emitted the edge
+/// (docs/ANALYSIS.md "Edge taxonomy").
+enum SchedHbClass : std::uint64_t {
+  kSchedHbCtx = 1,    ///< continuation handoff: suspend/resume/restart/migrate
+  kSchedHbJoin = 2,   ///< join-counter arrival -> waiter wake (src/sync)
+  kSchedHbLock = 3,   ///< spinlock-guarded critical section entry/exit
+  kSchedHbSteal = 4,  ///< Figure-10 steal negotiation handoff
+  kSchedHbIo = 5,     ///< io readiness delivery -> waiter restart
+  kSchedHbClassCount = 6,
 };
 
 /// kSchedStealResult payloads (field `a`).
@@ -92,6 +130,10 @@ struct SchedDecision {
 };
 static_assert(sizeof(SchedDecision) == 32, "decisions are packed 32-byte records");
 
+/// Mode bits: record and replay compose.  Record|Replay ("replay+record",
+/// the explorer's execution mode) forces a log prefix back while
+/// re-recording the complete schedule the run actually took, so every
+/// explored interleaving leaves a standalone-replayable artifact.
 enum SchedMode : std::uint32_t {
   kSchedModeOff = 0,
   kSchedModeRecord = 1,
@@ -100,19 +142,26 @@ enum SchedMode : std::uint32_t {
 
 /// Global mode gate.  Off costs one relaxed load + branch per decision.
 extern std::atomic<std::uint32_t> g_sched_mode;
+/// Annotation gate: when set (and recording), the runtime/VM also log
+/// kSchedAccess / kSchedHb* observation records for the HB analyzer.
+extern std::atomic<std::uint32_t> g_sched_annotate;
 
 inline bool sched_recording() noexcept {
-  return g_sched_mode.load(std::memory_order_relaxed) == kSchedModeRecord;
+  return (g_sched_mode.load(std::memory_order_relaxed) & kSchedModeRecord) != 0;
 }
 inline bool sched_replaying() noexcept {
-  return g_sched_mode.load(std::memory_order_relaxed) == kSchedModeReplay;
+  return (g_sched_mode.load(std::memory_order_relaxed) & kSchedModeReplay) != 0;
 }
 inline bool sched_active() noexcept {
   return g_sched_mode.load(std::memory_order_relaxed) != kSchedModeOff;
 }
+inline bool sched_annotating() noexcept {
+  return g_sched_annotate.load(std::memory_order_relaxed) != 0 && sched_recording();
+}
 
-/// Reads ST_SCHED_RECORD / ST_SCHED_REPLAY once (idempotent).  Replay
-/// wins when both are set.  ST_SCHED_RECORD installs an atexit writer.
+/// Reads ST_SCHED_RECORD / ST_SCHED_REPLAY / ST_SCHED_ANNOTATE once
+/// (idempotent).  Replay wins when both record and replay are set.
+/// ST_SCHED_RECORD installs an atexit writer.
 void sched_configure_from_env();
 
 /// Appends a decision under the global clock and returns its seq.  When
@@ -143,12 +192,33 @@ void sched_note_divergence(SchedKind kind, std::uint16_t worker, TraceSource src
                            std::uint64_t seq, std::uint64_t expect, std::uint64_t got,
                            const char* what);
 
+/// Annotation helpers (no-ops unless sched_annotating()); thin wrappers
+/// over sched_record so observations share the decision clock.
+void sched_access(std::uint16_t worker, TraceSource src, std::uint64_t obj,
+                  SchedAccessKind kind, std::uint64_t aux, TraceRing* ring = nullptr);
+void sched_hb_release(std::uint16_t worker, TraceSource src, std::uint64_t token,
+                      SchedHbClass cls, TraceRing* ring = nullptr);
+void sched_hb_acquire(std::uint16_t worker, TraceSource src, std::uint64_t token,
+                      SchedHbClass cls, TraceRing* ring = nullptr);
+
 /// Programmatic control (tools and tests; overrides the env config).
 void sched_set_off();
 void sched_set_record();
 void sched_set_replay(std::vector<SchedDecision> log);
+/// Record|Replay: force `log` back as a prefix (annotation records in it
+/// are skipped -- they are observations, not decisions) while recording
+/// the complete schedule this run actually takes.
+void sched_set_replay_record(std::vector<SchedDecision> log);
+void sched_set_annotate(bool on);
 /// Drains the record buffer (sorted by seq) and leaves mode untouched.
 std::vector<SchedDecision> sched_take_recorded();
+
+/// Order-sensitive FNV-1a over (kind, worker, src, a, b) of every record
+/// -- seq excluded, so logically identical schedules reached through
+/// different replay prefixes digest equal.  With annotations on, two runs
+/// digest equal iff they interleaved every decision *and* every annotated
+/// access identically: the explorer's interleaving-equivalence key.
+std::uint64_t sched_schedule_digest(const std::vector<SchedDecision>& log);
 
 struct SchedCounters {
   std::uint64_t recorded = 0;

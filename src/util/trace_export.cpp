@@ -14,6 +14,7 @@
 
 #include "util/env.hpp"
 #include "util/metrics.hpp"
+#include "util/sched_log.hpp"
 
 namespace stu {
 
@@ -371,6 +372,12 @@ std::string trace_to_json(std::vector<TraceRecord> records) {
 
   for (const TraceRecord& r : records) {
     const char* name = trace_event_name(static_cast<TraceEvent>(r.event));
+    if (r.event == kTraceSched) {
+      // Annotation ride-alongs (b = SchedKind) get their own names so
+      // viewers and trace_lint can tell observations from decisions.
+      if (r.b == kSchedAccess) name = "sched-access";
+      else if (r.b == kSchedHbRelease || r.b == kSchedHbAcquire) name = "sched-hb";
+    }
     std::string obj = "{\"name\":\"";
     append_escaped(obj, name);
     if (r.event == kTraceSched) {

@@ -1,0 +1,303 @@
+// Happens-before race analysis (src/analysis/hb.*, docs/ANALYSIS.md):
+//
+//   * a seeded-race corpus of hand-built stmp-sched-v1 logs, one per
+//     edge kind the analyzer models -- every seeded race is flagged and
+//     every properly synchronized variant reports zero races.  The logs
+//     use synthetic worker ids (100/101/102) so the verdicts are pure
+//     functions of the constructed decision stream, not of whether a
+//     real run happened to steal.
+//   * the planted STVM lost-update program (stvm/programs.cpp racy()):
+//     the racy task body is flagged on its shared cell, the fetchadd
+//     variant is clean, and the analyzer stays silent on pfib/psum
+//     (stack-frame accesses are covered by the ctx/steal edges, and the
+//     join-counter publication spin by the sync-cell rule).
+//   * coverage reproducibility: the annotated record of a deterministic
+//     STVM run yields a byte-stable schedule digest.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/hb.hpp"
+#include "stvm/postproc.hpp"
+#include "stvm/programs.hpp"
+#include "stvm/vm.hpp"
+#include "util/sched_log.hpp"
+#include "util/trace_export.hpp"
+
+namespace {
+
+using stu::SchedDecision;
+
+/// Builder for synthetic logs: a monotone seq with one append call per
+/// record, matching the shapes the runtime emits.
+struct LogBuilder {
+  std::vector<SchedDecision> log;
+  std::uint64_t seq = 0;
+
+  SchedDecision& push(std::uint16_t kind, std::uint16_t worker, std::uint64_t a,
+                      std::uint64_t b) {
+    SchedDecision d{};
+    d.seq = ++seq;
+    d.kind = kind;
+    d.worker = worker;
+    d.src = stu::kTraceSrcRuntime;
+    d.a = a;
+    d.b = b;
+    log.push_back(d);
+    return log.back();
+  }
+  void access(std::uint16_t worker, std::uint64_t obj, stu::SchedAccessKind kind,
+              std::uint64_t aux = 0) {
+    push(stu::kSchedAccess, worker, obj,
+         (aux << stu::kSchedAccessAuxShift) | static_cast<std::uint64_t>(kind));
+  }
+  void release(std::uint16_t worker, std::uint64_t token, stu::SchedHbClass cls) {
+    push(stu::kSchedHbRelease, worker, token, cls);
+  }
+  void acquire(std::uint16_t worker, std::uint64_t token, stu::SchedHbClass cls) {
+    push(stu::kSchedHbAcquire, worker, token, cls);
+  }
+};
+
+constexpr std::uint64_t kCell = 0xC0DE;
+constexpr std::uint64_t kLock = 0x10CC;
+
+TEST(HbSyntheticTest, UnorderedWritesAreARace) {
+  LogBuilder b;
+  b.access(100, kCell, stu::kSchedAccessWrite, 1);
+  b.access(101, kCell, stu::kSchedAccessWrite, 2);
+  const sta::HbReport r = sta::hb_analyze(b.log);
+  ASSERT_EQ(r.races.size(), 1u) << sta::hb_format_races(r);
+  EXPECT_EQ(r.races[0].obj, kCell);
+  EXPECT_LT(r.races[0].first.seq, r.races[0].second.seq);
+  EXPECT_EQ(r.stats.threads, 2u);
+  EXPECT_EQ(r.stats.plain_cells, 1u);
+}
+
+TEST(HbSyntheticTest, ReleaseAcquireOrdersThePair) {
+  LogBuilder b;
+  b.access(100, kCell, stu::kSchedAccessWrite, 1);
+  b.release(100, kLock, stu::kSchedHbLock);
+  b.acquire(101, kLock, stu::kSchedHbLock);
+  b.access(101, kCell, stu::kSchedAccessWrite, 2);
+  const sta::HbReport r = sta::hb_analyze(b.log);
+  EXPECT_TRUE(r.races.empty()) << sta::hb_format_races(r);
+  EXPECT_EQ(r.stats.edges, 1u);
+}
+
+TEST(HbSyntheticTest, UnorderedReadWriteIsARace) {
+  LogBuilder b;
+  b.access(100, kCell, stu::kSchedAccessWrite, 1);
+  b.access(101, kCell, stu::kSchedAccessRead, 2);
+  const sta::HbReport r = sta::hb_analyze(b.log);
+  ASSERT_EQ(r.races.size(), 1u) << sta::hb_format_races(r);
+  EXPECT_EQ(sta::hb_access_kind(r.races[0].second), stu::kSchedAccessRead);
+}
+
+TEST(HbSyntheticTest, ReadsAreNotRaces) {
+  LogBuilder b;
+  b.access(100, kCell, stu::kSchedAccessRead, 1);
+  b.access(101, kCell, stu::kSchedAccessRead, 2);
+  const sta::HbReport r = sta::hb_analyze(b.log);
+  EXPECT_TRUE(r.races.empty()) << sta::hb_format_races(r);
+}
+
+TEST(HbSyntheticTest, WriteAfterForeignReadIsARace) {
+  // w100 writes under order, w101 reads under order, then w102 writes
+  // without having synchronized with the *read* -- FastTrack's
+  // reads-since-last-write set must catch the (read, write) pair.
+  LogBuilder b;
+  b.access(100, kCell, stu::kSchedAccessWrite, 1);
+  b.release(100, kLock, stu::kSchedHbLock);
+  b.acquire(101, kLock, stu::kSchedHbLock);
+  b.access(101, kCell, stu::kSchedAccessRead, 2);
+  b.acquire(102, kLock, stu::kSchedHbLock);  // sees the write, not the read
+  b.access(102, kCell, stu::kSchedAccessWrite, 3);
+  const sta::HbReport r = sta::hb_analyze(b.log);
+  ASSERT_EQ(r.races.size(), 1u) << sta::hb_format_races(r);
+  EXPECT_EQ(sta::hb_access_kind(r.races[0].first), stu::kSchedAccessRead);
+  EXPECT_EQ(r.races[0].second.worker, 102);
+}
+
+TEST(HbSyntheticTest, ReleaseReplacesTheStoredClock) {
+  // Tokens recycle: w102's later release of the same token must REPLACE
+  // w100's clock, so w101's acquire learns only of w102 -- the race
+  // against w100's write survives.  Carrying the union would hide it.
+  LogBuilder b;
+  b.access(100, kCell, stu::kSchedAccessWrite, 1);
+  b.release(100, kLock, stu::kSchedHbLock);
+  b.release(102, kLock, stu::kSchedHbLock);
+  b.acquire(101, kLock, stu::kSchedHbLock);
+  b.access(101, kCell, stu::kSchedAccessWrite, 2);
+  const sta::HbReport r = sta::hb_analyze(b.log);
+  ASSERT_EQ(r.races.size(), 1u) << sta::hb_format_races(r);
+  EXPECT_EQ(r.races[0].first.worker, 100);
+  EXPECT_EQ(r.races[0].second.worker, 101);
+}
+
+TEST(HbSyntheticTest, StealHandoffOrders) {
+  // Figure-10 negotiation: victim's served kSchedServe releases to the
+  // thief's matching kSchedStealResult.
+  LogBuilder b;
+  b.access(100, kCell, stu::kSchedAccessWrite, 1);
+  b.push(stu::kSchedServe, 100, /*thief=*/101, /*served=*/1);
+  b.push(stu::kSchedStealResult, 101, stu::kSchedOutcomeServed, /*victim=*/100);
+  b.access(101, kCell, stu::kSchedAccessWrite, 2);
+  const sta::HbReport r = sta::hb_analyze(b.log);
+  EXPECT_TRUE(r.races.empty()) << sta::hb_format_races(r);
+  EXPECT_EQ(r.stats.edges, 1u);
+}
+
+TEST(HbSyntheticTest, RejectedStealCarriesNoEdge) {
+  LogBuilder b;
+  b.access(100, kCell, stu::kSchedAccessWrite, 1);
+  b.push(stu::kSchedServe, 100, /*thief=*/101, /*served=*/0);
+  b.push(stu::kSchedStealResult, 101, stu::kSchedOutcomeRejected, /*victim=*/100);
+  b.access(101, kCell, stu::kSchedAccessWrite, 2);
+  const sta::HbReport r = sta::hb_analyze(b.log);
+  ASSERT_EQ(r.races.size(), 1u) << sta::hb_format_races(r);
+  EXPECT_EQ(r.stats.edges, 0u);
+}
+
+TEST(HbSyntheticTest, IoDeliveryOrders) {
+  // The reactor's kSchedIoReady releases under the waiter token; the
+  // woken side's seam acquires (token, Io).
+  constexpr std::uint64_t kWaiter = 0xAB1E;
+  LogBuilder b;
+  b.access(100, kCell, stu::kSchedAccessWrite, 1);
+  b.push(stu::kSchedIoReady, 100, kWaiter, /*events=*/1);
+  b.acquire(101, kWaiter, stu::kSchedHbIo);
+  b.access(101, kCell, stu::kSchedAccessWrite, 2);
+  const sta::HbReport r = sta::hb_analyze(b.log);
+  EXPECT_TRUE(r.races.empty()) << sta::hb_format_races(r);
+  EXPECT_EQ(r.stats.edges, 1u);
+}
+
+TEST(HbSyntheticTest, AtomicCellCarriesMessagePassingOrder) {
+  // One atomic access anywhere makes the cell a synchronization cell:
+  // its accesses are never races, and a deposit/join pair orders the
+  // plain cells published through it.
+  constexpr std::uint64_t kFlag = 0xF1A6;
+  LogBuilder b;
+  b.access(100, kCell, stu::kSchedAccessWrite, 1);
+  b.access(100, kFlag, stu::kSchedAccessAtomic, 2);  // publish
+  b.access(101, kFlag, stu::kSchedAccessAtomic, 3);  // observe
+  b.access(101, kCell, stu::kSchedAccessWrite, 4);
+  const sta::HbReport r = sta::hb_analyze(b.log);
+  EXPECT_TRUE(r.races.empty()) << sta::hb_format_races(r);
+  EXPECT_EQ(r.stats.sync_cells, 1u);
+  EXPECT_EQ(r.stats.plain_cells, 1u);
+}
+
+TEST(HbSyntheticTest, AnnotationFreeLogIsEmptyReport) {
+  LogBuilder b;
+  b.push(stu::kSchedVictim, 100, 1, 0);
+  b.push(stu::kSchedQuantum, 100, 64, 0);
+  const sta::HbReport r = sta::hb_analyze(b.log);
+  EXPECT_TRUE(r.races.empty());
+  EXPECT_EQ(r.stats.accesses, 0u);
+}
+
+// ---------------------------------------------------------------------
+// STVM corpus
+// ---------------------------------------------------------------------
+
+struct AnnotatedRun {
+  stvm::Word result = 0;
+  std::vector<SchedDecision> log;
+};
+
+AnnotatedRun run_annotated(const std::string& src, const char* entry,
+                           std::vector<stvm::Word> args, unsigned workers,
+                           int quantum) {
+  stu::sched_set_annotate(true);
+  stu::sched_set_record();
+  const stvm::PostprocResult prog = stvm::programs::compile(src);
+  stvm::VmConfig cfg;
+  cfg.workers = workers;
+  cfg.quantum = quantum;
+  AnnotatedRun out;
+  {
+    stvm::Vm vm(prog, cfg);
+    out.result = vm.run(entry, args);
+  }
+  out.log = stu::sched_take_recorded();
+  stu::sched_set_annotate(false);
+  stu::sched_set_off();
+  return out;
+}
+
+class HbStvmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_cap_ = stu::g_trace_ring_capacity.load();
+    stu::g_trace_ring_capacity.store(std::size_t{1} << 18);
+    stu::sched_set_off();
+  }
+  void TearDown() override {
+    stu::sched_set_off();
+    stu::g_trace_ring_capacity.store(saved_cap_);
+    stu::trace_sink_clear();
+  }
+  std::size_t saved_cap_ = 0;
+};
+
+TEST_F(HbStvmTest, PlantedLostUpdateIsFlagged) {
+  const AnnotatedRun r =
+      run_annotated(stvm::programs::racy(), "racy_main", {40}, 2, 7);
+  EXPECT_EQ(r.result, 2);  // the round-robin baseline serializes the bumps
+  std::string err;
+  ASSERT_TRUE(stu::sched_lint(r.log, &err)) << err;
+  const sta::HbReport hb = sta::hb_analyze(r.log);
+  ASSERT_FALSE(hb.races.empty())
+      << "the planted ld/addi/st lost update must be flagged";
+  // Every reported pair is on the single shared cell, from both workers.
+  for (const sta::HbRace& race : hb.races) {
+    EXPECT_EQ(race.obj, hb.races[0].obj);
+    EXPECT_NE(race.first.worker, race.second.worker);
+  }
+}
+
+TEST_F(HbStvmTest, FetchaddVariantIsClean) {
+  const AnnotatedRun r =
+      run_annotated(stvm::programs::racy(), "clean_main", {40}, 2, 7);
+  EXPECT_EQ(r.result, 2);
+  const sta::HbReport hb = sta::hb_analyze(r.log);
+  EXPECT_TRUE(hb.races.empty()) << sta::hb_format_races(hb);
+  EXPECT_GE(hb.stats.sync_cells, 1u);  // the fetchadd cell
+}
+
+TEST_F(HbStvmTest, CleanProgramsReportZeroRaces) {
+  for (unsigned workers : {2u, 3u}) {
+    const AnnotatedRun fib =
+        run_annotated(stvm::programs::pfib(), "pmain", {10}, workers, 7);
+    EXPECT_EQ(fib.result, 55);
+    const sta::HbReport hb_fib = sta::hb_analyze(fib.log);
+    EXPECT_TRUE(hb_fib.races.empty())
+        << "pfib workers=" << workers << "\n" << sta::hb_format_races(hb_fib);
+
+    const AnnotatedRun sum =
+        run_annotated(stvm::programs::psum(), "psum_main", {24}, workers, 5);
+    EXPECT_EQ(sum.result, 24 * 25 / 2);
+    const sta::HbReport hb_sum = sta::hb_analyze(sum.log);
+    EXPECT_TRUE(hb_sum.races.empty())
+        << "psum workers=" << workers << "\n" << sta::hb_format_races(hb_sum);
+  }
+}
+
+TEST_F(HbStvmTest, AnnotatedRecordIsByteReproducible) {
+  const AnnotatedRun a =
+      run_annotated(stvm::programs::racy(), "racy_main", {40}, 2, 7);
+  const AnnotatedRun b =
+      run_annotated(stvm::programs::racy(), "racy_main", {40}, 2, 7);
+  ASSERT_EQ(a.log.size(), b.log.size());
+  EXPECT_EQ(stu::sched_schedule_digest(a.log), stu::sched_schedule_digest(b.log));
+  // Race reports are a pure function of the log.
+  const sta::HbReport ra = sta::hb_analyze(a.log);
+  const sta::HbReport rb = sta::hb_analyze(b.log);
+  EXPECT_EQ(sta::hb_format_races(ra), sta::hb_format_races(rb));
+  EXPECT_EQ(ra.stats.conflicts, rb.stats.conflicts);
+}
+
+}  // namespace

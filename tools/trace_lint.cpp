@@ -11,15 +11,20 @@
 //     a ring may have dropped the tail of a negotiation, and the io
 //     arrows ("io-wait" -> "io-ready") legitimately dangle when a run
 //     exits with fds still parked.
-//   - sched-decision events (the kTraceSched ride-along from
-//     util/sched_log.hpp) carry a "seq" arg that is nonzero and unique:
-//     the Lamport sequence that interleaves the schedule log with the
-//     trace stream must never repeat.
+//   - sched-decision / sched-access / sched-hb events (the kTraceSched
+//     ride-alongs from util/sched_log.hpp) carry a "seq" arg that is
+//     nonzero and unique across all three names (they share one Lamport
+//     clock) and a "kind" arg consistent with the name: decisions are
+//     the pre-annotation SchedKinds, sched-access is kSchedAccess, and
+//     sched-hb is kSchedHbRelease/kSchedHbAcquire.
+//   - with a second argument naming a stmp-sched-v1 file (ST_SCHED_RECORD
+//     output), every ride-along's (seq, kind) must match a decision in
+//     the schedule log: the two streams are views of one clock.
 // Exit 0 on success; exit 1 with a diagnostic otherwise.  Used by the
 // `trace_smoke` ctest (cmake/trace_smoke.cmake) and usable by hand:
 //
-//   $ ST_TRACE=/tmp/t.json ./build/examples/quickstart 20
-//   $ ./build/tools/trace_lint /tmp/t.json
+//   $ ST_TRACE=/tmp/t.json ST_SCHED_RECORD=/tmp/t.sched ./build/examples/quickstart 20
+//   $ ./build/tools/trace_lint /tmp/t.json /tmp/t.sched
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -32,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/sched_log.hpp"
 #include "util/trace_export.hpp"
 
 namespace {
@@ -93,9 +99,26 @@ std::vector<std::string> event_objects(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: trace_lint <trace.json>\n");
+  if (argc != 2 && argc != 3) {
+    std::fprintf(stderr, "usage: trace_lint <trace.json> [schedule.sched]\n");
     return 2;
+  }
+  // Optional cross-check target: seq -> SchedKind from the binary log.
+  std::map<std::uint64_t, std::uint64_t> sched_file;
+  bool have_sched_file = false;
+  if (argc == 3) {
+    std::vector<stu::SchedDecision> log;
+    std::string serr;
+    if (!stu::sched_read_file(argv[2], &log, &serr)) {
+      std::fprintf(stderr, "trace_lint: %s: %s\n", argv[2], serr.c_str());
+      return 1;
+    }
+    if (!stu::sched_lint(log, &serr)) {
+      std::fprintf(stderr, "trace_lint: %s: %s\n", argv[2], serr.c_str());
+      return 1;
+    }
+    for (const stu::SchedDecision& d : log) sched_file[d.seq] = d.kind;
+    have_sched_file = true;
   }
   std::ifstream in(argv[1], std::ios::binary);
   if (!in) {
@@ -161,13 +184,36 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (name == "sched-decision") {
+    if (name == "sched-decision" || name == "sched-access" || name == "sched-hb") {
       ++n_sched;
-      std::uint64_t seq = 0;
+      std::uint64_t seq = 0, kind = 0;
       if (!field_u64(obj, "seq", &seq) || seq == 0) {
-        fail(obj, "sched-decision without a nonzero seq arg");
-      } else if (!sched_seqs.insert(seq).second) {
-        fail(obj, "duplicate sched-decision seq");
+        fail(obj, "sched event without a nonzero seq arg");
+        continue;
+      }
+      if (!sched_seqs.insert(seq).second) fail(obj, "duplicate sched event seq");
+      if (!field_u64(obj, "kind", &kind)) {
+        fail(obj, "sched event without a kind arg");
+        continue;
+      }
+      // The name partitions the SchedKind space (trace_export.cpp).
+      if (name == "sched-access") {
+        if (kind != stu::kSchedAccess) fail(obj, "sched-access with a non-access kind");
+      } else if (name == "sched-hb") {
+        if (kind != stu::kSchedHbRelease && kind != stu::kSchedHbAcquire) {
+          fail(obj, "sched-hb with a non-hb kind");
+        }
+      } else if (kind >= stu::kSchedAccess) {
+        fail(obj, "sched-decision named event carries an annotation kind");
+      }
+      if (kind >= stu::kSchedKindCount) fail(obj, "sched event kind out of range");
+      if (have_sched_file) {
+        const auto it = sched_file.find(seq);
+        if (it == sched_file.end()) {
+          fail(obj, "sched event seq absent from the schedule file");
+        } else if (it->second != kind) {
+          fail(obj, "sched event kind disagrees with the schedule file");
+        }
       }
     }
   }
@@ -181,7 +227,8 @@ int main(int argc, char** argv) {
     if (f.second != 2) ++dangling;
   std::printf(
       "trace_lint: %s ok (%zu bytes, %zu events, %zu io, %zu flow arrows"
-      " (%zu unfinished), %zu sched decisions)\n",
-      argv[1], text.size(), events.size(), n_io, n_flow, dangling, n_sched);
+      " (%zu unfinished), %zu sched events%s)\n",
+      argv[1], text.size(), events.size(), n_io, n_flow, dangling, n_sched,
+      have_sched_file ? ", cross-checked" : "");
   return 0;
 }

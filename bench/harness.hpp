@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/env.hpp"
@@ -46,7 +47,8 @@ struct JsonResult {
 };
 
 /// Collects results for the suite-level `--json` flag.  Intentionally
-/// dumb: fixed schema, no nesting, parseable by one jq expression.
+/// dumb: fixed schema, one level of nesting (a flat "meta" string map
+/// stamping provenance), parseable by one jq expression.
 class JsonWriter {
  public:
   void add(std::string name, double ns_per_op, long samples) {
@@ -56,6 +58,20 @@ class JsonWriter {
   const std::string& path() const { return path_; }
   void set_path(std::string p) { path_ = std::move(p); }
 
+  /// Stamps (or overwrites) one provenance key in the artifact's "meta"
+  /// block.  parse_json_flag() seeds git_sha/dispatch/scale/reps; suites
+  /// add what they know (e.g. which engines actually ran) so
+  /// tools/bench_diff.py can warn when two files are not comparable.
+  void set_meta(const std::string& key, std::string value) {
+    for (auto& kv : meta_) {
+      if (kv.first == key) {
+        kv.second = std::move(value);
+        return;
+      }
+    }
+    meta_.emplace_back(key, std::move(value));
+  }
+
   /// Writes the file; returns false (with a note on stderr) on I/O error.
   bool write(const std::string& suite) const {
     if (path_.empty()) return true;
@@ -64,7 +80,12 @@ class JsonWriter {
       std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"results\": [\n", suite.c_str());
+    std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"meta\": {", suite.c_str());
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": \"%s\"", i == 0 ? "" : ", ",
+                   meta_[i].first.c_str(), meta_[i].second.c_str());
+    }
+    std::fprintf(f, "},\n  \"results\": [\n");
     for (std::size_t i = 0; i < results_.size(); ++i) {
       const auto& r = results_[i];
       std::fprintf(f,
@@ -80,6 +101,7 @@ class JsonWriter {
 
  private:
   std::string path_;
+  std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<JsonResult> results_;
 };
 
@@ -94,6 +116,21 @@ inline JsonWriter& json_writer() {
 /// Unrecognized arguments are left alone (google-benchmark suites pass
 /// the remainder on to the library).
 inline void parse_json_flag(int& argc, char** argv, const std::string& suite) {
+  // Provenance stamp: which build produced this artifact, and under
+  // which knobs.  The git revision is baked in at configure time
+  // (STMP_GIT_SHA); ST_BENCH_GIT_SHA overrides it for builds from
+  // exported source (no .git directory).
+#ifdef STMP_GIT_SHA
+  const std::string sha_default = STMP_GIT_SHA;
+#else
+  const std::string sha_default = "unknown";
+#endif
+  json_writer().set_meta("git_sha",
+                         stu::env_string("ST_BENCH_GIT_SHA", sha_default));
+  json_writer().set_meta("dispatch",
+                         stu::env_string("ST_STVM_DISPATCH", "default"));
+  json_writer().set_meta("scale", std::to_string(scale()));
+  json_writer().set_meta("reps", std::to_string(reps()));
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];

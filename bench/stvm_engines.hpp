@@ -1,9 +1,10 @@
 // Shared "run phase" for the STVM benchmark suites: times the same
-// postprocessed program under both interpreter engines (portable switch
-// vs predecoded direct-threaded dispatch, DESIGN.md "Run-form stream"),
-// asserts the architectural instruction counts match (predecode and
-// fusion must be invisible), and emits one --json cell per engine so CI
-// artifacts track the dispatch speedup over time.
+// postprocessed program under every execution engine (portable switch,
+// predecoded direct-threaded dispatch, and -- where the host supports it
+// -- the baseline template JIT; DESIGN.md "Run-form stream" and §5.13),
+// asserts the architectural instruction counts match (predecode, fusion
+// and native compilation must all be invisible), and emits one --json
+// cell per engine so CI artifacts track the dispatch speedups over time.
 #pragma once
 
 #include <cmath>
@@ -29,7 +30,8 @@ struct EngineCell {
 /// constructed outside the timer for the switch engine and inside the
 /// measured region for neither: predecode cost is part of Vm
 /// construction and deliberately excluded -- the run phases measure
-/// steady-state interpretation (predecode is linear and runs once).
+/// steady-state interpretation (predecode is linear and runs once; the
+/// JIT's template emission is likewise linear one-shot work).
 inline double time_engine(const EngineCell& cell, stvm::VmConfig::Dispatch d,
                           std::uint64_t* instrs, std::size_t* fused) {
   double best = 1e100;
@@ -49,45 +51,71 @@ inline double time_engine(const EngineCell& cell, stvm::VmConfig::Dispatch d,
   return best;
 }
 
-/// Runs every cell under both engines, printing the comparison table and
-/// the geomean speedup.  Returns false (after finishing the table) if
-/// any cell retired different instruction counts under the two engines
-/// -- the suites exit nonzero on that so CI fails loudly.
+/// Runs every cell under all available engines, printing the comparison
+/// table and the geomean speedups.  Returns false (after finishing the
+/// table) if any cell retired different architectural instruction counts
+/// under two engines -- the suites exit nonzero on that so CI fails
+/// loudly.  The JIT column only appears when this build/host can emit
+/// native code (x86-64 Linux, see docs/OBSERVABILITY.md).
 inline bool compare_engines(const std::vector<EngineCell>& cells) {
-  stu::Table table({"program", "switch (ms)", "threaded (ms)", "speedup",
-                    "fused groups", "Minstr/s (threaded)"});
-  double geo = 1.0;
+  const bool jit = stvm::Vm::jit_supported();
+  json_writer().set_meta("engines",
+                         jit ? "switch,threaded,jit" : "switch,threaded");
+  std::vector<std::string> cols = {"program", "switch (ms)", "threaded (ms)"};
+  if (jit) cols.push_back("jit (ms)");
+  cols.push_back("thr/sw");
+  if (jit) cols.push_back("jit/thr");
+  cols.push_back("fused groups");
+  cols.push_back(jit ? "Minstr/s (jit)" : "Minstr/s (threaded)");
+  stu::Table table(cols);
+  double geo_th = 1.0, geo_jit = 1.0;
   int n = 0;
   bool ok = true;
   for (const auto& cell : cells) {
-    std::uint64_t instrs_sw = 0, instrs_th = 0;
+    std::uint64_t instrs_sw = 0, instrs_th = 0, instrs_jit = 0;
     std::size_t fused = 0;
     const double sw =
         time_engine(cell, stvm::VmConfig::Dispatch::kSwitch, &instrs_sw, nullptr);
     const double th =
         time_engine(cell, stvm::VmConfig::Dispatch::kThreaded, &instrs_th, &fused);
-    if (instrs_sw != instrs_th) {
+    const double jt =
+        jit ? time_engine(cell, stvm::VmConfig::Dispatch::kJit, &instrs_jit, nullptr)
+            : 0.0;
+    if (instrs_sw != instrs_th || (jit && instrs_sw != instrs_jit)) {
       std::fprintf(stderr,
                    "FATAL: %s retired %llu instructions under switch dispatch "
-                   "but %llu under threaded dispatch\n",
+                   "but %llu under threaded and %llu under jit dispatch\n",
                    cell.name.c_str(), static_cast<unsigned long long>(instrs_sw),
-                   static_cast<unsigned long long>(instrs_th));
+                   static_cast<unsigned long long>(instrs_th),
+                   static_cast<unsigned long long>(instrs_jit));
       ok = false;
       continue;
     }
     json_record(cell.name + "/run/switch", sw, reps());
     json_record(cell.name + "/run/threaded", th, reps());
-    table.add_row({cell.name, stu::Table::num(sw * 1e3, 3),
-                   stu::Table::num(th * 1e3, 3), stu::Table::num(sw / th, 2),
-                   std::to_string(fused),
-                   stu::Table::num(static_cast<double>(instrs_th) / th / 1e6, 1)});
-    geo *= sw / th;
+    if (jit) json_record(cell.name + "/run/jit", jt, reps());
+    const double fast = jit ? jt : th;
+    std::vector<std::string> row = {cell.name, stu::Table::num(sw * 1e3, 3),
+                                    stu::Table::num(th * 1e3, 3)};
+    if (jit) row.push_back(stu::Table::num(jt * 1e3, 3));
+    row.push_back(stu::Table::num(sw / th, 2));
+    if (jit) row.push_back(stu::Table::num(th / jt, 2));
+    row.push_back(std::to_string(fused));
+    row.push_back(
+        stu::Table::num(static_cast<double>(instrs_sw) / fast / 1e6, 1));
+    table.add_row(row);
+    geo_th *= sw / th;
+    if (jit) geo_jit *= th / jt;
     ++n;
   }
   table.print();
   if (n > 0) {
     std::printf("\ngeomean speedup (threaded over switch): %.2fx\n",
-                std::pow(geo, 1.0 / n));
+                std::pow(geo_th, 1.0 / n));
+    if (jit) {
+      std::printf("geomean speedup (jit over threaded):    %.2fx\n",
+                  std::pow(geo_jit, 1.0 / n));
+    }
   }
   return ok;
 }

@@ -71,6 +71,13 @@ struct PostprocResult {
   std::size_t procs_augmented = 0;
   std::size_t fork_points = 0;
   std::size_t instructions_added = 0;
+  /// Static-verifier memo (verify.cpp): 1 after this module verified
+  /// cleanly.  The verdict is a property of the module, not of any
+  /// engine instantiation, so under ST_VERIFY=1 a module shared by
+  /// several Vms (the differential suites run switch/threaded/jit over
+  /// one PostprocResult) is verified exactly once.  Mutable because
+  /// verification takes the module by const reference.
+  mutable int verify_verdict = 0;
 };
 
 /// Names of the fork-bracket dummy procedures.

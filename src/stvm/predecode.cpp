@@ -97,6 +97,104 @@ int run_op_len(RunOp op) {
 
 namespace {
 
+/// Plain components of one dispatch of `op`, in architectural order.
+/// Mirrors the doc comments on the RunOp declaration (and run_op_name's
+/// "a+b+c" strings); run_op_len(op) components are written.
+int run_op_components(RunOp op, RunOp out[4]) {
+  // The two branch-pair families are declared in cc order, so the second
+  // component is kBeq plus the offset inside the family.
+  if (op >= RunOp::kSupLiBeq && op <= RunOp::kSupLiBgeu) {
+    out[0] = RunOp::kLi;
+    out[1] = static_cast<RunOp>(static_cast<int>(RunOp::kBeq) +
+                                (static_cast<int>(op) -
+                                 static_cast<int>(RunOp::kSupLiBeq)));
+    return 2;
+  }
+  if (op >= RunOp::kSupAddiBeq && op <= RunOp::kSupAddiBgeu) {
+    out[0] = RunOp::kAddi;
+    out[1] = static_cast<RunOp>(static_cast<int>(RunOp::kBeq) +
+                                (static_cast<int>(op) -
+                                 static_cast<int>(RunOp::kSupAddiBeq)));
+    return 2;
+  }
+  auto two = [&](RunOp a, RunOp b) { out[0] = a; out[1] = b; return 2; };
+  auto three = [&](RunOp a, RunOp b, RunOp c) {
+    out[0] = a; out[1] = b; out[2] = c; return 3;
+  };
+  switch (op) {
+    case RunOp::kSupAddiLd: return two(RunOp::kAddi, RunOp::kLd);
+    case RunOp::kSupAddiSt: return two(RunOp::kAddi, RunOp::kSt);
+    case RunOp::kSupSubiSt: return two(RunOp::kSubi, RunOp::kSt);
+    case RunOp::kSupStAddi: return two(RunOp::kSt, RunOp::kAddi);
+    case RunOp::kSupStLi: return two(RunOp::kSt, RunOp::kLi);
+    case RunOp::kSupStLd: return two(RunOp::kSt, RunOp::kLd);
+    case RunOp::kSupStSt: return two(RunOp::kSt, RunOp::kSt);
+    case RunOp::kSupLdSt: return two(RunOp::kLd, RunOp::kSt);
+    case RunOp::kSupLdLd: return two(RunOp::kLd, RunOp::kLd);
+    case RunOp::kSupLdMov: return two(RunOp::kLd, RunOp::kMov);
+    case RunOp::kSupLdAdd: return two(RunOp::kLd, RunOp::kAdd);
+    case RunOp::kSupLdSub: return two(RunOp::kLd, RunOp::kSub);
+    case RunOp::kSupLdMul: return two(RunOp::kLd, RunOp::kMul);
+    case RunOp::kSupLdJr: return two(RunOp::kLd, RunOp::kJr);
+    case RunOp::kSupMovLd: return two(RunOp::kMov, RunOp::kLd);
+    case RunOp::kSupLiSt: return two(RunOp::kLi, RunOp::kSt);
+    case RunOp::kSupLiCall: return two(RunOp::kLi, RunOp::kCall);
+    case RunOp::kSupAddJmp: return two(RunOp::kAdd, RunOp::kJmp);
+    case RunOp::kSupAddiJmp: return two(RunOp::kAddi, RunOp::kJmp);
+    case RunOp::kSupMovJmp: return two(RunOp::kMov, RunOp::kJmp);
+    case RunOp::kSupMovAddi: return two(RunOp::kMov, RunOp::kAddi);
+    case RunOp::kSupStCall: return two(RunOp::kSt, RunOp::kCall);
+    case RunOp::kSupSubiStCall:
+      return three(RunOp::kSubi, RunOp::kSt, RunOp::kCall);
+    case RunOp::kSupAddiStCall:
+      return three(RunOp::kAddi, RunOp::kSt, RunOp::kCall);
+    case RunOp::kSupLdStCall:
+      return three(RunOp::kLd, RunOp::kSt, RunOp::kCall);
+    case RunOp::kSupLdAddJmp:
+      return three(RunOp::kLd, RunOp::kAdd, RunOp::kJmp);
+    case RunOp::kSupLdLdMov:
+      return three(RunOp::kLd, RunOp::kLd, RunOp::kMov);
+    case RunOp::kSupEpilogue:
+      return three(RunOp::kGetMaxE, RunOp::kBgeu, RunOp::kBgeu);
+    case RunOp::kSupLdEpilogue:
+      out[0] = RunOp::kLd; out[1] = RunOp::kGetMaxE;
+      out[2] = RunOp::kBgeu; out[3] = RunOp::kBgeu;
+      return 4;
+    case RunOp::kSupSumLoop:
+      out[0] = RunOp::kLd; out[1] = RunOp::kAdd;
+      out[2] = RunOp::kAddi; out[3] = RunOp::kJmp;
+      return 4;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+std::array<std::uint64_t, kNumRunOps> canonicalize_opcode_histogram(
+    const std::array<std::uint64_t, kNumRunOps>& h) {
+  std::array<std::uint64_t, kNumRunOps> out{};
+  for (int i = 0; i < kNumRunOps; ++i) {
+    const RunOp op = static_cast<RunOp>(i);
+    const std::uint64_t n = h[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    if (op < RunOp::kCallBuiltin) {
+      out[static_cast<std::size_t>(i)] += n;
+    } else if (op == RunOp::kCallBuiltin) {
+      // The split form is a decode-time distinction; architecturally it
+      // retired a call.
+      out[static_cast<std::size_t>(RunOp::kCall)] += n;
+    } else if (op != RunOp::kBadPc) {
+      RunOp comp[4];
+      const int k = run_op_components(op, comp);
+      for (int c = 0; c < k; ++c) out[static_cast<std::size_t>(comp[c])] += n;
+    }
+  }
+  return out;
+}
+
+namespace {
+
 bool is_branch(Op op) { return op >= Op::kBeq && op <= Op::kBgeu; }
 
 /// cc offset of a branch op relative to kBeq (0..5); the Sup*B groups are

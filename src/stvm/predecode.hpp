@@ -30,6 +30,7 @@
 // engine (differential fuzzing relies on this).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -97,6 +98,18 @@ const char* run_op_name(RunOp op);
 /// Architectural instructions one dispatch of this handler retires
 /// (1 for plain ops, 2/3 for superinstructions, 0 for the sentinel).
 int run_op_len(RunOp op);
+
+/// Folds a retirement histogram (Vm::opcode_retired()) into canonical
+/// architectural opcode space: every superinstruction's count is
+/// re-attributed to its plain components, and the builtin-split call
+/// form rejoins kCall.  The threaded engine's early-exit paths already
+/// re-attribute partial dispatches (a counted super executed ALL of its
+/// components), so the fold is exact, not an estimate: histograms taken
+/// under any engine/fusion combination of the same program run compare
+/// bit-equal after canonicalization.  Only indices below kCallBuiltin
+/// (the Op mirror range) are nonzero in the result.
+std::array<std::uint64_t, kNumRunOps> canonicalize_opcode_histogram(
+    const std::array<std::uint64_t, kNumRunOps>& h);
 
 /// One slot of the run-form stream (32 bytes, no indirection).  Field
 /// meaning is per-handler; the invariant is that a superinstruction's

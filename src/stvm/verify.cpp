@@ -965,8 +965,10 @@ VerifyReport verify_module(const PostprocResult& program) {
 }
 
 void verify_or_throw(const PostprocResult& program) {
+  if (program.verify_verdict == 1) return;  // module already proved clean
   const VerifyReport report = verify_module(program);
   if (!report.ok()) throw VerifyError(report);
+  program.verify_verdict = 1;
 }
 
 }  // namespace stvm

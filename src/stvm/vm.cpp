@@ -91,33 +91,48 @@ Vm::Vm(const PostprocResult& program, VmConfig cfg)
   // after label resolution, so module/verify semantics are untouched;
   // validate mode predecodes unfused so its per-instruction validation
   // points line up with the switch engine.
-  bool threaded = true;
+  enum class Engine { kSwitch, kThreaded, kJit };
+  Engine engine = Engine::kThreaded;
   switch (cfg_.dispatch) {
-    case VmConfig::Dispatch::kSwitch: threaded = false; break;
-    case VmConfig::Dispatch::kThreaded: threaded = true; break;
+    case VmConfig::Dispatch::kSwitch: engine = Engine::kSwitch; break;
+    case VmConfig::Dispatch::kThreaded: engine = Engine::kThreaded; break;
+    case VmConfig::Dispatch::kJit: engine = Engine::kJit; break;
     case VmConfig::Dispatch::kEnv: {
       const std::string d = stu::env_string("ST_STVM_DISPATCH", "threaded");
       if (d == "switch") {
-        threaded = false;
+        engine = Engine::kSwitch;
       } else if (d == "threaded") {
-        threaded = true;
+        engine = Engine::kThreaded;
+      } else if (d == "jit") {
+        engine = Engine::kJit;
       } else {
-        throw VmError("ST_STVM_DISPATCH must be 'switch' or 'threaded', got: " + d);
+        throw VmError("ST_STVM_DISPATCH must be 'switch', 'threaded' or 'jit', got: " +
+                      d);
       }
       break;
     }
   }
-#if !defined(__GNUC__)
-  threaded = false;  // the computed-goto engine needs labels-as-values
-#endif
   // Access annotation (util/sched_log.hpp kSchedAccess) needs the
   // per-instruction seam only the switch engine has, so an annotating
-  // run forces it.  Schedules are engine-agnostic (both engines charge
+  // run forces it.  Schedules are engine-agnostic (every engine charges
   // budget per architectural instruction), so an analysis or explored
-  // interleaving from a switch-engine run transfers to the threaded one.
+  // interleaving from a switch-engine run transfers to the others.
   annotate_ = stu::sched_annotating();
-  if (annotate_) threaded = false;
-  threaded_ = threaded;
+  if (annotate_) engine = Engine::kSwitch;
+  // JIT fallback ladder (docs/OBSERVABILITY.md): native emission
+  // unavailable on this build/host, validate mode (needs the
+  // per-instruction hook), or a module below ST_JIT_THRESHOLD
+  // instructions degrades cleanly to the threaded engine.
+  if (engine == Engine::kJit &&
+      (!jit_supported() || cfg_.validate ||
+       static_cast<long long>(code_.size()) < stu::env_long("ST_JIT_THRESHOLD", 0))) {
+    engine = Engine::kThreaded;
+  }
+#if !defined(__GNUC__)
+  // The computed-goto engine needs labels-as-values.
+  if (engine == Engine::kThreaded) engine = Engine::kSwitch;
+#endif
+  threaded_ = engine == Engine::kThreaded;
   fuse_ = stu::env_long("ST_STVM_FUSE", 1) != 0 && !cfg_.validate;
   if (threaded_) pre_ = predecode(code_, fuse_);
   engine_flags_ = (cfg_.validate ? kEngineValidate : 0) |
@@ -125,6 +140,28 @@ Vm::Vm(const PostprocResult& program, VmConfig cfg)
                     stu::trace_stats_enabled())
                        ? kEngineCount
                        : 0);
+  if (engine == Engine::kJit) {
+    // The JIT translates the *unfused* stream: blocks are 1:1 with
+    // architectural instructions, so quantum boundaries and cold exits
+    // never land inside a group and no degrade path exists at all.
+    pre_ = predecode(code_, /*enable_fusion=*/false);
+    jit_ = std::make_unique<JitProgram>();
+    const bool counting = (engine_flags_ & kEngineCount) != 0;
+    if (jit_->compile(pre_, static_cast<std::int64_t>(code_.size()), memory_.size(),
+                      memory_.data(), &jit_state_,
+                      counting ? op_retired_.data() : nullptr)) {
+      jit_active_ = true;
+    } else {
+      // Compile refused (e.g. a memory span beyond the emitted 32-bit
+      // bounds immediates): fall back like an unsupported host.
+      jit_.reset();
+      threaded_ = true;
+#if !defined(__GNUC__)
+      threaded_ = false;
+#endif
+      pre_ = threaded_ ? predecode(code_, fuse_) : Predecoded{};
+    }
+  }
 }
 
 Vm::~Vm() {
@@ -150,7 +187,8 @@ Vm::~Vm() {
                  static_cast<unsigned long long>(stats_.retired_marks_seen),
                  static_cast<unsigned long long>(stats_.trampolines_taken));
     std::fprintf(stderr, "[st-stats stvm opcodes dispatch=%s fuse=%d]",
-                 threaded_ ? "threaded" : "switch", threaded_ && fuse_ ? 1 : 0);
+                 jit_active_ ? "jit" : threaded_ ? "threaded" : "switch",
+                 threaded_ && fuse_ ? 1 : 0);
     for (int i = 0; i < kNumRunOps; ++i) {
       if (op_retired_[static_cast<std::size_t>(i)] == 0) continue;
       std::fprintf(stderr, " %s=%llu", run_op_name(static_cast<RunOp>(i)),
@@ -313,7 +351,29 @@ void Vm::step_worker(unsigned w) {
     }
   }
   const std::uint64_t before = stats_.instructions;
-  if (threaded_) {
+  if (jit_active_) {
+    int b = budget;
+    if (cfg_.workers == 1 && !recording && !stu::sched_replaying() &&
+        stu::trace_mask() == 0) {
+      // Quantum coalescing: with one worker and no recorder/replayer/
+      // tracer attached, quantum boundaries have no observer -- no
+      // interleaving, no kSchedQuantum events, no per-quantum stats --
+      // so several quanta run as one native stretch.  The batch stops at
+      // a multiple of the quantum that stays at-or-below max_steps, so a
+      // runaway program still errors on exactly the boundary where the
+      // interpreters' per-sweep check fires (floor(room/quantum) is 0
+      // there, degrading to single quanta).  Everything else that ends a
+      // quantum early (halt, idle, faults) ends the batch the same way.
+      const std::uint64_t q = static_cast<std::uint64_t>(budget);
+      const std::uint64_t room = cfg_.max_steps > stats_.instructions
+                                     ? cfg_.max_steps - stats_.instructions
+                                     : 0;
+      std::uint64_t quanta = q > 0 ? room / q : 0;
+      if (quanta > 4096) quanta = 4096;
+      if (quanta > 1) b = static_cast<int>(quanta * q);
+    }
+    exec_quantum_jit(w, b);
+  } else if (threaded_) {
     exec_quantum_threaded(w, budget);
   } else {
     for (int i = 0; i < budget; ++i) {
@@ -1217,6 +1277,64 @@ void Vm::exec_quantum_threaded(unsigned w, int budget) {
 
 #endif
 
+// ---------------------------------------------------------------------
+// The baseline JIT engine (jit.hpp; DESIGN.md §5.13).
+//
+// One quantum per call.  Native blocks run until the budget is spent or
+// a cold instruction is reached; the cold instruction is then executed
+// by exec_instr -- the portable switch engine IS the seam, so builtins,
+// trampoline takes, halt and every fault produce the oracle's exact
+// state transitions, messages and stats.  Invariants:
+//  - native code charges the budget once per architectural instruction,
+//    before that instruction's first side effect, and a cold exit always
+//    carries the pc of the *unexecuted* instruction with its budget
+//    intact -- so stats_.instructions (folded from the budget delta) and
+//    per-quantum interleaving are bit-identical to both interpreters;
+//  - the getmaxe sentinel is refreshed at every native entry: the
+//    exported set only changes inside builtins / trampolines / steal
+//    service, all of which pass through the exec_instr seam first;
+//  - memory_ never reallocates after construction, so the base address
+//    baked into the blocks stays valid across builtins.
+// ---------------------------------------------------------------------
+
+void Vm::exec_quantum_jit(unsigned w, int budget) {
+  auto& W = workers_[w];
+  const std::int64_t code_size = static_cast<std::int64_t>(code_.size());
+  while (budget > 0 && !W.idle && !W.halted && !result_.has_value()) {
+    if (W.pc < 0 || W.pc >= code_size) {
+      exec_instr(w);  // throws the canonical "pc out of code range"
+      continue;
+    }
+    if (jit_->cold_at(W.pc)) {
+      // Bare cold slot (builtin call, halt, ...): single-step directly,
+      // skipping the native enter/exit round trip.
+      --budget;
+      exec_instr(w);
+      continue;
+    }
+    // A native stretch can grow the host stack by up to 8 bytes per
+    // executed instruction (a call whose return is redirected leaves its
+    // frame until the exit stub unwinds), so huge quanta run as several
+    // back-to-back stretches -- architecturally invisible, since nothing
+    // observes the seam between them.
+    constexpr int kMaxStretch = 1 << 16;
+    const int stretch = budget < kMaxStretch ? budget : kMaxStretch;
+    jit_state_.regs = W.regs.data();
+    jit_state_.budget = stretch;
+    jit_state_.pc = W.pc;
+    jit_state_.maxe = W.exported.empty() ? W.stack_hi + 1 : W.exported.max().fp;
+    jit_->enter();
+    const int executed = stretch - static_cast<int>(jit_state_.budget);
+    stats_.instructions += static_cast<std::uint64_t>(executed);
+    budget -= executed;
+    W.pc = static_cast<Addr>(jit_state_.pc);
+    if (jit_state_.exit_cold == 0) continue;  // stretch spent; loop re-checks budget
+    if (budget <= 0) break;  // cold instruction landed on the quantum boundary
+    --budget;
+    exec_instr(w);  // oracle single-step (counts its own stats/histogram)
+  }
+}
+
 void Vm::take_trampoline(unsigned w, Addr token) {
   auto it = trampolines_.find(token);
   if (it == trampolines_.end()) fail(w, "return through a dead trampoline token");
@@ -1693,7 +1811,8 @@ std::string Vm::dump_logical_stacks() const {
 std::string Vm::metrics_json() const {
   std::ostringstream os;
   os << "{\"kind\":\"stvm\",\"workers\":" << cfg_.workers << ","
-     << "\"dispatch\":\"" << (threaded_ ? "threaded" : "switch") << "\","
+     << "\"dispatch\":\"" << (jit_active_ ? "jit" : threaded_ ? "threaded" : "switch")
+     << "\","
      << "\"counters\":{"
      << "\"instructions\":" << stats_.instructions
      << ",\"suspends\":" << stats_.suspends << ",\"restarts\":" << stats_.restarts

@@ -27,12 +27,14 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "stvm/jit.hpp"
 #include "stvm/module.hpp"
 #include "stvm/postproc.hpp"
 #include "stvm/predecode.hpp"
@@ -62,10 +64,14 @@ struct VmConfig {
   /// Implies unfused predecode so validation points match the switch
   /// engine instruction-for-instruction.
   bool validate = false;
-  /// Interpreter engine.  kEnv reads ST_STVM_DISPATCH (switch|threaded,
-  /// default threaded); both engines are architecturally identical and
-  /// differentially fuzzed against each other (docs/OBSERVABILITY.md).
-  enum class Dispatch { kEnv, kSwitch, kThreaded };
+  /// Execution engine.  kEnv reads ST_STVM_DISPATCH
+  /// (switch|threaded|jit, default threaded); all three engines are
+  /// architecturally identical -- same results, print streams, VmStats,
+  /// instruction counts and quantum interleaving -- and differentially
+  /// fuzzed against each other (docs/OBSERVABILITY.md).  kJit falls back
+  /// to kThreaded cleanly when native emission is unavailable
+  /// (non-x86-64 host, validate mode, ST_JIT_THRESHOLD, compile failure).
+  enum class Dispatch { kEnv, kSwitch, kThreaded, kJit };
   Dispatch dispatch = Dispatch::kEnv;
   /// Force the per-opcode retirement histogram on (it is otherwise
   /// enabled only when ST_METRICS/ST_STATS observability is active).
@@ -140,6 +146,13 @@ class Vm {
 
   /// True when this VM runs the predecoded computed-goto engine.
   bool dispatch_threaded() const { return threaded_; }
+
+  /// True when this VM runs native JIT-compiled blocks (jit.hpp).
+  bool dispatch_jit() const { return jit_active_; }
+
+  /// True when this build/host can run the baseline JIT at all
+  /// (benches and tests gate their jit columns/dimensions on this).
+  static bool jit_supported() { return jit_available(); }
 
   /// The run-form stream (empty when the switch engine is active);
   /// exposes fusion coverage counters for tests and benches.
@@ -224,6 +237,11 @@ class Vm {
   /// carries zero flag tests on the dispatch path.
   template <bool kSlow>
   void exec_quantum_threaded_impl(unsigned w, int budget);
+  /// Runs up to one quantum through the native blocks (jit.cpp),
+  /// single-stepping cold instructions through exec_instr -- the switch
+  /// engine is the oracle seam, so builtins, trampolines, halt and every
+  /// fault path behave byte-identically to an all-switch run.
+  void exec_quantum_jit(unsigned w, int budget);
   void idle_step(unsigned w);
   void do_builtin(unsigned w, int id);
   void take_trampoline(unsigned w, Addr token);
@@ -295,8 +313,11 @@ class Vm {
   [[noreturn]] void fail(unsigned w, const std::string& msg) const;
 
   std::vector<Instr> code_;
-  Predecoded pre_;          ///< run-form stream (threaded engine only)
+  Predecoded pre_;          ///< run-form stream (threaded: fused; jit: plain)
   bool threaded_ = false;   ///< engine choice, resolved at construction
+  bool jit_active_ = false; ///< native blocks compiled and selected
+  JitState jit_state_;      ///< host<->native mailbox (address baked into code)
+  std::unique_ptr<JitProgram> jit_;
   bool annotate_ = false;   ///< HB access annotation (sched_annotating() at ctor)
   bool fuse_ = true;        ///< superinstruction fusion (ST_STVM_FUSE)
   std::uint32_t engine_flags_ = 0;  ///< kEngine* bits, fixed at construction

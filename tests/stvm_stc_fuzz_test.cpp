@@ -3,9 +3,10 @@
 // evaluation; the compiled result must match on every seed.  Exercises
 // expression codegen (temporaries as frame slots across nested calls),
 // control flow, arrays and the calling standard end to end.  Every
-// program additionally runs under BOTH interpreter engines (portable
-// switch and predecoded threaded dispatch) and the engines must agree
-// on the result and on every architectural VmStats field.
+// program additionally runs under ALL execution engines (portable
+// switch, predecoded threaded dispatch and -- on hosts that support it
+// -- the baseline template JIT) and the engines must agree on the
+// result, the print stream and every architectural VmStats field.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -37,12 +38,29 @@ stvm::PostprocResult compile_verified(const std::string& src,
   return prog;
 }
 
-/// Runs the program under both interpreter engines and asserts they
-/// agree on the result, the __st_print stream and every VmStats field.
-/// Worker stepping is virtual and deterministic, so this holds exactly
-/// even with suspension, stealing and migration in play -- predecode,
-/// superinstruction fusion and quantum hoisting must be architecturally
-/// invisible (DESIGN.md, "Predecoded run-form stream").
+/// Asserts two engines produced identical VmStats, field by field, so a
+/// divergence names the counter that drifted.
+void expect_stats_equal(const stvm::VmStats& x, const stvm::VmStats& y,
+                        const char* who) {
+  EXPECT_EQ(x.instructions, y.instructions) << who;
+  EXPECT_EQ(x.suspends, y.suspends) << who;
+  EXPECT_EQ(x.restarts, y.restarts) << who;
+  EXPECT_EQ(x.resumes, y.resumes) << who;
+  EXPECT_EQ(x.steals_served, y.steals_served) << who;
+  EXPECT_EQ(x.steals_rejected, y.steals_rejected) << who;
+  EXPECT_EQ(x.frames_unwound, y.frames_unwound) << who;
+  EXPECT_EQ(x.shrink_reclaimed, y.shrink_reclaimed) << who;
+  EXPECT_EQ(x.retired_marks_seen, y.retired_marks_seen) << who;
+  EXPECT_EQ(x.trampolines_taken, y.trampolines_taken) << who;
+}
+
+/// Runs the program under every engine and asserts they agree on the
+/// result, the __st_print stream and every VmStats field.  Worker
+/// stepping is virtual and deterministic, so this holds exactly even
+/// with suspension, stealing and migration in play -- predecode,
+/// superinstruction fusion, quantum hoisting and native JIT blocks must
+/// be architecturally invisible (DESIGN.md, "Predecoded run-form
+/// stream" and "Baseline template JIT").
 Word run_differential(const stvm::PostprocResult& prog, const std::string& entry,
                       const std::vector<Word>& args, unsigned workers = 1,
                       int quantum = 64) {
@@ -64,16 +82,15 @@ Word run_differential(const stvm::PostprocResult& prog, const std::string& entry
   const Word r_th = run_one(stvm::VmConfig::Dispatch::kThreaded, &th, &out_th);
   EXPECT_EQ(r_sw, r_th) << "engines disagree on the result";
   EXPECT_EQ(out_sw, out_th) << "engines disagree on the __st_print stream";
-  EXPECT_EQ(sw.instructions, th.instructions);
-  EXPECT_EQ(sw.suspends, th.suspends);
-  EXPECT_EQ(sw.restarts, th.restarts);
-  EXPECT_EQ(sw.resumes, th.resumes);
-  EXPECT_EQ(sw.steals_served, th.steals_served);
-  EXPECT_EQ(sw.steals_rejected, th.steals_rejected);
-  EXPECT_EQ(sw.frames_unwound, th.frames_unwound);
-  EXPECT_EQ(sw.shrink_reclaimed, th.shrink_reclaimed);
-  EXPECT_EQ(sw.retired_marks_seen, th.retired_marks_seen);
-  EXPECT_EQ(sw.trampolines_taken, th.trampolines_taken);
+  expect_stats_equal(sw, th, "switch vs threaded");
+  if (stvm::Vm::jit_supported()) {
+    stvm::VmStats jt;
+    std::vector<Word> out_jt;
+    const Word r_jt = run_one(stvm::VmConfig::Dispatch::kJit, &jt, &out_jt);
+    EXPECT_EQ(r_sw, r_jt) << "the JIT disagrees on the result";
+    EXPECT_EQ(out_sw, out_jt) << "the JIT disagrees on the __st_print stream";
+    expect_stats_equal(sw, jt, "switch vs jit");
+  }
   return r_th;
 }
 
@@ -312,16 +329,82 @@ TEST_P(StcFuzzTest, RecordMutateReplayAgreesAcrossEngines) {
 
   EXPECT_EQ(r_sw, f0) << "a schedule mutation must not change the result";
   EXPECT_EQ(r_th, f0);
-  EXPECT_EQ(sw.instructions, th.instructions);
-  EXPECT_EQ(sw.suspends, th.suspends);
-  EXPECT_EQ(sw.restarts, th.restarts);
-  EXPECT_EQ(sw.resumes, th.resumes);
-  EXPECT_EQ(sw.steals_served, th.steals_served);
-  EXPECT_EQ(sw.steals_rejected, th.steals_rejected);
-  EXPECT_EQ(sw.frames_unwound, th.frames_unwound);
-  EXPECT_EQ(sw.shrink_reclaimed, th.shrink_reclaimed);
-  EXPECT_EQ(sw.retired_marks_seen, th.retired_marks_seen);
-  EXPECT_EQ(sw.trampolines_taken, th.trampolines_taken);
+  expect_stats_equal(sw, th, "switch vs threaded (mutated replay)");
+
+  // The same mutated schedule forced through the JIT: replay mode
+  // disables quantum coalescing, so every forced quantum is charged per
+  // architectural instruction in native code too.
+  if (stvm::Vm::jit_supported()) {
+    stvm::VmStats jt;
+    stu::sched_set_replay(log);
+    const Word r_jt = run_one(stvm::VmConfig::Dispatch::kJit, &jt);
+    stu::sched_set_off();
+    EXPECT_EQ(r_jt, f0);
+    expect_stats_equal(sw, jt, "switch vs jit (mutated replay)");
+  }
+}
+
+TEST_P(StcFuzzTest, JitRecordReplayRoundTripsDigest) {
+  // Record a multi-worker run under the JIT, then replay the untouched
+  // log under all engines: the recorded schedule must reproduce the
+  // recording run's stats bit-identically regardless of which engine
+  // recorded and which replays (record mode also disables coalescing,
+  // so the JIT records per-quantum decisions like the interpreters).
+  if (!stvm::Vm::jit_supported()) GTEST_SKIP() << "no JIT on this host";
+  const char* kSrc = R"(
+    func task(n, result, jc) {
+      mem[result] = pfib(n);
+      jc_finish(jc);
+    }
+    func pfib(n) {
+      if (n < 2) { return n; }
+      poll();
+      var jc[2];
+      var a;
+      jc_init(&jc, 1);
+      async task(n - 1, &a, &jc);
+      var b = pfib(n - 2);
+      jc_join(&jc);
+      return a + b;
+    }
+    func main(n) { exit(pfib(n)); }
+  )";
+  stu::Xoshiro256 rng(GetParam() * 613 + 29);
+  const long n = rng.range(7, 12);
+  const unsigned workers = 2 + static_cast<unsigned>(rng.below(3));
+  const int quantum = static_cast<int>(rng.range(3, 33));
+  SCOPED_TRACE("n=" + std::to_string(n) + " workers=" + std::to_string(workers) +
+               " quantum=" + std::to_string(quantum));
+  const stvm::PostprocResult prog = compile_verified(kSrc, /*with_stdlib=*/true);
+
+  auto run_one = [&](stvm::VmConfig::Dispatch d, stvm::VmStats* stats) {
+    stvm::VmConfig cfg;
+    cfg.workers = workers;
+    cfg.quantum = quantum;
+    cfg.dispatch = d;
+    stvm::Vm vm(prog, cfg);
+    const Word r = vm.run("main", {n});
+    *stats = vm.stats();
+    return r;
+  };
+
+  stu::sched_set_record();
+  stvm::VmStats rec_stats;
+  const Word rec = run_one(stvm::VmConfig::Dispatch::kJit, &rec_stats);
+  const std::vector<stu::SchedDecision> log = stu::sched_take_recorded();
+  stu::sched_set_off();
+  ASSERT_FALSE(log.empty());
+
+  for (const auto d : {stvm::VmConfig::Dispatch::kSwitch,
+                       stvm::VmConfig::Dispatch::kThreaded,
+                       stvm::VmConfig::Dispatch::kJit}) {
+    stvm::VmStats rep_stats;
+    stu::sched_set_replay(log);
+    const Word rep = run_one(d, &rep_stats);
+    stu::sched_set_off();
+    EXPECT_EQ(rep, rec) << "replay changed the result";
+    expect_stats_equal(rec_stats, rep_stats, "jit recording vs replay");
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StcFuzzTest, ::testing::Range<std::uint64_t>(1, 25));

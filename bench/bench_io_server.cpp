@@ -164,10 +164,15 @@ PointResult run_point(long conns, long reqs, unsigned workers,
   return res;
 }
 
-std::vector<long> parse_conns_list() {
+std::vector<long> parse_conns_list(unsigned workers) {
   std::vector<long> out;
   const char* env = std::getenv("STMP_IO_CONNS");
-  std::string s = env != nullptr ? env : "64,512,4096";
+  // Multi-worker runs get a taller default sweep: the reactor only shows
+  // its scaling once handler stacklets spread across workers (ROADMAP
+  // item 1), and a 2-worker CI host would just serialize the tail.
+  std::string s = env != nullptr     ? env
+                  : workers >= 4     ? "64,512,4096,32768"
+                                     : "64,512,4096";
   std::size_t pos = 0;
   while (pos < s.size()) {
     const std::size_t comma = s.find(',', pos);
@@ -180,15 +185,48 @@ std::vector<long> parse_conns_list() {
   return out;
 }
 
-/// Raise RLIMIT_NOFILE to the hard limit; return how many concurrent
-/// connections fit (in-process mode costs two fds per connection).
+/// The ROADMAP item-1 target: 100k concurrent connections.
+constexpr long kTargetConns = 100000;
+
+/// Raise RLIMIT_NOFILE toward the fd count the 100k-conn target needs
+/// (two fds per connection in-process, plus slack for the runtime);
+/// return how many concurrent connections actually fit.  The soft limit
+/// always rises to the hard limit; raising the hard limit itself only
+/// works with CAP_SYS_RESOURCE, so a refusal is logged as the clamp
+/// reason rather than treated as an error -- the sweep clamps to what
+/// the box allows and says so.
 long fd_budget(bool in_process) {
+  const rlim_t want =
+      static_cast<rlim_t>(in_process ? 2 * kTargetConns + 64 : kTargetConns + 64);
   rlimit rl{};
   if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return 1024;
-  if (rl.rlim_cur < rl.rlim_max) {
-    rl.rlim_cur = rl.rlim_max;
-    ::setrlimit(RLIMIT_NOFILE, &rl);
+  const rlim_t orig_cur = rl.rlim_cur, orig_max = rl.rlim_max;
+  if (rl.rlim_max < want) {
+    // Needs privilege; ask for exactly the target so an unprivileged
+    // EPERM leaves the original limits untouched.
+    rlimit bump{want, want};
+    if (::setrlimit(RLIMIT_NOFILE, &bump) != 0) {
+      std::printf("  (cannot raise RLIMIT_NOFILE hard limit %llu -> %llu: %s; "
+                  "100k-conn target needs CAP_SYS_RESOURCE)\n",
+                  static_cast<unsigned long long>(orig_max),
+                  static_cast<unsigned long long>(want), std::strerror(errno));
+    }
     ::getrlimit(RLIMIT_NOFILE, &rl);
+  }
+  if (rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = std::min(rl.rlim_max, want);
+    if (::setrlimit(RLIMIT_NOFILE, &rl) != 0) {
+      std::printf("  (cannot raise RLIMIT_NOFILE soft limit %llu -> %llu: %s)\n",
+                  static_cast<unsigned long long>(orig_cur),
+                  static_cast<unsigned long long>(rl.rlim_cur),
+                  std::strerror(errno));
+    }
+    ::getrlimit(RLIMIT_NOFILE, &rl);
+  }
+  if (rl.rlim_cur != orig_cur) {
+    std::printf("  (RLIMIT_NOFILE soft limit raised %llu -> %llu)\n",
+                static_cast<unsigned long long>(orig_cur),
+                static_cast<unsigned long long>(rl.rlim_cur));
   }
   const long headroom = static_cast<long>(rl.rlim_cur) - 64;
   return in_process ? headroom / 2 : headroom;
@@ -218,10 +256,12 @@ int main(int argc, char** argv) {
               "dropped", "secs", "req/s", "p50(us)", "p99(us)");
 
   bool ok = true;
-  for (long conns : parse_conns_list()) {
+  for (long conns : parse_conns_list(workers)) {
     if (conns > budget) {
-      std::printf("  (clamping %ld -> %ld connections: RLIMIT_NOFILE)\n", conns,
-                  budget);
+      std::printf("  (clamping %ld -> %ld connections: RLIMIT_NOFILE allows "
+                  "%ld fds%s)\n",
+                  conns, budget, budget * (ext_port == 0 ? 2 : 1) + 64,
+                  ext_port == 0 ? ", 2 per connection in-process" : "");
       conns = budget;
     }
     const PointResult r = run_point(conns, reqs, workers, ext_port);

@@ -320,24 +320,56 @@ void Worker::poll_slow() noexcept {
     StealRequest* r = port_.exchange(nullptr, std::memory_order_acq_rel);
     if (r != nullptr) {
       // Figure 12: hand out the tail of the lazy task queue -- readyq
-      // tail if any, otherwise the outermost parent continuation.
-      Continuation* task = nullptr;
-      if (!readyq_.empty()) {
-        task = readyq_.pop_tail();
-        // The stolen readyq tail leaves this worker's queue: close the
-        // resume edge here; the thief's side is the steal flow.
-        trace(stu::kTraceResumeRun, reinterpret_cast<std::uintptr_t>(task));
-      } else if (!fork_deque_.empty()) {
-        task = fork_deque_.pop_tail();
+      // tail if any, otherwise the outermost parent continuation.  A
+      // cross-domain thief advertises max_batch > 1; it gets up to a
+      // steal-half of the exported tail (never more than half of what we
+      // hold, so local progress is preserved) in one negotiation -- all
+      // published by the single release store of `state` below.
+      const std::size_t avail = readyq_.size() + fork_deque_.size();
+      std::uint32_t want = r->max_batch < 1 ? 1 : r->max_batch;
+      if (want > StealRequest::kMaxBatch) want = StealRequest::kMaxBatch;
+      const std::uint32_t half =
+          static_cast<std::uint32_t>((avail + 1) / 2);
+      if (want > half && half >= 1) want = half;
+      std::uint32_t got = 0;
+      Continuation* first = nullptr;
+      while (got < want) {
+        Continuation* task = nullptr;
+        if (!readyq_.empty()) {
+          task = readyq_.pop_tail();
+          // The stolen readyq tail leaves this worker's queue: close the
+          // resume edge here; the thief's side is the steal flow.
+          trace(stu::kTraceResumeRun, reinterpret_cast<std::uintptr_t>(task));
+        } else if (!fork_deque_.empty()) {
+          task = fork_deque_.pop_tail();
+        }
+        if (task == nullptr) break;
+        if (got == 0) {
+          first = task;
+          r->reply = *task;
+        } else {
+          r->extra[got - 1] = task;
+        }
+        ++got;
       }
-      if (task != nullptr) {
-        r->reply = *task;
+      if (got > 0) {
+        r->extra_n = got - 1;
         ++stats_.steals_served;
         trace(stu::kTraceStealServed, reinterpret_cast<std::uintptr_t>(r),
-              reinterpret_cast<std::uintptr_t>(task));
+              reinterpret_cast<std::uintptr_t>(first));
+        if (got >= 2) {
+          trace(stu::kTraceStealBatch, reinterpret_cast<std::uintptr_t>(r), got);
+        }
         if (stu::sched_recording()) [[unlikely]] {
           stu::sched_record(stu::kSchedServe, static_cast<std::uint16_t>(id_),
                             stu::kTraceSrcRuntime, r->thief, 1, &trace_);
+          if (got >= 2) {
+            // Record-only (v2): the batch size is derived state on replay
+            // (the thief re-runs the same negotiation), but the log entry
+            // lets offline analysis see the handout width.
+            stu::sched_record(stu::kSchedBatch, static_cast<std::uint16_t>(id_),
+                              stu::kTraceSrcRuntime, got, r->thief, &trace_);
+          }
         }
         r->state.store(StealRequest::kServed, std::memory_order_release);
       } else {
@@ -391,6 +423,9 @@ void Worker::publish_stats() noexcept {
   mirror_.steal_attempts.store(stats_.steal_attempts, std::memory_order_relaxed);
   mirror_.steals_rejected.store(stats_.steals_rejected, std::memory_order_relaxed);
   mirror_.steals_cancelled.store(stats_.steals_cancelled, std::memory_order_relaxed);
+  mirror_.steals_local.store(stats_.steals_local, std::memory_order_relaxed);
+  mirror_.steals_remote.store(stats_.steals_remote, std::memory_order_relaxed);
+  mirror_.steal_tasks.store(stats_.steal_tasks, std::memory_order_relaxed);
   mirror_.tasks_completed.store(stats_.tasks_completed, std::memory_order_relaxed);
   mirror_.io_wakeups.store(stats_.io_wakeups, std::memory_order_relaxed);
   mirror_.io_events.store(stats_.io_events, std::memory_order_relaxed);
@@ -426,6 +461,8 @@ bool Worker::try_steal_and_run() {
   Worker* victim = nullptr;
   stu::SchedDecision forced_outcome{};
   bool have_outcome = false;
+  bool local = true;
+  const bool hier = rt_.num_domains() > 1;
   if (stu::sched_replaying()) [[unlikely]] {
     stu::SchedDecision d;
     if (stu::sched_replay_next(stu::kSchedVictim, static_cast<std::uint16_t>(id_),
@@ -437,6 +474,22 @@ bool Worker::try_steal_and_run() {
                                    stu::kTraceSrcRuntime, d.seq, d.a, id_,
                                    "forced victim id invalid");
       }
+      // Consume the paired v2 domain decision (recorded right after each
+      // victim choice when the topology had > 1 domain; ST_TOPOLOGY must
+      // match between record and replay, which keeps the per-kind FIFOs
+      // aligned and the ride-along trace stream bit-exact).
+      if (hier) {
+        stu::SchedDecision dd;
+        if (stu::sched_replay_next(stu::kSchedDomain, static_cast<std::uint16_t>(id_),
+                                   stu::kTraceSrcRuntime, &dd, &trace_) &&
+            victim != nullptr && dd.a != rt_.domain_of(victim->id())) {
+          stu::sched_note_divergence(stu::kSchedDomain,
+                                     static_cast<std::uint16_t>(id_),
+                                     stu::kTraceSrcRuntime, dd.seq, dd.a,
+                                     rt_.domain_of(victim->id()),
+                                     "forced victim in a different domain");
+        }
+      }
       // Consume the paired outcome even when the victim was unusable so
       // later negotiations stay aligned with their own pairs.
       have_outcome = stu::sched_replay_next(stu::kSchedStealResult,
@@ -445,12 +498,22 @@ bool Worker::try_steal_and_run() {
                                             &trace_);
       if (victim == nullptr) return false;
     } else {
-      victim = rt_.choose_victim(rng_, id_);  // log exhausted: free-run
+      // Log exhausted: free-run.
+      victim = hier ? rt_.choose_victim_hier(rng_, *this, &local)
+                    : rt_.choose_victim(rng_, id_);
     }
   } else {
-    victim = rt_.choose_victim(rng_, id_);
+    victim = hier ? rt_.choose_victim_hier(rng_, *this, &local)
+                  : rt_.choose_victim(rng_, id_);
   }
   if (victim == nullptr) return false;
+  // A remote victim from the hierarchical chooser means we hold our
+  // domain's cross-domain probe slot until this negotiation resolves.
+  const bool gate_held = hier && !local;
+  // Locality is derived state (victim id + topology), so a replay-forced
+  // victim classifies identically to the recorded run.
+  const unsigned vdom = rt_.domain_of(victim->id());
+  local = vdom == domain_;
   ++stats_.steal_attempts;
   set_phase(WorkerPhase::kStealing);
   const bool timed = stu::metrics_enabled();
@@ -458,6 +521,16 @@ bool Worker::try_steal_and_run() {
 
   StealRequest req;
   req.thief = static_cast<std::uint32_t>(id_);
+  // A cross-domain trip amortizes its cost by asking for a batch; local
+  // probes keep the classic single-task ask (work stays fine-grained
+  // within a domain, matching the LTC bias toward shallow migration).
+  if (!local) {
+    const int b = rt_.idle_policy().steal_batch;
+    req.max_batch = b < 1 ? 1
+                    : b > static_cast<int>(StealRequest::kMaxBatch)
+                        ? StealRequest::kMaxBatch
+                        : static_cast<std::uint32_t>(b);
+  }
   StealRequest* expected = nullptr;
   if (!victim->port().compare_exchange_strong(expected, &req, std::memory_order_acq_rel)) {
     if (have_outcome) {
@@ -467,6 +540,7 @@ bool Worker::try_steal_and_run() {
                                  forced_outcome.a, stu::kSchedOutcomeRejected,
                                  "victim port already claimed");
     }
+    if (gate_held) rt_.release_remote_gate(domain_);
     set_phase(WorkerPhase::kIdle);
     return false;  // someone else is already negotiating with this victim
   }
@@ -478,6 +552,13 @@ bool Worker::try_steal_and_run() {
   if (stu::sched_recording()) [[unlikely]] {
     stu::sched_record(stu::kSchedVictim, static_cast<std::uint16_t>(id_),
                       stu::kTraceSrcRuntime, victim->id(), 0, &trace_);
+    if (hier) {
+      // v2 ride-along: which steal domain this probe targeted.  Written
+      // only when the topology is hierarchical so flat runs keep
+      // producing v1-magic logs (back-compat with older readers).
+      stu::sched_record(stu::kSchedDomain, static_cast<std::uint16_t>(id_),
+                        stu::kTraceSrcRuntime, vdom, local ? 1 : 0, &trace_);
+    }
   }
 
   // A recorded "served" waits well past the normal limit for the victim
@@ -518,6 +599,12 @@ bool Worker::try_steal_and_run() {
                                      "negotiation cancelled");
         }
         if (timed) metrics_.steal_cancel_latency.record(stu::trace_clock() - t0);
+        // A cancelled local probe still advances the local-fail streak
+        // (the victim was unresponsive -- keep widening the search); a
+        // cancelled remote one spends the streak, so the next remote
+        // trip must be re-earned with another run of empty local scans.
+        if (local) note_local_fail(); else reset_local_fails();
+        if (gate_held) rt_.release_remote_gate(domain_);
         set_phase(WorkerPhase::kIdle);
         return false;
       }
@@ -527,6 +614,7 @@ bool Worker::try_steal_and_run() {
   }
   // The negotiation resolved (served or rejected): its full post->resolve
   // time is the steal latency.
+  if (gate_held) rt_.release_remote_gate(domain_);
   if (timed) metrics_.steal_latency.record(stu::trace_clock() - t0);
 
   const bool served = req.state.load(std::memory_order_acquire) == StealRequest::kServed;
@@ -547,10 +635,38 @@ bool Worker::try_steal_and_run() {
                                "negotiation resolved differently");
   }
   if (!served) {
+    // Adaptive victim steering: a rejection decays this domain's hit EMA
+    // and (when local) advances the streak that eventually unlocks
+    // cross-domain probing.  A remote rejection *spends* the streak
+    // instead -- cross-domain probes are rate-limited to one per
+    // ST_STEAL_LOCAL_RETRIES empty local scans, not free once unlocked.
+    note_domain_outcome(vdom, false);
+    if (local) note_local_fail(); else reset_local_fails();
     set_phase(WorkerPhase::kIdle);
     return false;
   }
   ++stats_.steals_received;
+  if (local) ++stats_.steals_local; else ++stats_.steals_remote;
+  const std::uint32_t batch_n = 1 + req.extra_n;
+  stats_.steal_tasks += batch_n;
+  note_domain_outcome(vdom, true);
+  reset_local_fails();
+  if (stu::metrics_enabled()) metrics_.steal_batch_size.record(batch_n);
+  // Batch extras land on our readyq (owner push): they run after the
+  // reply, and -- now advertised in our published depth -- are stealable
+  // by our local domain, which is exactly the locality transfer the
+  // remote batch was for.
+  for (std::uint32_t k = 0; k < req.extra_n; ++k) {
+    readyq_.push_tail(req.extra[k]);
+    trace(stu::kTraceResume, reinterpret_cast<std::uintptr_t>(req.extra[k]));
+  }
+  if (req.extra_n != 0) {
+    publish_depth();
+    // Wake parked domain peers: the batch is their feed, and if they stay
+    // asleep until the park timeout the other domain's (spinning) thieves
+    // would re-migrate what we just paid a cross-socket trip to bring.
+    rt_.notify_work();
+  }
   heartbeat();
   trace(stu::kTraceStealReceived, reinterpret_cast<std::uintptr_t>(&req), victim->id());
   record_resume_latency(this, &req.reply);
@@ -680,6 +796,7 @@ Runtime::Runtime(RuntimeConfig cfg) {
   stu::metrics_configure_from_env();
   stu::sched_configure_from_env();
   if (cfg.workers == 0) cfg.workers = 1;
+  topo_ = Topology::create(cfg.workers);
   idle_.park = cfg.park >= 0 ? cfg.park != 0 : stu::env_long("ST_PARK", 1) != 0;
 #if !defined(__linux__)
   idle_.park = false;  // no futex; the backoff tops out at the yield stage
@@ -689,12 +806,28 @@ Runtime::Runtime(RuntimeConfig cfg) {
   idle_.park_timeout_us = stu::env_long("ST_PARK_TIMEOUT_US", 2000);
   idle_.load_victim = stu::env_string("ST_VICTIM", "load") != "random";
   idle_.io_wait_us = stu::env_long("ST_IO_WAIT_US", 2000);
+  idle_.steal_local_retries =
+      static_cast<int>(stu::env_long("ST_STEAL_LOCAL_RETRIES", 4));
+  idle_.steal_batch = static_cast<int>(stu::env_long(
+      "ST_STEAL_BATCH", static_cast<long>(StealRequest::kMaxBatch) / 2));
   published_load_ =
       std::vector<stu::CacheAligned<std::atomic<std::uint32_t>>>(cfg.workers);
+  domain_idle_wakes_ =
+      std::vector<stu::CacheAligned<std::atomic<std::uint64_t>>>(topo_.num_domains);
+  domain_remote_gate_ =
+      std::vector<stu::CacheAligned<std::atomic<std::uint32_t>>>(topo_.num_domains);
+  const bool numa = stu::env_long("ST_NUMA", 1) != 0;
   workers_.reserve(cfg.workers);
   for (unsigned i = 0; i < cfg.workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(*this, i, cfg.stacklet_bytes, cfg.region_slots));
     workers_.back()->set_solo(cfg.workers == 1);
+    workers_.back()->set_domain(topo_.domain_of(i), topo_.num_domains);
+    // First-touch plus an explicit preferred-node hint: the region was
+    // just mapped by this (main) thread, so tell the kernel where its
+    // pages should materialize before the owning worker faults them in.
+    if (numa && topo_.node[i] >= 0) {
+      workers_.back()->region().bind_to_node(topo_.node[i]);
+    }
   }
   // Observability wiring before the workers start: crash/stall dumps must
   // be able to reach the rings and this runtime from the first event on.
@@ -718,7 +851,10 @@ Runtime::Runtime(RuntimeConfig cfg) {
   }
   threads_.reserve(cfg.workers);
   for (unsigned i = 0; i < cfg.workers; ++i) {
-    threads_.emplace_back([this, i] { workers_[i]->scheduler_loop(); });
+    threads_.emplace_back([this, i] {
+      topo_.pin_thread(i);  // no-op unless ST_PIN=1 resolved a cpu for i
+      workers_[i]->scheduler_loop();
+    });
   }
 }
 
@@ -746,12 +882,14 @@ Runtime::~Runtime() {
   if (stu::trace_stats_enabled()) {
     const RuntimeStats s = stats();
     std::fprintf(stderr,
-                 "[st-stats runtime workers=%u] forks=%llu suspends=%llu resumes=%llu "
-                 "tasks=%llu steal{attempts=%llu served=%llu received=%llu rejected=%llu "
-                 "cancelled=%llu} region{high_water=%llu heap_fallbacks=%llu "
-                 "scavenges=%llu trims=%llu} io{wakeups=%llu events=%llu "
-                 "timers=%llu migrations=%llu cancels=%llu}\n",
-                 num_workers(), static_cast<unsigned long long>(s.forks),
+                 "[st-stats runtime workers=%u domains=%u] forks=%llu suspends=%llu "
+                 "resumes=%llu tasks=%llu steal{attempts=%llu served=%llu "
+                 "received=%llu rejected=%llu cancelled=%llu local=%llu "
+                 "remote=%llu tasks=%llu} region{high_water=%llu "
+                 "heap_fallbacks=%llu scavenges=%llu trims=%llu} io{wakeups=%llu "
+                 "events=%llu timers=%llu migrations=%llu cancels=%llu}\n",
+                 num_workers(), num_domains(),
+                 static_cast<unsigned long long>(s.forks),
                  static_cast<unsigned long long>(s.suspends),
                  static_cast<unsigned long long>(s.resumes),
                  static_cast<unsigned long long>(s.tasks_completed),
@@ -760,6 +898,9 @@ Runtime::~Runtime() {
                  static_cast<unsigned long long>(s.steals_received),
                  static_cast<unsigned long long>(s.steals_rejected),
                  static_cast<unsigned long long>(s.steals_cancelled),
+                 static_cast<unsigned long long>(s.steals_local),
+                 static_cast<unsigned long long>(s.steals_remote),
+                 static_cast<unsigned long long>(s.steal_tasks),
                  static_cast<unsigned long long>(s.region_high_water),
                  static_cast<unsigned long long>(s.heap_fallbacks),
                  static_cast<unsigned long long>(s.region_scavenges),
@@ -782,6 +923,7 @@ Runtime::~Runtime() {
           {"steal_cancel_latency_ns", ns, &WorkerMetrics::steal_cancel_latency},
           {"suspend_to_restart_ns", ns, &WorkerMetrics::suspend_to_restart},
           {"fork_deque_depth", 1.0, &WorkerMetrics::deque_depth},
+          {"steal_batch_size", 1.0, &WorkerMetrics::steal_batch_size},
           {"io_wait_ns", ns, &WorkerMetrics::io_wait},
           {"io_ready_batch", 1.0, &WorkerMetrics::io_ready_batch},
       };
@@ -879,6 +1021,88 @@ Worker* Runtime::choose_victim(stu::Xoshiro256& rng, unsigned self) {
   return random_victim(rng, self);
 }
 
+Worker* Runtime::choose_victim_hier(stu::Xoshiro256& rng, Worker& self,
+                                    bool* local) {
+  const unsigned n = num_workers();
+  if (n <= 1) return nullptr;
+  const unsigned my_dom = self.domain();
+  // Deepest advertised load within one domain, rotating start (same
+  // tie-breaking discipline as the flat chooser so equal loads spread
+  // thieves instead of dogpiling the first member).
+  const auto deepest_in = [&](unsigned d) -> Worker* {
+    const std::vector<unsigned>& members = topo_.members[d];
+    const unsigned m = static_cast<unsigned>(members.size());
+    if (m == 0) return nullptr;
+    const unsigned start = static_cast<unsigned>(rng.below(m));
+    std::uint32_t best_load = 0;
+    Worker* best = nullptr;
+    for (unsigned k = 0; k < m; ++k) {
+      unsigned idx = start + k;
+      if (idx >= m) idx -= m;
+      const unsigned i = members[idx];
+      if (i == self.id()) continue;
+      const std::uint32_t load = published_load(i);
+      if (load > best_load) {
+        best_load = load;
+        best = workers_[i].get();
+      }
+    }
+    return best;
+  };
+  // Pass 1: the thief's own domain.  Cache/NUMA-local steals are the
+  // cheap ones; the hierarchy exists to keep migrations here.
+  if (Worker* v = deepest_in(my_dom)) {
+    *local = true;
+    return v;
+  }
+  // Nothing advertised locally.  Stay in-domain until the consecutive
+  // local-failure streak crosses the retry budget -- an empty scan counts
+  // toward it, so a starved domain unlocks remote probing even when no
+  // negotiation ever got far enough to be rejected.
+  const unsigned retries = idle_.steal_local_retries < 0
+                               ? 0
+                               : static_cast<unsigned>(idle_.steal_local_retries);
+  if (self.local_fail_streak() < retries) {
+    self.note_local_fail();
+    return nullptr;  // let the idle backoff pace the next local look
+  }
+  // Pass 2: rank the other domains by total advertised load weighted by
+  // this thief's per-domain hit EMA (0.5 floor keeps untried domains
+  // viable; a proven domain scores up to 3x an unknown one).
+  float best_score = 0.0f;
+  unsigned best_dom = topo_.num_domains;
+  for (unsigned d = 0; d < topo_.num_domains; ++d) {
+    if (d == my_dom) continue;
+    std::uint64_t load = 0;
+    for (unsigned i : topo_.members[d]) load += published_load(i);
+    // A cross-socket trip must be worth a batch: a domain advertising a
+    // single task keeps it -- its own thieves (or the owner) will finish
+    // it cheaper than we can migrate it.
+    if (load < 2) continue;
+    const float score =
+        static_cast<float>(load) * (0.5f + self.domain_ema(d));
+    if (score > best_score) {
+      best_score = score;
+      best_dom = d;
+    }
+  }
+  if (best_dom == topo_.num_domains) return nullptr;  // cluster-wide quiet
+  // One representative per domain: a second would-be remote thief keeps
+  // scanning locally and is fed by the representative's batch instead of
+  // paying its own cross-socket trip.
+  std::uint32_t idle_slot = 0;
+  if (!domain_remote_gate_[my_dom].value.compare_exchange_strong(
+          idle_slot, 1, std::memory_order_acq_rel)) {
+    return nullptr;
+  }
+  if (Worker* v = deepest_in(best_dom)) {
+    *local = false;  // caller owns the gate until the negotiation resolves
+    return v;
+  }
+  release_remote_gate(my_dom);
+  return nullptr;
+}
+
 void Runtime::notify_work() noexcept {
   work_epoch_.fetch_add(1, std::memory_order_seq_cst);
   if (parked_.load(std::memory_order_seq_cst) > 0) {
@@ -940,6 +1164,13 @@ void Runtime::park_worker(Worker& self) {
                         stu::kTraceSrcRuntime, epoch, 0, &self.trace_ring());
     }
     futex_wait(work_epoch_, epoch, idle_.park_timeout_us);
+    // Figure-22 scale-out signal: which socket's idle pool got pulled
+    // back in.  Bumped by the waking worker itself (one RMW per park
+    // episode, never on the fast path).
+    const unsigned d = self.domain();
+    if (d < domain_idle_wakes_.size()) {
+      domain_idle_wakes_[d].value.fetch_add(1, std::memory_order_relaxed);
+    }
     if (stu::sched_recording()) [[unlikely]] {
       stu::sched_record(stu::kSchedUnpark, static_cast<std::uint16_t>(self.id()),
                         stu::kTraceSrcRuntime,
@@ -1034,6 +1265,9 @@ RuntimeStats Runtime::stats() const {
     out.steal_attempts += get(m.steal_attempts);
     out.steals_rejected += get(m.steals_rejected);
     out.steals_cancelled += get(m.steals_cancelled);
+    out.steals_local += get(m.steals_local);
+    out.steals_remote += get(m.steals_remote);
+    out.steal_tasks += get(m.steal_tasks);
     out.tasks_completed += get(m.tasks_completed);
     out.io_wakeups += get(m.io_wakeups);
     out.io_events += get(m.io_events);
@@ -1062,6 +1296,9 @@ std::string Runtime::metrics_json() const {
      << ",\"steals_received\":" << agg.steals_received
      << ",\"steals_rejected\":" << agg.steals_rejected
      << ",\"steals_cancelled\":" << agg.steals_cancelled
+     << ",\"steal_local\":" << agg.steals_local
+     << ",\"steal_remote\":" << agg.steals_remote
+     << ",\"steal_tasks\":" << agg.steal_tasks
      << ",\"region_high_water\":" << agg.region_high_water
      << ",\"heap_fallbacks\":" << agg.heap_fallbacks
      << ",\"region_scavenges\":" << agg.region_scavenges
@@ -1070,6 +1307,15 @@ std::string Runtime::metrics_json() const {
      << ",\"io_timers\":" << agg.io_timers
      << ",\"io_migrations\":" << agg.io_migrations
      << ",\"io_cancels\":" << agg.io_cancels << "},";
+  // Steal-domain hierarchy (ST_TOPOLOGY): per-domain membership and the
+  // idle-wake counter -- the "did work reach the remote socket" signal.
+  os << "\"domains\":[";
+  for (unsigned d = 0; d < topo_.num_domains; ++d) {
+    os << (d ? "," : "") << "{\"id\":" << d
+       << ",\"workers\":" << topo_.members[d].size()
+       << ",\"idle_wakes\":" << domain_idle_wakes(d) << "}";
+  }
+  os << "],";
   os << "\"per_worker\":[";
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     Worker& w = *workers_[i];
@@ -1079,6 +1325,7 @@ std::string Runtime::metrics_json() const {
     // extent (the bump pointer itself).  O(1) incremental counters.
     const std::size_t top = r.top();
     os << (i ? "," : "") << "{\"id\":" << w.id()
+       << ",\"domain\":" << w.domain()
        << ",\"phase\":\"" << (static_cast<unsigned>(w.phase()) < 3
                                   ? phase_names[static_cast<unsigned>(w.phase())]
                                   : "?")
@@ -1110,6 +1357,7 @@ std::string Runtime::metrics_json() const {
       {"steal_cancel_latency", "ns", ns, &WorkerMetrics::steal_cancel_latency},
       {"suspend_to_restart", "ns", ns, &WorkerMetrics::suspend_to_restart},
       {"fork_deque_depth", "tasks", 1.0, &WorkerMetrics::deque_depth},
+      {"steal_batch_size", "tasks", 1.0, &WorkerMetrics::steal_batch_size},
       {"io_wait", "ns", ns, &WorkerMetrics::io_wait},
       {"io_ready_batch", "events", 1.0, &WorkerMetrics::io_ready_batch},
   };

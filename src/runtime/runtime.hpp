@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "runtime/context.hpp"
+#include "runtime/topology.hpp"
 #include "runtime/worker.hpp"
 #include "util/spinlock.hpp"
 
@@ -82,6 +83,12 @@ struct IdlePolicy {
   long park_timeout_us = 2000;  ///< ST_PARK_TIMEOUT_US: belt-and-braces wake
   bool load_victim = true;   ///< ST_VICTIM=load|random
   long io_wait_us = 2000;    ///< ST_IO_WAIT_US: stage-3 epoll_wait timeout
+  /// ST_STEAL_LOCAL_RETRIES: failed local-domain probes before a thief
+  /// may cross domains (hierarchical stealing; irrelevant on one domain).
+  int steal_local_retries = 4;
+  /// ST_STEAL_BATCH: max continuations a cross-domain steal carries home
+  /// (clamped to StealRequest::kMaxBatch; 1 restores single-task steals).
+  int steal_batch = 4;
 };
 
 /// Aggregated counters over all workers (see WorkerStats).
@@ -89,6 +96,7 @@ struct RuntimeStats {
   std::uint64_t forks = 0, suspends = 0, resumes = 0;
   std::uint64_t steals_served = 0, steals_received = 0, steal_attempts = 0,
                 steals_rejected = 0, steals_cancelled = 0;
+  std::uint64_t steals_local = 0, steals_remote = 0, steal_tasks = 0;
   std::uint64_t tasks_completed = 0;
   std::uint64_t region_high_water = 0, heap_fallbacks = 0;
   std::uint64_t region_scavenges = 0, region_trims = 0;
@@ -137,6 +145,21 @@ class Runtime {
     return parked_.load(std::memory_order_acquire);
   }
 
+  /// Worker placement: steal domains, CPUs, NUMA nodes (ST_TOPOLOGY /
+  /// ST_PIN; resolved once in the ctor before workers are created).
+  const Topology& topology() const noexcept { return topo_; }
+  unsigned num_domains() const noexcept { return topo_.num_domains; }
+  unsigned domain_of(unsigned worker) const noexcept {
+    return topo_.domain_of(worker);
+  }
+  /// Per-domain count of futex-park wakeups (idle workers pulled back in;
+  /// the "did work reach the remote socket" signal of Figure 22).
+  std::uint64_t domain_idle_wakes(unsigned d) const noexcept {
+    return d < domain_idle_wakes_.size()
+               ? domain_idle_wakes_[d].value.load(std::memory_order_relaxed)
+               : 0;
+  }
+
   // -- internal (used by workers / the monitor) --------------------------
   bool pop_injected(std::function<void()>& out);
   Worker* random_victim(stu::Xoshiro256& rng, unsigned self);
@@ -144,8 +167,26 @@ class Runtime {
   /// Victim selection for the idle path: under ST_VICTIM=load (default),
   /// scan the published-depth array for the most loaded worker (rotating
   /// start breaks ties fairly); fall back to random among unparked
-  /// workers.  Returns nullptr when nothing looks stealable.
+  /// workers.  Returns nullptr when nothing looks stealable.  With more
+  /// than one steal domain this is the flat fallback; thieves go through
+  /// choose_victim_hier instead.
   Worker* choose_victim(stu::Xoshiro256& rng, unsigned self);
+
+  /// Hierarchical victim selection (>= 2 domains): scan the thief's own
+  /// domain's published loads first; only after the thief's local-fail
+  /// streak crosses ST_STEAL_LOCAL_RETRIES consider other domains,
+  /// ranked by advertised load weighted by the thief's per-domain
+  /// steal-hit EMA.  `*local` reports which side chose; the caller sizes
+  /// the request batch accordingly.
+  Worker* choose_victim_hier(stu::Xoshiro256& rng, Worker& self, bool* local);
+
+  /// Release the calling thief's domain's cross-domain probe slot (taken
+  /// by choose_victim_hier when it returned a remote victim).
+  void release_remote_gate(unsigned d) noexcept {
+    if (d < domain_remote_gate_.size()) {
+      domain_remote_gate_[d].value.store(0, std::memory_order_release);
+    }
+  }
 
   /// Publication side of the depth array (called by workers from their
   /// slow path and by the park/idle transitions).
@@ -184,6 +225,7 @@ class Runtime {
  private:
   void inject(std::function<void()> fn);
 
+  Topology topo_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
   std::atomic<bool> done_{false};
@@ -203,6 +245,14 @@ class Runtime {
   alignas(stu::kCacheLine) std::atomic<std::uint32_t> work_epoch_{0};
   std::atomic<unsigned> parked_{0};
   std::atomic<unsigned> io_blocked_{0};
+  /// Futex-park wakeups per steal domain (bumped by the waking worker).
+  std::vector<stu::CacheAligned<std::atomic<std::uint64_t>>> domain_idle_wakes_;
+  /// One cross-domain probe per domain at a time: choose_victim_hier
+  /// CASes its thief's domain slot before returning a remote victim and
+  /// try_steal_and_run releases it when that negotiation resolves.  The
+  /// rest of the domain keeps scanning locally -- a remote batch lands
+  /// on the representative's readyq and feeds them through local steals.
+  std::vector<stu::CacheAligned<std::atomic<std::uint32_t>>> domain_remote_gate_;
 };
 
 // ---------------------------------------------------------------------

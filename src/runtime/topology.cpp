@@ -1,0 +1,166 @@
+#include "runtime/topology.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "util/domain_spec.hpp"
+#include "util/env.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace st {
+
+namespace {
+
+#if defined(__linux__)
+
+/// CPUs this process may run on, in numeric order.
+std::vector<int> allowed_cpus() {
+  std::vector<int> cpus;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) != 0) return cpus;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &set)) cpus.push_back(c);
+  }
+  return cpus;
+}
+
+/// First line of a sysfs file as a long, or `fallback`.
+long sysfs_long(const std::string& path, long fallback) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return fallback;
+  char buf[64];
+  long v = fallback;
+  if (std::fgets(buf, sizeof buf, f) != nullptr) v = std::atol(buf);
+  std::fclose(f);
+  return v;
+}
+
+/// Package id of a CPU (-1 when sysfs is unavailable, e.g. containers
+/// with a masked /sys).
+int package_of_cpu(int cpu) {
+  char path[128];
+  std::snprintf(path, sizeof path,
+                "/sys/devices/system/cpu/cpu%d/topology/physical_package_id", cpu);
+  return static_cast<int>(sysfs_long(path, -1));
+}
+
+/// cpu -> NUMA node from /sys/devices/system/node/node*/cpulist
+/// ("0-3,8-11" range syntax).  Returns -1 for CPUs no node claims.
+int node_of_cpu(int cpu) {
+  for (int n = 0; n < 64; ++n) {
+    char path[128];
+    std::snprintf(path, sizeof path, "/sys/devices/system/node/node%d/cpulist", n);
+    std::FILE* f = std::fopen(path, "r");
+    if (f == nullptr) {
+      if (n == 0) continue;  // node0 can be absent while node1 exists? keep scanning
+      break;
+    }
+    char buf[512];
+    const bool got = std::fgets(buf, sizeof buf, f) != nullptr;
+    std::fclose(f);
+    if (!got) continue;
+    const char* p = buf;
+    while (*p != '\0' && *p != '\n') {
+      const long lo = std::atol(p);
+      const char* dash = p;
+      while (*dash != '\0' && *dash != '-' && *dash != ',' && *dash != '\n') ++dash;
+      long hi = lo;
+      if (*dash == '-') hi = std::atol(dash + 1);
+      if (cpu >= lo && cpu <= hi) return n;
+      const char* comma = std::strchr(p, ',');
+      if (comma == nullptr) break;
+      p = comma + 1;
+    }
+  }
+  return -1;
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+Topology Topology::create(unsigned workers) {
+  Topology t;
+  t.workers = workers;
+  t.domain.assign(workers, 0);
+  t.cpu.assign(workers, -1);
+  t.node.assign(workers, -1);
+
+  const stu::DomainSpec spec = stu::domain_spec_from_env();
+  const bool want_pin = stu::env_long("ST_PIN", 0) != 0;
+
+#if defined(__linux__)
+  const std::vector<int> cpus = allowed_cpus();
+  // Workers take CPUs round-robin in affinity-mask order; with an
+  // explicit synthetic spec the *domains* come from the spec but CPU and
+  // node assignments still follow the hardware, so pinning and NUMA
+  // binding compose with a faked hierarchy.
+  for (unsigned w = 0; w < workers && !cpus.empty(); ++w) {
+    t.cpu[w] = cpus[w % cpus.size()];
+    t.node[w] = node_of_cpu(t.cpu[w]);
+  }
+  t.pin = want_pin && !cpus.empty();
+#else
+  (void)want_pin;
+#endif
+
+  if (spec.explicit_domains()) {
+    t.synthetic = true;
+    for (unsigned w = 0; w < workers; ++w) {
+      t.domain[w] = static_cast<std::uint16_t>(spec.domain_of(w));
+    }
+    t.num_domains = spec.domains(workers);
+  } else if (spec.kind == stu::DomainSpec::kAuto) {
+#if defined(__linux__)
+    // Group workers by the physical package of their assigned CPU,
+    // remapped to dense domain ids in first-appearance order.
+    std::vector<int> packages;  // dense id -> package id
+    for (unsigned w = 0; w < workers; ++w) {
+      const int pkg = t.cpu[w] >= 0 ? package_of_cpu(t.cpu[w]) : -1;
+      if (pkg < 0) {  // sysfs masked: no hierarchy knowledge -> flat
+        packages.clear();
+        break;
+      }
+      auto it = std::find(packages.begin(), packages.end(), pkg);
+      if (it == packages.end()) {
+        packages.push_back(pkg);
+        it = packages.end() - 1;
+      }
+      t.domain[w] =
+          static_cast<std::uint16_t>(std::distance(packages.begin(), it));
+    }
+    if (packages.size() > 1) {
+      t.num_domains = static_cast<unsigned>(packages.size());
+    } else {
+      std::fill(t.domain.begin(), t.domain.end(), std::uint16_t{0});
+      t.num_domains = 1;
+    }
+#endif
+  }
+  // flat (or degraded): num_domains stays 1, all workers in domain 0.
+
+  t.members.assign(t.num_domains, {});
+  for (unsigned w = 0; w < workers; ++w) t.members[t.domain[w]].push_back(w);
+  return t;
+}
+
+void Topology::pin_thread(unsigned worker) const noexcept {
+#if defined(__linux__)
+  if (!pin || worker >= cpu.size() || cpu[worker] < 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu[worker], &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)worker;
+#endif
+}
+
+}  // namespace st

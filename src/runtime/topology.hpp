@@ -1,0 +1,54 @@
+// CPU/node topology discovery and worker placement (ROADMAP item 3).
+//
+// The scheduler's hierarchical steal policy needs three facts per
+// worker: which steal domain (physical package / socket) it belongs to,
+// which CPU it should be pinned to (ST_PIN=1), and which NUMA node its
+// stacklet region should live on (ST_NUMA, stacklet.cpp).  This module
+// produces them once at Runtime construction:
+//
+//   ST_TOPOLOGY=auto   (default) discover the real hierarchy: the CPUs
+//                      in this process's affinity mask (sched_getaffinity)
+//                      grouped by sysfs physical_package_id, NUMA nodes
+//                      from /sys/devices/system/node/node*/cpulist.
+//                      One package (or no sysfs) -> one flat domain.
+//   ST_TOPOLOGY=flat   one domain, no locality (pre-hierarchical behaviour).
+//   ST_TOPOLOGY=NxM    N synthetic domains of M workers (util/domain_spec.hpp)
+//                      -- fakes a multi-socket box on a flat host, used by
+//                      runtime_topology_test and the ".2x2" ctest lane.
+//                      CPUs/nodes are still taken from the hardware when
+//                      pinning or NUMA binding is requested.
+//   ST_PIN=0|1         pin each worker thread to its assigned CPU
+//                      (default 0: let the OS migrate).
+//
+// ST_NUMA itself is consumed by stacklet.cpp (the binding site); the
+// topology only reports each worker's node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace st {
+
+struct Topology {
+  unsigned workers = 0;
+  unsigned num_domains = 1;
+  bool pin = false;        ///< ST_PIN=1 and per-worker CPUs are known
+  bool synthetic = false;  ///< domains forced by an explicit ST_TOPOLOGY spec
+  std::vector<std::uint16_t> domain;          ///< worker -> steal domain
+  std::vector<int> cpu;                       ///< worker -> CPU to pin (-1 none)
+  std::vector<int> node;                      ///< worker -> NUMA node (-1 unknown)
+  std::vector<std::vector<unsigned>> members; ///< domain -> worker ids
+
+  /// Resolve ST_TOPOLOGY / ST_PIN for a fleet of `workers` workers.
+  static Topology create(unsigned workers);
+
+  unsigned domain_of(unsigned worker) const noexcept {
+    return worker < domain.size() ? domain[worker] : 0;
+  }
+
+  /// Apply the calling thread's affinity (worker thread entry; no-op
+  /// unless `pin` and the worker has an assigned CPU).
+  void pin_thread(unsigned worker) const noexcept;
+};
+
+}  // namespace st

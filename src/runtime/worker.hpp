@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstdint>
 #include <thread>
+#include <vector>
 
 #include "runtime/context.hpp"
 #include "runtime/stacklet.hpp"
@@ -64,11 +65,29 @@ struct Continuation {
 /// One in-flight steal negotiation.  Owned by the thief (stack-allocated
 /// in its steal loop); the victim holds a pointer only between claiming
 /// the port and storing the final state.
+///
+/// Extended Figure-10 negotiation (hierarchical stealing): the thief
+/// advertises how many continuations it is willing to carry home
+/// (`max_batch`; 1 for local-domain probes, ST_STEAL_BATCH for
+/// cross-domain ones, so a remote trip amortizes its cost).  The victim
+/// answers with up to steal-half of its exported tail: the first task in
+/// `reply` (run immediately by the thief), the rest as *pointers* in
+/// `extra[0..extra_n)` -- the pointed-to Continuations live in suspended
+/// frames, stable until resumed, and the thief re-queues the pointers on
+/// its own readyq.  Everything is published by the single release store
+/// of `state` -- the protocol's memory-ordering argument is unchanged,
+/// the reply payload just grew.
 struct StealRequest {
   enum State : std::uint32_t { kPosted = 0, kServed = 1, kRejected = 2 };
+  /// Upper bound on one negotiation's transfer (reply + extras); keeps
+  /// the request stack-allocatable and bounds victim time at a poll point.
+  static constexpr std::uint32_t kMaxBatch = 8;
   std::atomic<std::uint32_t> state{kPosted};
   std::uint32_t thief = 0;  ///< requesting worker id (schedule log payload)
+  std::uint32_t max_batch = 1;  ///< thief's ask (1 = classic single-task steal)
+  std::uint32_t extra_n = 0;    ///< victim: continuations in extra[], <= kMaxBatch-1
   Continuation reply;
+  Continuation* extra[kMaxBatch - 1] = {};
 };
 
 /// Runtime-side view of a per-worker I/O reactor (implemented in src/io,
@@ -102,6 +121,9 @@ struct WorkerStats {
   std::uint64_t steal_attempts = 0;
   std::uint64_t steals_rejected = 0;
   std::uint64_t steals_cancelled = 0;
+  std::uint64_t steals_local = 0;   ///< received, victim in this worker's domain
+  std::uint64_t steals_remote = 0;  ///< received, victim in another domain
+  std::uint64_t steal_tasks = 0;    ///< continuations received incl. batch extras
   std::uint64_t tasks_completed = 0;
   std::uint64_t io_wakeups = 0;     ///< epoll_wait returns with >= 1 event
   std::uint64_t io_events = 0;      ///< waiters resumed by readiness/expiry
@@ -120,6 +142,9 @@ struct WorkerStatsMirror {
   std::atomic<std::uint64_t> steal_attempts{0};
   std::atomic<std::uint64_t> steals_rejected{0};
   std::atomic<std::uint64_t> steals_cancelled{0};
+  std::atomic<std::uint64_t> steals_local{0};
+  std::atomic<std::uint64_t> steals_remote{0};
+  std::atomic<std::uint64_t> steal_tasks{0};
   std::atomic<std::uint64_t> tasks_completed{0};
   std::atomic<std::uint64_t> io_wakeups{0};
   std::atomic<std::uint64_t> io_events{0};
@@ -146,6 +171,7 @@ struct WorkerMetrics {
   stu::LogHistogram deque_depth;         ///< fork-deque depth, decimated sample
   stu::LogHistogram io_wait;             ///< fd-suspend arm -> readiness, ticks
   stu::LogHistogram io_ready_batch;      ///< events per epoll_wait return (counts)
+  stu::LogHistogram steal_batch_size;    ///< continuations per served steal (counts)
 };
 
 class alignas(stu::kCacheLine) Worker {
@@ -248,6 +274,36 @@ class alignas(stu::kCacheLine) Worker {
   unsigned id() const noexcept { return id_; }
   Runtime& runtime() noexcept { return rt_; }
 
+  /// Steal domain (runtime/topology.hpp), fixed by the Runtime ctor
+  /// before any worker thread starts.
+  unsigned domain() const noexcept { return domain_; }
+  void set_domain(unsigned d, unsigned num_domains) {
+    domain_ = d;
+    domain_ema_.assign(num_domains, 0.0f);
+  }
+
+  /// Thief-side adaptive victim memory: per-domain EMA of recent steal
+  /// hits, bumped on a served steal from that domain and decayed on a
+  /// rejection.  Owner-only writes from the steal loop; the accessor's
+  /// racy read (tests, metrics) observes a torn-free float.
+  static constexpr float kStealEmaDecay = 0.75f;
+  static float steal_ema_next(float prev, bool hit) noexcept {
+    return kStealEmaDecay * prev + (hit ? 1.0f - kStealEmaDecay : 0.0f);
+  }
+  float domain_ema(unsigned d) const noexcept {
+    return d < domain_ema_.size() ? domain_ema_[d] : 0.0f;
+  }
+  void note_domain_outcome(unsigned d, bool hit) noexcept {
+    if (d < domain_ema_.size()) domain_ema_[d] = steal_ema_next(domain_ema_[d], hit);
+  }
+
+  /// Consecutive failed local-domain probes; crossing
+  /// ST_STEAL_LOCAL_RETRIES unlocks cross-domain victims (reset by any
+  /// served steal).  Owner-only.
+  unsigned local_fail_streak() const noexcept { return local_fails_; }
+  void note_local_fail() noexcept { ++local_fails_; }
+  void reset_local_fails() noexcept { local_fails_ = 0; }
+
   /// Liveness signal for the monitor: bumped at every scheduling event
   /// (fork, suspend, resume, poll, steal, scheduler-loop iteration).
   /// Plain single-writer field; the monitor reads the mirror, which the
@@ -317,8 +373,11 @@ class alignas(stu::kCacheLine) Worker {
 
   Runtime& rt_;
   unsigned id_;
+  unsigned domain_ = 0;
   // Owner-hot plain state first (one writer, no readers elsewhere).
   std::uint64_t hb_ = 0;
+  unsigned local_fails_ = 0;       // consecutive failed local-domain probes
+  std::vector<float> domain_ema_;  // per-domain steal-hit EMA (thief side)
   int depth_countdown_ = 1;  // publish on the first fork, then decimated
   bool solo_ = false;        // single-worker runtime: no thieves
   stu::OwnerDeque<Continuation*> fork_deque_;

@@ -1,0 +1,118 @@
+// ST_TOPOLOGY steal-domain spec, shared by the native runtime and the
+// STVM (ststvm links only stu, so the parser cannot live in src/runtime;
+// hardware discovery and pinning do -- see runtime/topology.hpp).
+//
+// Grammar:
+//   flat       one steal domain containing every worker (the default
+//              behaviour of every release before hierarchical stealing)
+//   auto       discover the real socket/node hierarchy (runtime level;
+//              at the stu level "auto" carries no worker->domain mapping
+//              and callers treat it like flat)
+//   NxM        N synthetic domains of M workers each, workers assigned
+//              round-robin by block: worker w -> domain (w / M) % N.
+//              "2x2" fakes a 2-socket box on a flat host -- the ctest
+//              lane and runtime_topology_test run the runtime suites
+//              under exactly this spec.
+//   a,b,c      explicit domain sizes: the first `a` workers are domain
+//              0, the next `b` domain 1, ...; workers beyond the sum
+//              wrap around (w mod total).
+//
+// A malformed spec degrades to flat rather than failing the run: the
+// variable is a tuning/testing knob, not configuration the program
+// depends on for correctness.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/env.hpp"
+
+namespace stu {
+
+struct DomainSpec {
+  enum Kind : std::uint8_t { kFlat = 0, kAuto = 1, kGrid = 2, kList = 3 };
+  Kind kind = kFlat;
+  unsigned grid_domains = 1;    ///< N of "NxM"
+  unsigned grid_width = 1;      ///< M of "NxM"
+  std::vector<unsigned> sizes;  ///< "a,b,c" domain sizes
+
+  /// True when the spec pins an explicit worker->domain mapping (grid or
+  /// list); flat and auto leave the mapping to the caller.
+  bool explicit_domains() const noexcept { return kind == kGrid || kind == kList; }
+
+  unsigned domain_of(unsigned worker) const noexcept {
+    switch (kind) {
+      case kGrid:
+        return (worker / grid_width) % grid_domains;
+      case kList: {
+        unsigned total = 0;
+        for (const unsigned s : sizes) total += s;
+        if (total == 0) return 0;
+        unsigned w = worker % total;
+        for (unsigned d = 0; d < sizes.size(); ++d) {
+          if (w < sizes[d]) return d;
+          w -= sizes[d];
+        }
+        return 0;
+      }
+      default:
+        return 0;
+    }
+  }
+
+  /// Number of populated domains for a fleet of `workers` workers.
+  unsigned domains(unsigned workers) const noexcept {
+    unsigned n = 1;
+    for (unsigned w = 0; w < workers; ++w) {
+      const unsigned d = domain_of(w) + 1;
+      if (d > n) n = d;
+    }
+    return n;
+  }
+};
+
+inline DomainSpec parse_domain_spec(const std::string& spec) {
+  DomainSpec out;
+  if (spec.empty() || spec == "flat") return out;
+  if (spec == "auto") {
+    out.kind = DomainSpec::kAuto;
+    return out;
+  }
+  const std::size_t x = spec.find('x');
+  if (x != std::string::npos && spec.find(',') == std::string::npos) {
+    const long n = std::atol(spec.c_str());
+    const long m = std::atol(spec.c_str() + x + 1);
+    if (n >= 1 && m >= 1 && n <= 1 << 16 && m <= 1 << 16) {
+      out.kind = DomainSpec::kGrid;
+      out.grid_domains = static_cast<unsigned>(n);
+      out.grid_width = static_cast<unsigned>(m);
+    }
+    return out;  // malformed grid -> flat
+  }
+  std::size_t pos = 0;
+  std::vector<unsigned> sizes;
+  while (pos < spec.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(spec[pos]))) return out;  // flat
+    const long v = std::atol(spec.c_str() + pos);
+    if (v < 1 || v > 1 << 16) return out;
+    sizes.push_back(static_cast<unsigned>(v));
+    const std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (!sizes.empty()) {
+    out.kind = DomainSpec::kList;
+    out.sizes = std::move(sizes);
+  }
+  return out;
+}
+
+/// ST_TOPOLOGY, parsed.  Default is "auto" (hardware discovery where the
+/// caller supports it, flat otherwise).
+inline DomainSpec domain_spec_from_env() {
+  return parse_domain_spec(env_string("ST_TOPOLOGY", "auto"));
+}
+
+}  // namespace stu

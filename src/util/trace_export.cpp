@@ -89,11 +89,12 @@ const char* kEventNames[kTraceEventCount] = {
     "vm-suspend", "vm-restart", "vm-shrink", "vm-migrate",
     "io-wait", "io-ready", "io-wake", "io-timer", "io-migrate", "io-cancel",
     "sched-decision",
+    "steal-batch",
 };
 
 constexpr std::uint64_t kGroupSteal =
     bit(kTraceStealPosted) | bit(kTraceStealServed) | bit(kTraceStealRejected) |
-    bit(kTraceStealReceived) | bit(kTraceStealCancelled);
+    bit(kTraceStealReceived) | bit(kTraceStealCancelled) | bit(kTraceStealBatch);
 constexpr std::uint64_t kGroupStacklet = bit(kTraceStackletAlloc) | bit(kTraceHeapFallback);
 constexpr std::uint64_t kGroupVm = bit(kTraceVmSuspend) | bit(kTraceVmRestart) |
                                    bit(kTraceVmShrink) | bit(kTraceVmMigrate);
@@ -407,7 +408,10 @@ std::string trace_to_json(std::vector<TraceRecord> records) {
         emit_flow("s", "steal", id, r);
         break;
       }
-      case kTraceStealServed: {
+      case kTraceStealServed:
+      case kTraceStealBatch: {
+        // Both ride the posted negotiation: batch is an extra step on the
+        // same flow (served closes on the thief's steal-received).
         auto it = steal_flow.find(r.a);
         if (it != steal_flow.end()) emit_flow("t", "steal", it->second, r);
         break;

@@ -16,7 +16,7 @@
 //                                                -> shrink, end to end
 //
 // Run opts: --program fib|pfib|psum|racy|clean  --n N  --workers W
-//           --quantum Q  --dispatch switch|threaded
+//           --quantum Q  --dispatch switch|threaded|jit
 //
 // `explore` hunts for schedules that change the program's result (or
 // crash the VM).  The DPOR strategy records an annotated baseline, runs
@@ -155,11 +155,15 @@ std::vector<stu::SchedDecision> run_record(const RunOpts& o, RunOutcome* outcome
 std::vector<stu::SchedDecision> load_or_die(const std::string& path) {
   std::vector<stu::SchedDecision> log;
   std::string err;
-  if (!stu::sched_read_file(path, &log, &err)) {
+  std::uint32_t version = 0;
+  if (!stu::sched_read_file(path, &log, &err, &version)) {
     std::fprintf(stderr, "st_replay: %s: %s\n", path.c_str(), err.c_str());
     std::exit(2);
   }
-  if (!stu::sched_lint(log, &err)) {
+  // Version-gated lint: a stmp-sched-v1 file containing v2 kinds (domain
+  // / batch) is a mixed-version artifact and is rejected with a clear
+  // message rather than replayed into silent FIFO misalignment.
+  if (!stu::sched_lint(log, &err, version)) {
     std::fprintf(stderr, "st_replay: %s: lint: %s\n", path.c_str(), err.c_str());
     std::exit(2);
   }
@@ -494,7 +498,7 @@ int usage() {
                "          [--must-find|--must-not-find] [run opts]\n"
                "  selftest [--out <artifact>]\n"
                "run opts: --program fib|pfib|psum|racy|clean --n N --workers W\n"
-               "          --quantum Q --dispatch switch|threaded\n");
+               "          --quantum Q --dispatch switch|threaded|jit\n");
   return 2;
 }
 
@@ -544,6 +548,8 @@ bool parse(int argc, char** argv, int first, Args* a) {
     else if (arg == "--dispatch" && (v = next())) {
       a->run.dispatch = std::strcmp(v, "switch") == 0
                             ? stvm::VmConfig::Dispatch::kSwitch
+                        : std::strcmp(v, "jit") == 0
+                            ? stvm::VmConfig::Dispatch::kJit
                             : stvm::VmConfig::Dispatch::kThreaded;
     } else if (!arg.empty() && arg[0] != '-' && a->positional.empty()) {
       a->positional = arg;
